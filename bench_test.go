@@ -1,0 +1,126 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure. Each benchmark runs the corresponding experiment and reports
+// the headline quantities as custom metrics:
+//
+//   - virtual-sec: simulated execution (or replay) time
+//   - overhead-pct: execution-time overhead over the no-logging baseline
+//   - logMB: total log size
+//   - log-ratio-pct: CCL log size as a percentage of ML's
+//   - reduction-pct: recovery-time reduction versus re-execution
+//
+// The benchmarks use the small scale so `go test -bench .` stays fast;
+// run `go run ./cmd/sdsmbench -scale medium` (or large) for the
+// paper-shaped numbers recorded in EXPERIMENTS.md.
+package sdsm_test
+
+import (
+	"testing"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/bench"
+)
+
+const benchNodes = 8
+
+func benchWorkload(b *testing.B, name string) *apps.Workload {
+	b.Helper()
+	for _, w := range bench.Workloads(benchNodes, bench.ScaleSmall) {
+		if w.Name == name {
+			return w
+		}
+	}
+	b.Fatalf("no workload %q", name)
+	return nil
+}
+
+// BenchmarkTable1Characteristics exercises every application once and
+// validates its numerics (Table 1 is descriptive; this keeps the
+// workload set healthy).
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range bench.Workloads(benchNodes, bench.ScaleSmall) {
+			if _, err := bench.RunTable2(w, benchNodes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchTable2(b *testing.B, app string) {
+	var last *bench.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunTable2(benchWorkload(b, app), benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(last.Rows[0].ExecSec, "base-virtual-sec")
+		b.ReportMetric(last.Overhead(bench.Protocols[1]), "ML-overhead-pct")
+		b.ReportMetric(last.Overhead(bench.Protocols[2]), "CCL-overhead-pct")
+		b.ReportMetric(100*last.LogRatio(), "log-ratio-pct")
+	}
+}
+
+// BenchmarkTable2a3DFFT regenerates Table 2(a).
+func BenchmarkTable2a3DFFT(b *testing.B) { benchTable2(b, "3D-FFT") }
+
+// BenchmarkTable2bMG regenerates Table 2(b).
+func BenchmarkTable2bMG(b *testing.B) { benchTable2(b, "MG") }
+
+// BenchmarkTable2cShallow regenerates Table 2(c).
+func BenchmarkTable2cShallow(b *testing.B) { benchTable2(b, "Shallow") }
+
+// BenchmarkTable2dWater regenerates Table 2(d).
+func BenchmarkTable2dWater(b *testing.B) { benchTable2(b, "Water") }
+
+// BenchmarkFigure4Overhead regenerates Figure 4: normalized execution
+// time of all four applications under None/ML/CCL.
+func BenchmarkFigure4Overhead(b *testing.B) {
+	var results []*bench.Table2Result
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, w := range bench.Workloads(benchNodes, bench.ScaleSmall) {
+			r, err := bench.RunTable2(w, benchNodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	var worstML, worstCCL float64
+	for _, r := range results {
+		if o := r.Overhead(bench.Protocols[1]); o > worstML {
+			worstML = o
+		}
+		if o := r.Overhead(bench.Protocols[2]); o > worstCCL {
+			worstCCL = o
+		}
+	}
+	b.ReportMetric(worstML, "worst-ML-overhead-pct")
+	b.ReportMetric(worstCCL, "worst-CCL-overhead-pct")
+}
+
+// BenchmarkFigure5Recovery regenerates Figure 5: recovery time of
+// re-execution, ML-recovery and CCL-recovery on all four applications.
+func BenchmarkFigure5Recovery(b *testing.B) {
+	var results []*bench.Figure5Result
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, w := range bench.Workloads(benchNodes, bench.ScaleSmall) {
+			r, err := bench.RunFigure5(w, benchNodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	var sumML, sumCCL float64
+	for _, r := range results {
+		sumML += r.Reduction(r.MLRecSec)
+		sumCCL += r.Reduction(r.CCLRecSec)
+	}
+	b.ReportMetric(sumML/float64(len(results)), "mean-ML-reduction-pct")
+	b.ReportMetric(sumCCL/float64(len(results)), "mean-CCL-reduction-pct")
+}

@@ -1,0 +1,80 @@
+// Command sdsmbench regenerates the paper's evaluation: Table 1 (application
+// characteristics), Table 2(a)-(d) (failure-free logging overhead), Figure 4
+// (normalized execution time) and Figure 5 (normalized recovery time).
+//
+// Usage:
+//
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/bench"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size (the paper uses 8)")
+	scaleFlag := flag.String("scale", "medium", "problem scale: small|medium|large")
+	appFlag := flag.String("app", "all", "application: all|3d-fft|mg|shallow|water")
+	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
+	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ablations {
+		out, err := bench.FormatAblations(*nodes, bench.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+		return
+	}
+	all := bench.Workloads(*nodes, scale)
+	var ws []*apps.Workload
+	for _, w := range all {
+		if *appFlag == "all" || strings.EqualFold(w.Name, *appFlag) {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		log.Fatalf("unknown -app %q", *appFlag)
+	}
+
+	fmt.Println(bench.FormatTable1(ws))
+
+	var t2 []*bench.Table2Result
+	letters := "abcd"
+	for i, w := range ws {
+		fmt.Fprintf(os.Stderr, "running Table 2: %s ...\n", w.Name)
+		r, err := bench.RunTable2(w, *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2 = append(t2, r)
+		fmt.Println(bench.FormatTable2(string(letters[i%4]), r))
+	}
+	fmt.Println(bench.FormatFigure4(t2))
+
+	if *skipRecovery {
+		return
+	}
+	var f5 []*bench.Figure5Result
+	for _, w := range ws {
+		fmt.Fprintf(os.Stderr, "running Figure 5: %s ...\n", w.Name)
+		r, err := bench.RunFigure5(w, *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f5 = append(f5, r)
+	}
+	fmt.Println(bench.FormatFigure5(f5))
+}

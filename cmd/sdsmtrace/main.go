@@ -1,0 +1,119 @@
+// Command sdsmtrace runs one evaluation application under one logging
+// protocol and prints a detailed protocol trace: per-node virtual times,
+// fault/fetch/diff counters, log statistics and network totals.
+// With -crash it injects a fail-stop crash and reports the recovery.
+//
+// Usage:
+//
+//	sdsmtrace [-app 3d-fft|mg|shallow|water] [-protocol none|ml|ccl]
+//	          [-nodes 8] [-scale small|medium|large]
+//	          [-crash] [-victim 7] [-recovery ml|ccl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/bench"
+	"sdsm/internal/core"
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+func main() {
+	appFlag := flag.String("app", "3d-fft", "application: 3d-fft|mg|shallow|water")
+	protoFlag := flag.String("protocol", "ccl", "logging protocol: none|ml|ccl")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	scaleFlag := flag.String("scale", "small", "problem scale: small|medium|large")
+	crash := flag.Bool("crash", false, "inject a fail-stop crash and recover")
+	victim := flag.Int("victim", -1, "crash victim (default: last node)")
+	recFlag := flag.String("recovery", "", "recovery scheme: ml|ccl (default: match protocol)")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var w *apps.Workload
+	for _, cand := range bench.Workloads(*nodes, scale) {
+		if strings.EqualFold(cand.Name, *appFlag) {
+			w = cand
+		}
+	}
+	if w == nil {
+		log.Fatalf("unknown -app %q", *appFlag)
+	}
+	var proto wal.Protocol
+	switch strings.ToLower(*protoFlag) {
+	case "none":
+		proto = wal.ProtocolNone
+	case "ml":
+		proto = wal.ProtocolML
+	case "ccl":
+		proto = wal.ProtocolCCL
+	default:
+		log.Fatalf("unknown -protocol %q", *protoFlag)
+	}
+
+	cfg := w.BaseConfig(*nodes)
+	cfg.Protocol = proto
+
+	var rep *core.Report
+	if !*crash {
+		cfg.SkipInitialCheckpoint = true
+		rep, err = core.Run(cfg, w.Prog)
+	} else {
+		kind := recovery.CCLRecovery
+		if proto == wal.ProtocolML {
+			kind = recovery.MLRecovery
+		}
+		switch strings.ToLower(*recFlag) {
+		case "":
+		case "ml":
+			kind = recovery.MLRecovery
+		case "ccl":
+			kind = recovery.CCLRecovery
+		default:
+			log.Fatalf("unknown -recovery %q", *recFlag)
+		}
+		v := *victim
+		if v < 0 {
+			v = *nodes - 1
+		}
+		rep, err = core.RunWithCrash(cfg, w.Prog, core.CrashPlan{
+			Victim: v, AtOp: w.CrashOp, Recovery: kind,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Check(rep.MemoryImage()); err != nil {
+		log.Fatalf("result validation failed: %v", err)
+	}
+
+	fmt.Printf("%s under %v on %d nodes (%s)\n", w.Name, proto, *nodes, w.DataSet)
+	fmt.Printf("execution time: %.3f virtual seconds\n", rep.ExecTime.Seconds())
+	fmt.Printf("network: %d messages, %.2f MB\n", rep.NetMsgs, float64(rep.NetBytes)/(1<<20))
+	if rep.TotalFlushes > 0 {
+		fmt.Printf("log: %.2f MB in %d flushes (mean %.1f KB)\n",
+			float64(rep.TotalLogBytes)/(1<<20), rep.TotalFlushes, rep.MeanFlushBytes/1024)
+	}
+	fmt.Printf("\n%-5s %12s %8s %8s %8s %8s %8s %9s %8s\n",
+		"node", "time(s)", "ops", "faults", "fetches", "twins", "diffs", "diffKB", "flushes")
+	for i := range rep.NodeTimes {
+		s := rep.Stats[i]
+		fmt.Printf("%-5d %12.3f %8d %8d %8d %8d %8d %9.1f %8d\n",
+			i, rep.NodeTimes[i].Seconds(), rep.NodeOps[i], s.Faults, s.PageFetches,
+			s.TwinsCreated, s.DiffsCreated, float64(s.DiffBytesSent)/1024,
+			rep.StoreStats[i].Flushes)
+	}
+	if rep.Recovery != nil {
+		fmt.Printf("\ncrash: node %d at op %d; %v replay took %.3f virtual seconds\n",
+			rep.Recovery.Victim, rep.Recovery.CrashOp, rep.Recovery.Kind,
+			rep.Recovery.ReplayTime.Seconds())
+	}
+	fmt.Println("\nresult validation: OK")
+}

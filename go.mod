@@ -1,0 +1,3 @@
+module sdsm
+
+go 1.22

@@ -1,0 +1,43 @@
+package apps_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsm/internal/apps/shallow"
+	"sdsm/internal/core"
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+// TestShallowCrashSweep crashes a real application at every
+// synchronization op under CCL and demands the exact failure-free image
+// every time — the application-level counterpart of the fuzz sweep.
+func TestShallowCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow under -short")
+	}
+	const nodes = 4
+	w := shallow.New(16, 16, 3, nodes, 4096)
+	cfg := w.BaseConfig(nodes)
+	cfg.Protocol = wal.ProtocolCCL
+	golden, err := core.Run(cfg, w.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := golden.NodeOps[1]
+	for at := int32(1); at < total; at++ {
+		rep, err := core.RunWithCrash(cfg, w.Prog, core.CrashPlan{
+			Victim: 1, AtOp: at, Recovery: recovery.CCLRecovery,
+		})
+		if err != nil {
+			t.Fatalf("crash at op %d: %v", at, err)
+		}
+		if !bytes.Equal(golden.MemoryImage(), rep.MemoryImage()) {
+			t.Fatalf("crash at op %d: image mismatch", at)
+		}
+		if err := w.Check(rep.MemoryImage()); err != nil {
+			t.Fatalf("crash at op %d: %v", at, err)
+		}
+	}
+}

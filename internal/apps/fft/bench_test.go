@@ -1,0 +1,32 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) (re, im []float64) {
+	rng := rand.New(rand.NewSource(7))
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for i := range re {
+		re[i], im[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	return re, im
+}
+
+func BenchmarkTransform64(b *testing.B) {
+	re, im := benchSignal(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(re, im, false)
+	}
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	re, im := benchSignal(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transform(re, im, false)
+	}
+}

@@ -1,0 +1,333 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/core"
+)
+
+// The workload follows the NAS FT kernel: an initial 3-D forward FFT of
+// a pseudo-random field, then per iteration an evolution in frequency
+// space (multiplication by Gaussian decay factors) followed by an
+// inverse 3-D FFT and a checksum over scattered elements. The array is
+// distributed by z-planes in real-space layout (A) and by x-planes in
+// the transposed layout (B/W); the transposes between them are the
+// all-to-all communication the paper's Table 2(a) measures.
+
+const alpha = 1e-6 // evolution decay constant, as in NAS FT
+
+// memFactor scales the flop counts into flop-equivalents: out-of-cache
+// FFTs and transposes on the paper's platform are memory-bound, running
+// ~3x slower than the arithmetic alone (NPB FT measurements).
+const memFactor = 3
+
+// params describes one instance.
+type params struct {
+	nx, ny, nz int
+	iters      int
+	nodes      int
+	pageSize   int
+
+	// byte offsets of the shared arrays
+	baseA, baseB, baseW, baseC, baseR int
+	totalBytes                        int
+}
+
+func layout(nx, ny, nz, iters, nodes, pageSize int) params {
+	pr := params{nx: nx, ny: ny, nz: nz, iters: iters, nodes: nodes, pageSize: pageSize}
+	size := nx * ny * nz * 16
+	pr.baseA = 0
+	pr.baseB = apps.AlignUp(pr.baseA+size, pageSize)
+	pr.baseW = apps.AlignUp(pr.baseB+size, pageSize)
+	pr.baseC = apps.AlignUp(pr.baseW+size, pageSize)
+	cSize := nodes * iters * 16
+	pr.baseR = apps.AlignUp(pr.baseC+cSize, pageSize)
+	pr.totalBytes = apps.AlignUp(pr.baseR+iters*16, pageSize)
+	return pr
+}
+
+// addrA is the byte address of A[z][y][x] (real-space layout).
+func (pr *params) addrA(x, y, z int) int { return pr.baseA + ((z*pr.ny+y)*pr.nx+x)*16 }
+
+// addrT is the byte address of element [x][y][z] of a transposed-layout
+// array based at base (B or W).
+func (pr *params) addrT(base, x, y, z int) int { return base + ((x*pr.ny+y)*pr.nz+z)*16 }
+
+// homes assigns pages to the nodes owning the data: A by z-planes, B and
+// W by x-planes, checksum slots per writer, result at node 0.
+func (pr *params) homes() []int {
+	pages := pr.totalBytes / pr.pageSize
+	return apps.BlockHomesForRegions(pages, pr.pageSize, pr.nodes, func(node int) [][2]int {
+		zlo, zhi := node*pr.nz/pr.nodes, (node+1)*pr.nz/pr.nodes
+		xlo, xhi := node*pr.nx/pr.nodes, (node+1)*pr.nx/pr.nodes
+		regions := [][2]int{
+			{pr.addrA(0, 0, zlo), pr.addrA(0, 0, zhi)},
+			{pr.addrT(pr.baseB, xlo, 0, 0), pr.addrT(pr.baseB, xhi, 0, 0)},
+			{pr.addrT(pr.baseW, xlo, 0, 0), pr.addrT(pr.baseW, xhi, 0, 0)},
+			{pr.baseC + node*pr.iters*16, pr.baseC + (node+1)*pr.iters*16},
+		}
+		if node == 0 {
+			regions = append(regions, [2]int{pr.baseR, pr.baseR + pr.iters*16})
+		}
+		return regions
+	})
+}
+
+// initValue is the deterministic pseudo-random initial field, identical
+// for any partitioning.
+func initValue(idx int) (float64, float64) {
+	// Splitmix-style hash scaled into [0,1).
+	h := uint64(idx)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	re := float64(h>>11) / (1 << 53)
+	h = h*0x94d049bb133111eb + 1
+	h ^= h >> 31
+	im := float64(h>>11) / (1 << 53)
+	return re, im
+}
+
+// freq returns the shifted frequency index (NAS FT's k-bar).
+func freq(i, n int) float64 {
+	if i > n/2 {
+		return float64(i - n)
+	}
+	return float64(i)
+}
+
+// New builds the 3D-FFT workload. nx, ny, nz must be powers of two
+// divisible by nodes (nx and nz at least).
+func New(nx, ny, nz, iters, nodes, pageSize int) *apps.Workload {
+	for _, d := range []int{nx, ny, nz} {
+		if d&(d-1) != 0 || d <= 0 {
+			panic(fmt.Sprintf("fft: dimension %d not a power of two", d))
+		}
+	}
+	if nz%nodes != 0 || nx%nodes != 0 {
+		panic(fmt.Sprintf("fft: nx=%d nz=%d not divisible by %d nodes", nx, nz, nodes))
+	}
+	pr := layout(nx, ny, nz, iters, nodes, pageSize)
+	w := &apps.Workload{
+		Name:          "3D-FFT",
+		Sync:          "barriers",
+		DataSet:       fmt.Sprintf("%d iterations on %dx%dx%d data", iters, nx, ny, nz),
+		PageSize:      pageSize,
+		Pages:         pr.totalBytes / pageSize,
+		Homes:         pr.homes(),
+		Deterministic: true,
+		CrashOp:       int32(4 + 3*(iters-1)), // inside the last iteration
+		Prog:          pr.prog,
+		Check: func(img []byte) error {
+			for it := 0; it < iters; it++ {
+				re := apps.F64at(img, pr.baseR+it*16)
+				im := apps.F64at(img, pr.baseR+it*16+8)
+				if math.IsNaN(re) || math.IsNaN(im) || (re == 0 && im == 0) {
+					return fmt.Errorf("fft: checksum %d degenerate (%g, %g)", it, re, im)
+				}
+			}
+			return nil
+		},
+	}
+	return w
+}
+
+// prog is the SPMD body.
+func (pr *params) prog(p *core.Proc) {
+	id, P := p.ID(), p.N()
+	nx, ny, nz := pr.nx, pr.ny, pr.nz
+	zlo, zhi := id*nz/P, (id+1)*nz/P
+	xlo, xhi := id*nx/P, (id+1)*nx/P
+	zcnt := zhi - zlo
+	b := 0
+	bar := func() { p.Barrier(b); b++ }
+
+	// Local buffer holding this node's A planes: [zcnt][ny][nx] complex,
+	// interleaved re/im.
+	planes := make([]float64, zcnt*ny*nx*2)
+	at := func(x, y, z int) int { return (((z-zlo)*ny+y)*nx + x) * 2 }
+
+	// --- Initialization: deterministic pseudo-random field.
+	for z := zlo; z < zhi; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				re, im := initValue((z*ny+y)*nx + x)
+				planes[at(x, y, z)] = re
+				planes[at(x, y, z)+1] = im
+			}
+		}
+	}
+	p.Compute(float64(zcnt * ny * nx * 4 * memFactor))
+	bar()
+
+	scratchRe := make([]float64, max3(nx, ny, nz))
+	scratchIm := make([]float64, max3(nx, ny, nz))
+
+	fftXY := func(inverse bool) {
+		for z := zlo; z < zhi; z++ {
+			for y := 0; y < ny; y++ {
+				row := planes[at(0, y, z) : at(0, y, z)+2*nx]
+				deinterleave(row, scratchRe[:nx], scratchIm[:nx])
+				Transform(scratchRe[:nx], scratchIm[:nx], inverse)
+				interleave(scratchRe[:nx], scratchIm[:nx], row)
+			}
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					scratchRe[y] = planes[at(x, y, z)]
+					scratchIm[y] = planes[at(x, y, z)+1]
+				}
+				Transform(scratchRe[:ny], scratchIm[:ny], inverse)
+				for y := 0; y < ny; y++ {
+					planes[at(x, y, z)] = scratchRe[y]
+					planes[at(x, y, z)+1] = scratchIm[y]
+				}
+			}
+		}
+		p.Compute(memFactor * float64(zcnt) * (float64(ny)*TransformFlops(nx) + float64(nx)*TransformFlops(ny)))
+	}
+
+	// writePlanes pushes the local buffer into shared A (bulk rows).
+	writePlanes := func() {
+		for z := zlo; z < zhi; z++ {
+			for y := 0; y < ny; y++ {
+				p.WriteF64s(pr.addrA(0, y, z), planes[at(0, y, z):at(0, y, z)+2*nx])
+			}
+		}
+	}
+
+	// transposeToShared scatters the local A planes into the
+	// transposed-layout array at base: dst[x][y][zlo:zhi] = A[z][y][x].
+	// This is the all-to-all step: most of dst is homed remotely.
+	transposeToShared := func(base int) {
+		run := make([]float64, zcnt*2)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := zlo; z < zhi; z++ {
+					run[(z-zlo)*2] = planes[at(x, y, z)]
+					run[(z-zlo)*2+1] = planes[at(x, y, z)+1]
+				}
+				p.WriteF64s(pr.addrT(base, x, y, zlo), run)
+			}
+		}
+		p.Compute(float64(nx * ny * zcnt * 2 * memFactor))
+	}
+
+	// --- Forward 3-D FFT: X and Y locally, transpose, Z locally into B.
+	fftXY(false)
+	bar()
+	transposeToShared(pr.baseB)
+	bar()
+	rowT := make([]float64, nz*2)
+	for x := xlo; x < xhi; x++ {
+		for y := 0; y < ny; y++ {
+			addr := pr.addrT(pr.baseB, x, y, 0)
+			p.ReadF64s(addr, rowT)
+			deinterleave(rowT, scratchRe[:nz], scratchIm[:nz])
+			Transform(scratchRe[:nz], scratchIm[:nz], false)
+			interleave(scratchRe[:nz], scratchIm[:nz], rowT)
+			p.WriteF64s(addr, rowT)
+		}
+	}
+	p.Compute(memFactor * float64((xhi-xlo)*ny) * TransformFlops(nz))
+	bar()
+
+	// --- Iterations: evolve, inverse transform, checksum.
+	for it := 1; it <= pr.iters; it++ {
+		// Evolve V (in B) into W and inverse-FFT along Z, locally on the
+		// owned x-planes.
+		t := float64(it)
+		for x := xlo; x < xhi; x++ {
+			kx := freq(x, nx)
+			for y := 0; y < ny; y++ {
+				ky := freq(y, ny)
+				p.ReadF64s(pr.addrT(pr.baseB, x, y, 0), rowT)
+				deinterleave(rowT, scratchRe[:nz], scratchIm[:nz])
+				for z := 0; z < nz; z++ {
+					kz := freq(z, nz)
+					f := math.Exp(-4 * alpha * math.Pi * math.Pi * (kx*kx + ky*ky + kz*kz) * t)
+					scratchRe[z] *= f
+					scratchIm[z] *= f
+				}
+				Transform(scratchRe[:nz], scratchIm[:nz], true)
+				interleave(scratchRe[:nz], scratchIm[:nz], rowT)
+				p.WriteF64s(pr.addrT(pr.baseW, x, y, 0), rowT)
+			}
+		}
+		p.Compute(memFactor * float64((xhi-xlo)*ny) * (TransformFlops(nz) + 10*float64(nz)))
+		bar()
+
+		// Transpose W back into the local z-plane buffer (reads from
+		// remote homes), then inverse X/Y FFTs locally and publish to A.
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				p.ReadF64s(pr.addrT(pr.baseW, x, y, zlo), rowT[:zcnt*2])
+				for z := zlo; z < zhi; z++ {
+					planes[at(x, y, z)] = rowT[(z-zlo)*2]
+					planes[at(x, y, z)+1] = rowT[(z-zlo)*2+1]
+				}
+			}
+		}
+		p.Compute(float64(nx * ny * zcnt * 2 * memFactor))
+		fftXY(true)
+		writePlanes()
+
+		// Partial checksum over the NAS FT scattered indices that fall in
+		// this node's planes.
+		var csRe, csIm float64
+		lim := nx * ny * nz / 2
+		if lim > 1024 {
+			lim = 1024
+		}
+		for j := 1; j <= lim; j++ {
+			x := j % nx
+			y := (3 * j) % ny
+			z := (5 * j) % nz
+			if z < zlo || z >= zhi {
+				continue
+			}
+			csRe += planes[at(x, y, z)]
+			csIm += planes[at(x, y, z)+1]
+		}
+		p.SetF64(pr.baseC, (id*pr.iters+(it-1))*2, csRe)
+		p.SetF64(pr.baseC, (id*pr.iters+(it-1))*2+1, csIm)
+		bar()
+
+		// Node 0 reduces the partials in fixed order.
+		if id == 0 {
+			var sr, si float64
+			for q := 0; q < P; q++ {
+				sr += p.F64(pr.baseC, (q*pr.iters+(it-1))*2)
+				si += p.F64(pr.baseC, (q*pr.iters+(it-1))*2+1)
+			}
+			p.SetF64(pr.baseR, (it-1)*2, sr)
+			p.SetF64(pr.baseR, (it-1)*2+1, si)
+		}
+		bar()
+	}
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func deinterleave(row, re, im []float64) {
+	for i := range re {
+		re[i] = row[2*i]
+		im[i] = row[2*i+1]
+	}
+}
+
+func interleave(re, im, row []float64) {
+	for i := range re {
+		row[2*i] = re[i]
+		row[2*i+1] = im[i]
+	}
+}

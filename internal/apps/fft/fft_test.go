@@ -1,0 +1,165 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdsm/internal/core"
+	"sdsm/internal/wal"
+)
+
+func TestTransformKnownValues(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	re := []float64{1, 0, 0, 0}
+	im := []float64{0, 0, 0, 0}
+	Transform(re, im, false)
+	for i := 0; i < 4; i++ {
+		if math.Abs(re[i]-1) > 1e-12 || math.Abs(im[i]) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = (%g,%g)", i, re[i], im[i])
+		}
+	}
+	// DFT of a constant is an impulse of size N at bin 0.
+	re = []float64{2, 2, 2, 2}
+	im = []float64{0, 0, 0, 0}
+	Transform(re, im, false)
+	if math.Abs(re[0]-8) > 1e-12 || math.Abs(re[1]) > 1e-12 {
+		t.Fatalf("constant DFT = %v", re)
+	}
+}
+
+func TestTransformRoundTripProperty(t *testing.T) {
+	f := func(seed int64, logn uint8) bool {
+		n := 1 << (logn%7 + 1) // 2..128
+		rng := rand.New(rand.NewSource(seed))
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, 2*n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+			orig[2*i], orig[2*i+1] = re[i], im[i]
+		}
+		Transform(re, im, false)
+		Transform(re, im, true)
+		for i := range re {
+			if math.Abs(re[i]-orig[2*i]) > 1e-9 || math.Abs(im[i]-orig[2*i+1]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformParseval(t *testing.T) {
+	// Energy conservation: sum|x|^2 == (1/N) sum|X|^2.
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var et float64
+	for i := range re {
+		re[i], im[i] = rng.Float64(), rng.Float64()
+		et += re[i]*re[i] + im[i]*im[i]
+	}
+	Transform(re, im, false)
+	var ef float64
+	for i := range re {
+		ef += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(et-ef/float64(n)) > 1e-9 {
+		t.Fatalf("Parseval violated: %g vs %g", et, ef/float64(n))
+	}
+}
+
+func TestTransformBadLengthPanics(t *testing.T) {
+	for _, n := range []int{0, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("length %d must panic", n)
+				}
+			}()
+			Transform(make([]float64, n), make([]float64, n), false)
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(12, 16, 16, 2, 4, 4096) }, // not a power of two
+		func() { New(16, 16, 16, 2, 3, 4096) }, // not divisible
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The golden test: the distributed FFT must produce exactly the same
+// per-iteration checksums as a sequential (1-node) run of the same code.
+func TestDistributedMatchesSequential(t *testing.T) {
+	const nodes, iters = 4, 2
+	mk := func(n int) *core.Config {
+		w := New(16, 16, 16, iters, n, 4096)
+		cfg := w.BaseConfig(n)
+		cfg.Protocol = wal.ProtocolNone
+		return &cfg
+	}
+	wSeq := New(16, 16, 16, iters, 1, 4096)
+	repSeq, err := core.Run(*mk(1), wSeq.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wPar := New(16, 16, 16, iters, nodes, 4096)
+	repPar, err := core.Run(*mk(nodes), wPar.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the published checksums (layouts differ only in the C
+	// region; R is at the same offset for equal geometry/iters).
+	prSeq := layout(16, 16, 16, iters, 1, 4096)
+	prPar := layout(16, 16, 16, iters, nodes, 4096)
+	for it := 0; it < iters; it++ {
+		for c := 0; c < 2; c++ {
+			a := readF64(repSeq.MemoryImage(), prSeq.baseR+it*16+8*c)
+			b := readF64(repPar.MemoryImage(), prPar.baseR+it*16+8*c)
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Fatalf("iter %d checksum[%d]: sequential %g vs parallel %g", it, c, a, b)
+			}
+		}
+	}
+	if err := wPar.Check(repPar.MemoryImage()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readF64(img []byte, off int) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(img[off+i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := New(16, 16, 16, 3, 4, 4096)
+	if w.Name != "3D-FFT" || w.Sync != "barriers" || !w.Deterministic {
+		t.Fatalf("metadata: %+v", w)
+	}
+	if w.Pages <= 0 || len(w.Homes) != w.Pages {
+		t.Fatal("homes/pages inconsistent")
+	}
+	if w.CrashOp <= 0 {
+		t.Fatal("crash op missing")
+	}
+}

@@ -1,0 +1,145 @@
+package apps_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/apps/fft"
+	"sdsm/internal/apps/mg"
+	"sdsm/internal/apps/shallow"
+	"sdsm/internal/apps/water"
+	"sdsm/internal/core"
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+// testWorkloads builds small instances of all four paper applications.
+func testWorkloads(nodes int) []*apps.Workload {
+	const ps = 4096
+	return []*apps.Workload{
+		fft.New(16, 16, 16, 2, nodes, ps),
+		mg.New(16, 2, nodes, ps),
+		shallow.New(16, 16, 4, nodes, ps),
+		water.New(32, 4, nodes, ps),
+	}
+}
+
+// The central end-to-end property: for every application and both
+// recoverable protocols, a run that crashes a node late and recovers it
+// produces a valid result — and, for the deterministic applications,
+// exactly the failure-free memory image.
+func TestCrashRecoveryAllApps(t *testing.T) {
+	const nodes = 4
+	for _, w := range testWorkloads(nodes) {
+		for _, tc := range []struct {
+			proto wal.Protocol
+			kind  recovery.Kind
+		}{
+			{wal.ProtocolCCL, recovery.CCLRecovery},
+			{wal.ProtocolML, recovery.MLRecovery},
+		} {
+			t.Run(w.Name+"/"+tc.kind.String(), func(t *testing.T) {
+				cfg := w.BaseConfig(nodes)
+				cfg.Protocol = tc.proto
+				golden, err := core.Run(cfg, w.Prog)
+				if err != nil {
+					t.Fatalf("failure-free run: %v", err)
+				}
+				if err := w.Check(golden.MemoryImage()); err != nil {
+					t.Fatalf("failure-free check: %v", err)
+				}
+				rep, err := core.RunWithCrash(cfg, w.Prog, core.CrashPlan{
+					Victim: 2, AtOp: w.CrashOp, Recovery: tc.kind,
+				})
+				if err != nil {
+					t.Fatalf("crash run: %v", err)
+				}
+				if err := w.Check(rep.MemoryImage()); err != nil {
+					t.Fatalf("post-recovery check: %v", err)
+				}
+				if w.Deterministic && !bytes.Equal(golden.MemoryImage(), rep.MemoryImage()) {
+					t.Fatal("post-recovery image differs from failure-free image")
+				}
+				if rep.Recovery.ReplayTime <= 0 {
+					t.Fatal("no replay time")
+				}
+			})
+		}
+	}
+}
+
+// Failure-free protocol equivalence across all apps: None/ML/CCL compute
+// the same results (exactly for deterministic apps).
+func TestProtocolEquivalenceAllApps(t *testing.T) {
+	const nodes = 4
+	for _, w := range testWorkloads(nodes) {
+		t.Run(w.Name, func(t *testing.T) {
+			var golden []byte
+			for _, proto := range []wal.Protocol{wal.ProtocolNone, wal.ProtocolML, wal.ProtocolCCL} {
+				cfg := w.BaseConfig(nodes)
+				cfg.Protocol = proto
+				rep, err := core.Run(cfg, w.Prog)
+				if err != nil {
+					t.Fatalf("%v: %v", proto, err)
+				}
+				if err := w.Check(rep.MemoryImage()); err != nil {
+					t.Fatalf("%v: %v", proto, err)
+				}
+				if !w.Deterministic {
+					continue
+				}
+				if golden == nil {
+					golden = rep.MemoryImage()
+				} else if !bytes.Equal(golden, rep.MemoryImage()) {
+					t.Fatalf("%v: image differs", proto)
+				}
+			}
+		})
+	}
+}
+
+// Every application must run correctly at the paper's cluster size (8)
+// and at 2 nodes, under the paper's protocol.
+func TestAppsAcrossClusterSizes(t *testing.T) {
+	for _, nodes := range []int{2, 8} {
+		for _, w := range testWorkloads(nodes) {
+			t.Run(fmt.Sprintf("%s/%dn", w.Name, nodes), func(t *testing.T) {
+				cfg := w.BaseConfig(nodes)
+				cfg.Protocol = wal.ProtocolCCL
+				rep, err := core.Run(cfg, w.Prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Check(rep.MemoryImage()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// The Table 2 shape on real applications: CCL logs are a small fraction
+// of ML logs.
+func TestLogRatioAllApps(t *testing.T) {
+	const nodes = 4
+	for _, w := range testWorkloads(nodes) {
+		t.Run(w.Name, func(t *testing.T) {
+			var bytesByProto [2]int64
+			for i, proto := range []wal.Protocol{wal.ProtocolML, wal.ProtocolCCL} {
+				cfg := w.BaseConfig(nodes)
+				cfg.Protocol = proto
+				rep, err := core.Run(cfg, w.Prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bytesByProto[i] = rep.TotalLogBytes
+			}
+			ratio := float64(bytesByProto[1]) / float64(bytesByProto[0])
+			if ratio >= 0.5 {
+				t.Fatalf("CCL/ML log ratio = %.3f, want well below 0.5 (paper: 0.045-0.125)", ratio)
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"sdsm/internal/core"
+	"sdsm/internal/wal"
+)
+
+// TestHalfShellCoversAllPairsOnce verifies the pair decomposition: across
+// all nodes, every unordered pair (i, j) is computed exactly once. A
+// double-counted or missed pair breaks Newton's third law and energy
+// conservation in ways small time steps can hide.
+func TestHalfShellCoversAllPairsOnce(t *testing.T) {
+	for _, n := range []int{8, 9, 16, 32} {
+		for _, nodes := range []int{1, 2, 4} {
+			if n%nodes != 0 || n < 2*nodes {
+				continue
+			}
+			count := make(map[[2]int]int)
+			half := n / 2
+			per := n / nodes
+			for node := 0; node < nodes; node++ {
+				mlo, mhi := node*per, (node+1)*per
+				for i := mlo; i < mhi; i++ {
+					for k := 1; k <= half; k++ {
+						j := (i + k) % n
+						if k == half && n%2 == 0 && i >= j {
+							continue
+						}
+						a, b := i, j
+						if a > b {
+							a, b = b, a
+						}
+						count[[2]int{a, b}]++
+					}
+				}
+			}
+			want := n * (n - 1) / 2
+			if len(count) != want {
+				t.Fatalf("n=%d nodes=%d: %d distinct pairs, want %d", n, nodes, len(count), want)
+			}
+			for pair, c := range count {
+				if c != 1 {
+					t.Fatalf("n=%d nodes=%d: pair %v counted %d times", n, nodes, pair, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForcesMatchBruteForce compares one distributed force evaluation
+// against a direct all-pairs reference computed from the same positions.
+func TestForcesMatchBruteForce(t *testing.T) {
+	const n, nodes = 16, 4
+	w := New(n, 1, nodes, 4096)
+	cfg := w.BaseConfig(nodes)
+	cfg.Protocol = wal.ProtocolNone
+	rep, err := core.Run(cfg, w.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := layout(n, 1, nodes, 4096)
+	img := rep.MemoryImage()
+	rd := func(base, i, c int) float64 {
+		off := base + i*24 + 8*c
+		var u uint64
+		for b := 0; b < 8; b++ {
+			u |= uint64(img[off+b]) << (8 * b)
+		}
+		return math.Float64frombits(u)
+	}
+
+	// Rebuild the positions the last force evaluation used: the final
+	// positions (phase 3 does not move molecules).
+	pos := make([]float64, n*3)
+	for i := 0; i < n; i++ {
+		for c := 0; c < 3; c++ {
+			pos[i*3+c] = rd(pr.pos, i, c)
+		}
+	}
+	// Brute-force reference forces at those positions.
+	ref := make([]float64, n*3)
+	rc2 := pr.cutoff * pr.cutoff
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var d [3]float64
+			r2 := 0.0
+			for c := 0; c < 3; c++ {
+				d[c] = pos[i*3+c] - pos[j*3+c]
+				if d[c] > pr.box/2 {
+					d[c] -= pr.box
+				} else if d[c] < -pr.box/2 {
+					d[c] += pr.box
+				}
+				r2 += d[c] * d[c]
+			}
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			fmag := 24 * inv6 * (2*inv6 - 1) * inv2
+			for c := 0; c < 3; c++ {
+				ref[i*3+c] += fmag * d[c]
+				ref[j*3+c] -= fmag * d[c]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < 3; c++ {
+			got := rd(pr.force, i, c)
+			want := ref[i*3+c]
+			scale := math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > 1e-9*scale {
+				t.Fatalf("force[%d][%d] = %g, brute force %g", i, c, got, want)
+			}
+		}
+	}
+}

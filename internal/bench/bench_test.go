@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": ScaleSmall, "Medium": ScaleMedium, "LARGE": ScaleLarge} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestWorkloadsAllScales(t *testing.T) {
+	for _, sc := range []Scale{ScaleSmall, ScaleMedium, ScaleLarge} {
+		ws := Workloads(8, sc)
+		if len(ws) != 4 {
+			t.Fatalf("scale %v: %d workloads", sc, len(ws))
+		}
+		names := map[string]bool{}
+		for _, w := range ws {
+			names[w.Name] = true
+			if w.Pages <= 0 || len(w.Homes) != w.Pages {
+				t.Fatalf("%s: bad geometry", w.Name)
+			}
+		}
+		for _, n := range []string{"3D-FFT", "MG", "Shallow", "Water"} {
+			if !names[n] {
+				t.Fatalf("scale %v missing %s", sc, n)
+			}
+		}
+	}
+}
+
+// The full Table 2 pipeline at small scale: shape invariants the paper's
+// evaluation rests on.
+func TestTable2ShapeSmallScale(t *testing.T) {
+	for _, w := range Workloads(4, ScaleSmall) {
+		r, err := RunTable2(w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 3 {
+			t.Fatalf("%s: %d rows", w.Name, len(r.Rows))
+		}
+		// Baseline logs nothing.
+		if r.Rows[0].Flushes != 0 || r.Rows[0].TotalLogMB != 0 {
+			t.Fatalf("%s: baseline logged", w.Name)
+		}
+		// Both protocols log; CCL logs much less.
+		if r.Rows[1].TotalLogMB <= 0 || r.Rows[2].TotalLogMB <= 0 {
+			t.Fatalf("%s: missing log volume", w.Name)
+		}
+		if ratio := r.LogRatio(); ratio <= 0 || ratio >= 0.5 {
+			t.Fatalf("%s: log ratio %.3f out of range", w.Name, ratio)
+		}
+		// Overheads are non-negative and ML's mean flush is larger.
+		if r.Rows[1].MeanLogKB <= r.Rows[2].MeanLogKB {
+			t.Fatalf("%s: ML mean flush (%f) not above CCL (%f)",
+				w.Name, r.Rows[1].MeanLogKB, r.Rows[2].MeanLogKB)
+		}
+	}
+}
+
+// The Figure 5 pipeline at small scale: both recoveries must beat
+// re-execution and produce valid results.
+func TestFigure5ShapeSmallScale(t *testing.T) {
+	for _, w := range Workloads(4, ScaleSmall) {
+		r, err := RunFigure5(w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ReExecSec <= 0 || r.MLRecSec <= 0 || r.CCLRecSec <= 0 {
+			t.Fatalf("%s: degenerate times %+v", w.Name, r)
+		}
+		if r.MLRecSec >= r.ReExecSec {
+			t.Fatalf("%s: ML-recovery (%f) not faster than re-execution (%f)",
+				w.Name, r.MLRecSec, r.ReExecSec)
+		}
+		if r.CCLRecSec >= r.ReExecSec {
+			t.Fatalf("%s: CCL-recovery (%f) not faster than re-execution (%f)",
+				w.Name, r.CCLRecSec, r.ReExecSec)
+		}
+		if r.Reduction(r.CCLRecSec) <= 0 {
+			t.Fatalf("%s: no CCL reduction", w.Name)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	ws := Workloads(4, ScaleSmall)
+	if s := FormatTable1(ws); !strings.Contains(s, "Water") || !strings.Contains(s, "locks and barriers") {
+		t.Fatalf("Table 1 formatting: %s", s)
+	}
+	r, err := RunTable2(ws[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable2("a", r); !strings.Contains(s, "Table 2(a)") || !strings.Contains(s, "CCL") {
+		t.Fatalf("Table 2 formatting: %s", s)
+	}
+	if s := FormatFigure4([]*Table2Result{r}); !strings.Contains(s, "Figure 4") {
+		t.Fatalf("Figure 4 formatting: %s", s)
+	}
+	f := &Figure5Result{App: "X", ReExecSec: 2, MLRecSec: 1, CCLRecSec: 0.5}
+	if s := FormatFigure5([]*Figure5Result{f}); !strings.Contains(s, "Figure 5") || !strings.Contains(s, "50.0") {
+		t.Fatalf("Figure 5 formatting: %s", s)
+	}
+	if f.Reduction(1) != 50 {
+		t.Fatalf("Reduction = %f", f.Reduction(1))
+	}
+	if (&Figure5Result{}).Reduction(1) != 0 {
+		t.Fatal("Reduction with zero baseline")
+	}
+}
+
+func TestOverlapAblationShape(t *testing.T) {
+	ws := Workloads(4, ScaleSmall)
+	r, err := RunOverlapAblation(ws[0], 4) // FFT sends diffs at releases
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadSans <= r.OverheadWith {
+		t.Fatalf("serialized flush (%f%%) not costlier than overlapped (%f%%)",
+			r.OverheadSans, r.OverheadWith)
+	}
+}
+
+func TestPlacementAblationShape(t *testing.T) {
+	ws := Workloads(4, ScaleSmall)
+	r, err := RunPlacementAblation(ws[2], 4) // Shallow: row partitioned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RRMsgs <= r.BlockMsgs {
+		t.Fatalf("round-robin placement (%d msgs) not worse than block (%d)", r.RRMsgs, r.BlockMsgs)
+	}
+}
+
+func TestPageSizeSweepShape(t *testing.T) {
+	rows, err := RunPageSizeSweep(4, []int{2048, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Larger pages log more under ML (full page images).
+	if rows[1].MLLogMB <= rows[0].MLLogMB {
+		t.Fatalf("ML log volume did not grow with page size: %f vs %f",
+			rows[0].MLLogMB, rows[1].MLLogMB)
+	}
+}
+
+func TestScalingSweepShape(t *testing.T) {
+	rows, err := RunScalingSweep([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NoneSec <= 0 || r.LogBytesPerNode <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestCheckpointSweepShape(t *testing.T) {
+	rows, err := RunCheckpointSweep(4, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Checkpoints <= rows[0].Checkpoints {
+		t.Fatal("periodic run did not checkpoint more")
+	}
+	if rows[1].ExecSec <= rows[0].ExecSec {
+		t.Fatal("checkpointing did not cost time")
+	}
+}

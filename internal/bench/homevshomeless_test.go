@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+func TestHomeVsHomelessShape(t *testing.T) {
+	r, err := RunHomeVsHomeless(4, 8, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The home-based engine's misses are single round trips; the
+	// home-less engine needs one per writer.
+	if r.HomelessFaults == 0 {
+		t.Fatal("no home-less faults")
+	}
+	perMiss := float64(r.HomelessRounds) / float64(r.HomelessFaults)
+	if perMiss < 1.5 {
+		t.Fatalf("home-less round trips per miss = %.2f, want ~N-1", perMiss)
+	}
+	if r.HomelessMsgs <= r.HomeMsgs {
+		t.Fatalf("home-less messages (%d) not above home-based (%d)", r.HomelessMsgs, r.HomeMsgs)
+	}
+	if r.HomelessRetained == 0 {
+		t.Fatal("home-less retained nothing")
+	}
+}

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+	"sdsm/internal/stable"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+)
+
+func newNode(t *testing.T) *hlrc.Node {
+	t.Helper()
+	model := simtime.DefaultCostModel()
+	nw := transport.NewNetwork(2, model)
+	homes := []int{0, 1, 0, 1}
+	return hlrc.NewNode(hlrc.Config{
+		ID: 0, N: 2, PageSize: 64, NumPages: 4, Homes: homes, Model: model,
+	}, nw, simtime.NewClock(0), nil, nil)
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := &Meta{
+		Op:       7,
+		VT:       vclock.VC{3, 1},
+		Notices:  []hlrc.Notice{{Proc: 0, Seq: 1, Pages: []memory.PageID{2}}},
+		VerPages: []memory.PageID{0, 2},
+		Vers:     []vclock.VC{{1, 0}, {0, 1}},
+	}
+	got, err := DecodeMeta(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != 7 || !got.VT.Equal(m.VT) || len(got.Notices) != 1 ||
+		len(got.VerPages) != 2 || !got.Vers[1].Equal(vclock.VC{0, 1}) {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeMetaErrors(t *testing.T) {
+	if _, err := DecodeMeta(nil); err == nil {
+		t.Fatal("empty meta must fail")
+	}
+	m := &Meta{Op: 1, VT: vclock.VC{1}, VerPages: []memory.PageID{0}, Vers: []vclock.VC{{1}}}
+	buf := m.Encode()
+	if _, err := DecodeMeta(buf[:len(buf)-2]); err == nil {
+		t.Fatal("truncated meta must fail")
+	}
+}
+
+func TestTakeRestoreRoundTrip(t *testing.T) {
+	nd := newNode(t)
+	store := stable.NewStore()
+
+	// Initial checkpoint of the zero image.
+	n0 := TakeInitial(nd, store)
+	if n0 < 4*64 {
+		t.Fatalf("first checkpoint accounted %d bytes, want full image", n0)
+	}
+
+	// Mutate state: dirty one home page directly, advance vt.
+	nd.PageTable().Page(0)[5] = 99
+	nd.SetVT(vclock.VC{2, 1})
+	nd.SetOpIndex(6)
+	nd.Notices().Add(hlrc.Notice{Proc: 0, Seq: 1, Pages: []memory.PageID{1}})
+	nd.Notices().Add(hlrc.Notice{Proc: 0, Seq: 2, Pages: []memory.PageID{1}})
+	nd.Notices().Add(hlrc.Notice{Proc: 1, Seq: 1, Pages: []memory.PageID{0}})
+	nd.SetVer(0, vclock.VC{0, 1})
+
+	// Incremental checkpoint: only page 0 changed.
+	n1 := Take(nd, store)
+	if n1 >= n0 {
+		t.Fatalf("incremental checkpoint (%d) not smaller than full (%d)", n1, n0)
+	}
+
+	// Clobber everything, then restore.
+	nd.PageTable().Page(0)[5] = 0
+	nd.SetVT(vclock.VC{0, 0})
+	nd.SetOpIndex(0)
+
+	op, ok := Restore(nd, store)
+	if !ok || op != 6 {
+		t.Fatalf("restore: op=%d ok=%v", op, ok)
+	}
+	if nd.PageTable().Page(0)[5] != 99 {
+		t.Fatal("restore lost page data")
+	}
+	if !nd.VT().Equal(vclock.VC{2, 1}) || nd.OpIndex() != 6 {
+		t.Fatalf("restore state: vt=%v op=%d", nd.VT(), nd.OpIndex())
+	}
+	if v := nd.Ver(0); !v.Equal(vclock.VC{0, 1}) {
+		t.Fatalf("restored ver = %v", v)
+	}
+}
+
+func TestRestoreWithoutCheckpoint(t *testing.T) {
+	nd := newNode(t)
+	if _, ok := Restore(nd, stable.NewStore()); ok {
+		t.Fatal("restore from empty store must report false")
+	}
+}
+
+func TestRestoreIntoFreshNode(t *testing.T) {
+	// The recovery path: checkpoint one incarnation, restore into a new
+	// node attached to the same id.
+	nd := newNode(t)
+	store := stable.NewStore()
+	nd.PageTable().Page(2)[0] = 7
+	nd.SetVT(vclock.VC{1, 0})
+	nd.Notices().Add(hlrc.Notice{Proc: 0, Seq: 1, Pages: []memory.PageID{2}})
+	Take(nd, store)
+
+	fresh := newNode(t)
+	op, ok := Restore(fresh, store)
+	if !ok || op != 0 {
+		t.Fatalf("restore: op=%d ok=%v", op, ok)
+	}
+	if fresh.PageTable().Page(2)[0] != 7 {
+		t.Fatal("fresh restore lost data")
+	}
+	if fresh.Notices().Know()[0] != 1 {
+		t.Fatal("fresh restore lost knowledge")
+	}
+}

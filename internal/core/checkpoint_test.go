@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	cfg := testCfg(wal.ProtocolCCL)
+	cfg.CheckpointEveryBarriers = 3
+	rep, err := Run(cfg, stencilProg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial checkpoint + three periodic ones per node.
+	for i, ss := range rep.StoreStats {
+		if ss.Checkpoints != 1+3 {
+			t.Fatalf("node %d: %d checkpoints, want 4", i, ss.Checkpoints)
+		}
+	}
+	if rep.CheckpointBytes == 0 {
+		t.Fatal("no checkpoint bytes accounted")
+	}
+	// Periodic checkpoints must cost execution time.
+	base, err := Run(testCfg(wal.ProtocolCCL), stencilProg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecTime <= base.ExecTime {
+		t.Fatalf("checkpointing run (%v) not slower than baseline (%v)", rep.ExecTime, base.ExecTime)
+	}
+	// And must not change the results.
+	if !bytes.Equal(rep.MemoryImage(), base.MemoryImage()) {
+		t.Fatal("checkpointing changed the computation")
+	}
+}
+
+func TestIncrementalCheckpointsSmallerThanFull(t *testing.T) {
+	cfg := testCfg(wal.ProtocolNone)
+	cfg.CheckpointEveryBarriers = 2
+	rep, err := Run(cfg, stencilProg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stencil dirties only a few pages per interval, so the periodic
+	// (incremental) checkpoints must account far less than N full images.
+	full := int64(cfg.NumPages * cfg.PageSize)
+	perNode := rep.CheckpointBytes / int64(cfg.Nodes)
+	nCkpts := int64(rep.StoreStats[0].Checkpoints)
+	if nCkpts < 3 {
+		t.Fatalf("expected several checkpoints, got %d", nCkpts)
+	}
+	if perNode >= nCkpts*full {
+		t.Fatalf("checkpoints not incremental: %d bytes for %d checkpoints of %d-byte space",
+			perNode, nCkpts, full)
+	}
+}
+
+func TestCrashRecoveryWithPeriodicCheckpoints(t *testing.T) {
+	// Recovery replays from the initial checkpoint even when periodic
+	// checkpoints exist; the result must still be exact.
+	prog := stencilProg(8)
+	golden, err := Run(testCfg(wal.ProtocolCCL), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(wal.ProtocolCCL)
+	cfg.CheckpointEveryBarriers = 2
+	rep, err := RunWithCrash(cfg, prog, CrashPlan{Victim: 1, AtOp: 6, Recovery: recovery.CCLRecovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden.MemoryImage(), rep.MemoryImage()) {
+		t.Fatal("recovery with periodic checkpoints diverged")
+	}
+}
+
+func TestNoFlushOverlapAblation(t *testing.T) {
+	// Disabling CCL's latency tolerance must cost execution time on a
+	// workload that sends diffs to remote homes at releases (the overlap
+	// hides the flush behind the diff/ack round trips).
+	prog := func(p *Proc) {
+		ps := p.PageSize()
+		for it := 0; it < 6; it++ {
+			for g := 0; g < 64; g++ { // write a slice of every page
+				p.WriteI64(g*ps+p.ID()*64, int64(it))
+			}
+			p.Compute(100_000)
+			p.Barrier(it)
+		}
+	}
+	cfg := Config{Nodes: 4, PageSize: 4096, NumPages: 64, Protocol: wal.ProtocolCCL}
+	with, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoFlushOverlap = true
+	without, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.ExecTime <= with.ExecTime {
+		t.Fatalf("no-overlap (%v) not slower than overlapped (%v)", without.ExecTime, with.ExecTime)
+	}
+	if !bytes.Equal(with.MemoryImage(), without.MemoryImage()) {
+		t.Fatal("overlap ablation changed results")
+	}
+}

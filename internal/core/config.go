@@ -1,0 +1,120 @@
+// Package core assembles the recoverable home-based SDSM: it builds the
+// simulated cluster (transport, stable storage, HLRC nodes, logging
+// hooks, recovery service), runs programs on it, injects crashes, drives
+// recovery, and assembles the run reports the benchmarks print.
+package core
+
+import (
+	"fmt"
+
+	"sdsm/internal/simtime"
+	"sdsm/internal/wal"
+)
+
+// Config describes one run of the recoverable SDSM.
+type Config struct {
+	// Nodes is the cluster size (the paper uses 8).
+	Nodes int
+	// PageSize is the coherence unit in bytes (default 4096).
+	PageSize int
+	// NumPages sizes the shared address space.
+	NumPages int
+	// Protocol selects the logging protocol (None, ML, CCL).
+	Protocol wal.Protocol
+	// Model is the platform cost model; zero value means the calibrated
+	// default.
+	Model *simtime.CostModel
+	// Homes optionally assigns a home node per page; nil means
+	// block-distributed (contiguous ranges of pages per node, which
+	// matches how the evaluation applications partition their data).
+	Homes []int
+	// HomeUndo maintains the volatile home-side undo history needed by
+	// CCL-recovery's versioned fetches. Off for pure failure-free
+	// overhead measurements.
+	HomeUndo bool
+	// LockManagerNode and BarrierManagerNode host the synchronization
+	// managers (default node 0).
+	LockManagerNode    int
+	BarrierManagerNode int
+	// SkipInitialCheckpoint suppresses the op-0 checkpoint (failure-free
+	// logging measurements, where the paper takes no checkpoints).
+	SkipInitialCheckpoint bool
+	// CheckpointEveryBarriers > 0 takes a periodic checkpoint after every
+	// k-th barrier at lock-free points: the first checkpoint stores the
+	// full image, later ones account only pages modified since (the
+	// paper's §3.2 policy). The creation cost is charged to the node's
+	// clock. Crash recovery still replays from the initial checkpoint
+	// (see internal/checkpoint.RestoreInitial).
+	CheckpointEveryBarriers int
+	// NoFlushOverlap disables CCL's latency-tolerance technique: the
+	// release flush is charged fully on the critical path instead of
+	// overlapping the diff/ack round trip. Ablation only.
+	NoFlushOverlap bool
+	// DistributedLocks statically distributes lock managers (manager of
+	// lock l is node l mod Nodes), as TreadMarks does, instead of the
+	// default centralized manager. Incompatible with RunWithCrash.
+	DistributedLocks bool
+}
+
+// withDefaults validates the config and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 {
+		return c, fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PageSize <= 0 || c.PageSize%8 != 0 {
+		return c, fmt.Errorf("core: PageSize must be a positive multiple of 8, got %d", c.PageSize)
+	}
+	if c.NumPages <= 0 {
+		return c, fmt.Errorf("core: NumPages must be positive, got %d", c.NumPages)
+	}
+	if c.Model == nil {
+		m := simtime.DefaultCostModel()
+		c.Model = &m
+	}
+	if c.Homes == nil {
+		c.Homes = BlockHomes(c.NumPages, c.Nodes)
+	}
+	if len(c.Homes) != c.NumPages {
+		return c, fmt.Errorf("core: Homes has %d entries for %d pages", len(c.Homes), c.NumPages)
+	}
+	for p, h := range c.Homes {
+		if h < 0 || h >= c.Nodes {
+			return c, fmt.Errorf("core: page %d homed at invalid node %d", p, h)
+		}
+	}
+	if c.LockManagerNode < 0 || c.LockManagerNode >= c.Nodes ||
+		c.BarrierManagerNode < 0 || c.BarrierManagerNode >= c.Nodes {
+		return c, fmt.Errorf("core: manager node out of range")
+	}
+	return c, nil
+}
+
+// BlockHomes distributes pages over nodes in contiguous blocks, the
+// assignment the evaluation applications use (each node is home to the
+// partition it mostly writes, like first-touch placement in HLRC
+// systems).
+func BlockHomes(numPages, nodes int) []int {
+	homes := make([]int, numPages)
+	per := (numPages + nodes - 1) / nodes
+	for p := range homes {
+		h := p / per
+		if h >= nodes {
+			h = nodes - 1
+		}
+		homes[p] = h
+	}
+	return homes
+}
+
+// RoundRobinHomes distributes pages over nodes round-robin (an
+// alternative placement exercised by the ablation benchmarks).
+func RoundRobinHomes(numPages, nodes int) []int {
+	homes := make([]int, numPages)
+	for p := range homes {
+		homes[p] = p % nodes
+	}
+	return homes
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+// TestFuzzCrashSweep crashes the victim at every possible synchronization
+// op of a lock-and-barrier fuzz program, under both recoverable
+// protocols, and demands the exact failure-free image every time. This
+// is the strongest single correctness statement in the suite: recovery
+// is exact no matter where the failure lands.
+func TestFuzzCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow under -short")
+	}
+	const phases = 5
+	prog := fuzzProgram(3, phases)
+
+	for _, tc := range []struct {
+		proto wal.Protocol
+		kind  recovery.Kind
+	}{
+		{wal.ProtocolCCL, recovery.CCLRecovery},
+		{wal.ProtocolML, recovery.MLRecovery},
+	} {
+		golden, err := Run(fuzzCfg(tc.proto), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalOps := golden.NodeOps[1]
+		if totalOps < 10 {
+			t.Fatalf("fuzz program too short: %d ops", totalOps)
+		}
+		for at := int32(1); at < totalOps; at++ {
+			rep, err := RunWithCrash(fuzzCfg(tc.proto), prog, CrashPlan{
+				Victim: 1, AtOp: at, Recovery: tc.kind,
+			})
+			if err != nil {
+				t.Fatalf("%v crash at op %d: %v", tc.kind, at, err)
+			}
+			if !bytes.Equal(golden.MemoryImage(), rep.MemoryImage()) {
+				t.Fatalf("%v crash at op %d: image mismatch", tc.kind, at)
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sdsm/internal/checkpoint"
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/recovery"
+	"sdsm/internal/simtime"
+	"sdsm/internal/stable"
+	"sdsm/internal/transport"
+	"sdsm/internal/wal"
+)
+
+// cluster is one assembled run: network, stable storage, and the node
+// incarnations (updated in place when a crashed node is rebuilt).
+type cluster struct {
+	cfg   Config
+	nw    *transport.Network
+	depot *stable.Depot
+	nodes []*hlrc.Node
+	stats []*hlrc.Stats
+}
+
+func buildCluster(cfg Config) (*cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{
+		cfg:   cfg,
+		nw:    transport.NewNetwork(cfg.Nodes, *cfg.Model),
+		depot: stable.NewDepot(cfg.Nodes),
+		nodes: make([]*hlrc.Node, cfg.Nodes),
+		stats: make([]*hlrc.Stats, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.stats[i] = &hlrc.Stats{}
+		c.nodes[i] = c.newIncarnation(i, c.stats[i], simtime.NewClock(0))
+	}
+	if !cfg.SkipInitialCheckpoint {
+		for i := 0; i < cfg.Nodes; i++ {
+			checkpoint.TakeInitial(c.nodes[i], c.depot.Store(i))
+		}
+	}
+	return c, nil
+}
+
+// newIncarnation builds a (fresh or recovered) node attached to slot id.
+func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock) *hlrc.Node {
+	nd := hlrc.NewNode(hlrc.Config{
+		ID: id, N: c.cfg.Nodes,
+		PageSize: c.cfg.PageSize, NumPages: c.cfg.NumPages,
+		Homes:              c.cfg.Homes,
+		LockManagerNode:    c.cfg.LockManagerNode,
+		BarrierManagerNode: c.cfg.BarrierManagerNode,
+		Model:              *c.cfg.Model,
+		HomeUndo:           c.cfg.HomeUndo,
+		NoFlushOverlap:     c.cfg.NoFlushOverlap,
+		DistributedLocks:   c.cfg.DistributedLocks,
+	}, c.nw, clock, wal.New(c.cfg.Protocol, c.depot.Store(id)), stats)
+	recovery.InstallService(nd, c.depot.Store(id))
+	c.installCheckpointing(nd)
+	return nd
+}
+
+// installCheckpointing arms the periodic-checkpoint hook: after every
+// k-th barrier, at a lock-free point, the node's state is saved to its
+// stable store and the creation cost is charged to its clock.
+func (c *cluster) installCheckpointing(nd *hlrc.Node) {
+	k := c.cfg.CheckpointEveryBarriers
+	if k <= 0 {
+		return
+	}
+	store := c.depot.Store(nd.ID())
+	barriers := 0
+	nd.PostBarrier = func(int32) {
+		barriers++
+		if barriers%k != 0 || nd.HoldsLocks() {
+			return
+		}
+		bytes := checkpoint.Take(nd, store)
+		nd.Clock().Advance(c.cfg.Model.DiskTime(bytes))
+	}
+}
+
+// runNode executes prog on one node, translating the injected-crash panic
+// into a flag and letting real bugs propagate as errors.
+func runNode(nd *hlrc.Node, prog Program) (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == hlrc.ErrCrashed {
+				crashed = true
+				return
+			}
+			err = fmt.Errorf("node %d panicked: %v", nd.ID(), r)
+		}
+	}()
+	prog(&Proc{nd: nd})
+	return false, nil
+}
+
+// Report summarizes one run.
+type Report struct {
+	Protocol wal.Protocol
+	// ExecTime is the slowest node's virtual clock at completion — the
+	// paper's "execution time".
+	ExecTime simtime.Time
+	// NodeTimes holds every node's final virtual clock.
+	NodeTimes []simtime.Time
+	// Stats holds per-node protocol counters.
+	Stats []hlrc.Snapshot
+	// StoreStats holds per-node stable-storage counters.
+	StoreStats []stable.Stats
+	// TotalLogBytes and TotalFlushes aggregate the log columns of the
+	// paper's Table 2; MeanFlushBytes is its "mean log size".
+	TotalLogBytes  int64
+	TotalFlushes   int64
+	MeanFlushBytes float64
+	// NetMsgs and NetBytes count all protocol traffic.
+	NetMsgs  int64
+	NetBytes int64
+	// NodeOps holds each node's final synchronization-op count; crash
+	// planners use it to place late crash points.
+	NodeOps []int32
+	// CheckpointBytes is the accounted on-disk size of all checkpoints
+	// (incremental after the first).
+	CheckpointBytes int64
+	// Recovery is set by RunWithCrash.
+	Recovery *RecoveryReport
+
+	mem []byte // assembled authoritative memory image
+}
+
+// RecoveryReport describes an injected crash and its recovery.
+type RecoveryReport struct {
+	Victim  int
+	Kind    recovery.Kind
+	CrashOp int32
+	// ReplayTime is the victim's virtual time from the start of recovery
+	// until it resumed live operation — the paper's "recovery time".
+	ReplayTime simtime.Time
+}
+
+// MemoryImage returns the authoritative final shared-memory image,
+// assembled from the home copy of every page. Runs of the same program
+// must produce identical images regardless of protocol or crashes.
+func (r *Report) MemoryImage() []byte { return r.mem }
+
+func (c *cluster) report() *Report {
+	rep := &Report{
+		Protocol:      c.cfg.Protocol,
+		NodeTimes:     make([]simtime.Time, c.cfg.Nodes),
+		Stats:         make([]hlrc.Snapshot, c.cfg.Nodes),
+		StoreStats:    make([]stable.Stats, c.cfg.Nodes),
+		TotalLogBytes: c.depot.TotalLoggedBytes(),
+		TotalFlushes:  c.depot.TotalFlushes(),
+		NetMsgs:       c.nw.MsgCount(),
+		NetBytes:      c.nw.ByteCount(),
+		NodeOps:       make([]int32, c.cfg.Nodes),
+	}
+	for i, nd := range c.nodes {
+		rep.CheckpointBytes += c.depot.Store(i).CheckpointBytes()
+		rep.NodeOps[i] = nd.OpIndex()
+		rep.NodeTimes[i] = nd.Clock().Now()
+		if rep.NodeTimes[i] > rep.ExecTime {
+			rep.ExecTime = rep.NodeTimes[i]
+		}
+		rep.Stats[i] = c.stats[i].Snapshot()
+		rep.StoreStats[i] = c.depot.Store(i).Stats()
+	}
+	if rep.TotalFlushes > 0 {
+		rep.MeanFlushBytes = float64(rep.TotalLogBytes) / float64(rep.TotalFlushes)
+	}
+	// Assemble the authoritative image from home copies.
+	rep.mem = make([]byte, c.cfg.NumPages*c.cfg.PageSize)
+	for p := 0; p < c.cfg.NumPages; p++ {
+		home := c.nodes[c.cfg.Homes[p]]
+		copy(rep.mem[p*c.cfg.PageSize:], home.PageTable().Page(memory.PageID(p)))
+	}
+	return rep
+}
+
+// Run executes prog failure-free on a fresh cluster and reports timing,
+// logging and protocol statistics.
+func Run(cfg Config, prog Program) (*Report, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range c.nodes {
+		nd.StartService()
+	}
+	errs := make([]error, c.cfg.Nodes)
+	var wg sync.WaitGroup
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func(i int, nd *hlrc.Node) {
+			defer wg.Done()
+			crashed, err := runNode(nd, prog)
+			if crashed {
+				err = fmt.Errorf("node %d crashed without a crash plan", i)
+			}
+			errs[i] = err
+		}(i, nd)
+	}
+	wg.Wait()
+	for _, nd := range c.nodes {
+		nd.StopService()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.report(), nil
+}
+
+// CrashPlan injects a fail-stop crash and selects the recovery scheme.
+type CrashPlan struct {
+	// Victim is the node that crashes. It must not host a manager.
+	Victim int
+	// AtOp: the victim fail-stops at its first release or barrier whose
+	// synchronization-op index is >= AtOp, after that op's diffs are
+	// flushed and acknowledged (the paper's Fig. 1(b) scenario).
+	AtOp int32
+	// Recovery must be MLRecovery or CCLRecovery and match the logging
+	// protocol. (Re-execution is measured by simply re-running; see
+	// internal/bench.)
+	Recovery recovery.Kind
+}
+
+// RunWithCrash executes prog, crashes the victim per plan, recovers it by
+// replaying its logs, lets it rejoin, runs the program to completion, and
+// reports — including the replay time that Figure 5 compares.
+func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
+	switch {
+	case plan.Recovery == recovery.MLRecovery && cfg.Protocol != wal.ProtocolML:
+		return nil, fmt.Errorf("core: ML-recovery needs the ML logging protocol")
+	case plan.Recovery == recovery.CCLRecovery && cfg.Protocol != wal.ProtocolCCL:
+		return nil, fmt.Errorf("core: CCL-recovery needs the CCL logging protocol")
+	case plan.Recovery != recovery.MLRecovery && plan.Recovery != recovery.CCLRecovery:
+		return nil, fmt.Errorf("core: RunWithCrash supports ML- and CCL-recovery, not %v", plan.Recovery)
+	}
+	if plan.Recovery == recovery.CCLRecovery {
+		cfg.HomeUndo = true // versioned home fetches need the undo history
+	}
+	cfg.SkipInitialCheckpoint = false
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Victim < 0 || plan.Victim >= c.cfg.Nodes {
+		return nil, fmt.Errorf("core: invalid victim %d", plan.Victim)
+	}
+	if plan.Victim == c.cfg.LockManagerNode || plan.Victim == c.cfg.BarrierManagerNode {
+		return nil, fmt.Errorf("core: victim %d hosts a manager (outside the paper's failure model)", plan.Victim)
+	}
+	if c.cfg.DistributedLocks {
+		return nil, fmt.Errorf("core: crash injection requires centralized lock management")
+	}
+	c.nodes[plan.Victim].CrashOp = plan.AtOp
+
+	for _, nd := range c.nodes {
+		nd.StartService()
+	}
+	recReport := &RecoveryReport{Victim: plan.Victim, Kind: plan.Recovery}
+	victimCrashed := false
+	// When the victim's recovery itself fails, the surviving nodes are
+	// blocked on protocol progress the victim will never make; waiting
+	// for them would deadlock. Collect completions on a channel so a
+	// recovery failure aborts the run immediately with the real error
+	// (the blocked goroutines are abandoned — the run is lost anyway).
+	type done struct {
+		node int
+		err  error
+	}
+	ch := make(chan done, c.cfg.Nodes)
+	for i, nd := range c.nodes {
+		go func(i int, nd *hlrc.Node) {
+			crashed, err := runNode(nd, prog)
+			if err == nil && crashed {
+				if i != plan.Victim {
+					err = fmt.Errorf("node %d crashed but victim is %d", i, plan.Victim)
+				} else {
+					victimCrashed = true
+					err = c.recoverVictim(prog, plan, recReport)
+				}
+			}
+			ch <- done{node: i, err: err}
+		}(i, nd)
+	}
+	for remaining := c.cfg.Nodes; remaining > 0; remaining-- {
+		d := <-ch
+		if d.err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", d.node, d.err)
+		}
+	}
+	for _, nd := range c.nodes {
+		nd.StopService()
+	}
+	if !victimCrashed {
+		return nil, fmt.Errorf("core: victim %d never reached crash op %d (program has fewer sync ops)", plan.Victim, plan.AtOp)
+	}
+	rep := c.report()
+	rep.Recovery = recReport
+	return rep, nil
+}
+
+// recoverVictim rebuilds the crashed node from its checkpoint, replays
+// its log, and runs the program to completion on the recovered
+// incarnation. It runs on the victim's (former) application goroutine.
+func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryReport) error {
+	old := c.nodes[plan.Victim]
+	old.StopService() // already stopped by the fail-stop; idempotent
+	crashOp := old.CrashedAtOp()
+	if crashOp < 0 {
+		return fmt.Errorf("core: victim %d has no recorded crash op", plan.Victim)
+	}
+	out.CrashOp = crashOp
+
+	// New incarnation: volatile state gone, stable store and network
+	// attachment survive. The replay clock starts at zero so the
+	// measured replay time is the recovery duration.
+	store := c.depot.Store(plan.Victim)
+	nd := c.newIncarnation(plan.Victim, c.stats[plan.Victim], simtime.NewClock(0))
+	c.nodes[plan.Victim] = nd
+	if _, ok := checkpoint.RestoreInitial(nd, store); !ok {
+		return fmt.Errorf("core: victim %d has no checkpoint", plan.Victim)
+	}
+	rep := recovery.NewReplayer(plan.Recovery, store, crashOp, *c.cfg.Model)
+	rep.OnDetach = func() {
+		// Resume live operation: the service loop drains everything that
+		// queued while the node was down.
+		nd.StartService()
+	}
+	nd.SetDelegate(rep)
+
+	crashed, err := runNode(nd, prog)
+	if err != nil {
+		return err
+	}
+	if crashed {
+		return fmt.Errorf("core: victim %d crashed again during recovery", plan.Victim)
+	}
+	if !rep.Detached() {
+		return fmt.Errorf("core: victim %d finished without completing replay", plan.Victim)
+	}
+	out.ReplayTime = rep.ReplayTime()
+	return nil
+}

@@ -1,0 +1,186 @@
+package hlrc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sdsm/internal/memory"
+)
+
+// Compute charges the node's virtual clock for application computation,
+// expressed in floating-point operations.
+func (nd *Node) Compute(flops float64) {
+	nd.clock.Advance(nd.cfg.Model.FlopsTime(flops))
+}
+
+// ensureReadable makes page p valid for reading, fetching the home copy
+// on a miss (one round trip — the HLRC property).
+func (nd *Node) ensureReadable(p memory.PageID) {
+	nd.mu.Lock()
+	st := nd.pt.State(p)
+	nd.mu.Unlock()
+	if st != memory.Invalid {
+		return
+	}
+	if d := nd.delegate; d != nil {
+		if d.Validate(nd, p) {
+			return
+		}
+		panic(fmt.Sprintf("hlrc: node %d: recovery delegate left page %d invalid", nd.cfg.ID, p))
+	}
+	nd.fetchPage(p)
+}
+
+// fetchPage performs the miss: fault cost, round trip to the home,
+// install.
+func (nd *Node) fetchPage(p memory.PageID) {
+	home := nd.HomeOf(p)
+	if home == nd.cfg.ID {
+		panic(fmt.Sprintf("hlrc: node %d: home page %d is invalid", nd.cfg.ID, p))
+	}
+	nd.stats.Faults.Add(1)
+	nd.clock.Advance(nd.cfg.Model.FaultCost)
+	req := &PageReq{Page: p}
+	resp := nd.ep.Call(home, KindPageReq, req.WireSize(), req)
+	pr := resp.Payload.(*PageReply)
+	nd.mu.Lock()
+	nd.pt.Install(p, pr.Data)
+	nd.hooks.OnPageFetched(nd.opIndex, p, pr.Data)
+	nd.mu.Unlock()
+	nd.stats.PageFetches.Add(1)
+}
+
+// ensureWritable makes page p writable in the current interval: on the
+// first write to a non-home page a software fault fires, the page is
+// fetched if invalid, and a twin is created for later diffing. Home-page
+// writes take no fault and create no twin (unless HomeUndo needs the
+// before-image), matching the paper's home-node advantages.
+func (nd *Node) ensureWritable(p memory.PageID) {
+	nd.mu.Lock()
+	if nd.pt.IsDirty(p) {
+		nd.mu.Unlock()
+		return
+	}
+	st := nd.pt.State(p)
+	nd.mu.Unlock()
+
+	isHome := nd.IsHome(p)
+	if st == memory.Invalid {
+		if d := nd.delegate; d != nil {
+			if !d.Validate(nd, p) {
+				panic(fmt.Sprintf("hlrc: node %d: recovery delegate left page %d invalid", nd.cfg.ID, p))
+			}
+		} else {
+			nd.fetchPage(p)
+		}
+	}
+
+	inRecovery := nd.delegate != nil
+	nd.mu.Lock()
+	if !nd.pt.IsDirty(p) {
+		switch {
+		case isHome:
+			if nd.cfg.HomeUndo && !inRecovery && !nd.pt.HasTwin(p) {
+				nd.pt.MakeTwin(p)
+				nd.mu.Unlock()
+				nd.clock.Advance(nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+				nd.mu.Lock()
+			}
+		case inRecovery:
+			// Replay recreates the writes but never the diffs (the homes
+			// already have them), so the write fault costs a trap but no
+			// twin copy.
+			nd.mu.Unlock()
+			nd.stats.Faults.Add(1)
+			nd.clock.Advance(nd.cfg.Model.FaultCost)
+			nd.mu.Lock()
+			nd.pt.SetState(p, memory.Writable)
+		default:
+			if !nd.pt.HasTwin(p) {
+				nd.pt.MakeTwin(p)
+				nd.stats.TwinsCreated.Add(1)
+			}
+			nd.pt.SetState(p, memory.Writable)
+			nd.mu.Unlock()
+			nd.stats.Faults.Add(1)
+			nd.clock.Advance(nd.cfg.Model.FaultCost + nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+			nd.mu.Lock()
+		}
+		nd.pt.MarkDirty(p)
+	}
+	nd.mu.Unlock()
+}
+
+// checkRange panics on out-of-bounds shared-memory accesses.
+func (nd *Node) checkRange(addr, n int) {
+	if addr < 0 || n < 0 || addr+n > nd.pt.Bytes() {
+		panic(fmt.Sprintf("hlrc: access [%d,%d) outside shared space of %d bytes", addr, addr+n, nd.pt.Bytes()))
+	}
+}
+
+// ReadAt copies len(dst) bytes of shared memory starting at addr into
+// dst, faulting pages in as needed.
+func (nd *Node) ReadAt(addr int, dst []byte) {
+	nd.checkRange(addr, len(dst))
+	for len(dst) > 0 {
+		p, off := nd.pt.PageOf(addr)
+		n := nd.cfg.PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		nd.ensureReadable(p)
+		nd.mu.Lock()
+		copy(dst[:n], nd.pt.Page(p)[off:off+n])
+		nd.mu.Unlock()
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteAt copies src into shared memory starting at addr, taking write
+// faults as needed.
+func (nd *Node) WriteAt(addr int, src []byte) {
+	nd.checkRange(addr, len(src))
+	for len(src) > 0 {
+		p, off := nd.pt.PageOf(addr)
+		n := nd.cfg.PageSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		nd.ensureWritable(p)
+		nd.mu.Lock()
+		copy(nd.pt.Page(p)[off:off+n], src[:n])
+		nd.mu.Unlock()
+		src = src[n:]
+		addr += n
+	}
+}
+
+// ReadF64 reads a float64 at byte address addr.
+func (nd *Node) ReadF64(addr int) float64 {
+	var b [8]byte
+	nd.ReadAt(addr, b[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// WriteF64 writes a float64 at byte address addr.
+func (nd *Node) WriteF64(addr int, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	nd.WriteAt(addr, b[:])
+}
+
+// ReadI64 reads an int64 at byte address addr.
+func (nd *Node) ReadI64(addr int) int64 {
+	var b [8]byte
+	nd.ReadAt(addr, b[:])
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+// WriteI64 writes an int64 at byte address addr.
+func (nd *Node) WriteI64(addr int, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	nd.WriteAt(addr, b[:])
+}

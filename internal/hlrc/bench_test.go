@@ -1,0 +1,102 @@
+package hlrc
+
+import (
+	"sync"
+	"testing"
+
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+)
+
+// benchCluster builds n nodes without the testing.T plumbing.
+func benchCluster(n, numPages, pageSize int) []*Node {
+	model := simtime.DefaultCostModel()
+	nw := transport.NewNetwork(n, model)
+	homes := make([]int, numPages)
+	for i := range homes {
+		homes[i] = i % n
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(Config{
+			ID: i, N: n, PageSize: pageSize, NumPages: numPages,
+			Homes: homes, Model: model,
+		}, nw, simtime.NewClock(0), nil, nil)
+		nodes[i].StartService()
+	}
+	return nodes
+}
+
+func stopAll(nodes []*Node) {
+	for _, nd := range nodes {
+		nd.StopService()
+	}
+}
+
+func runAll(nodes []*Node, prog func(nd *Node)) {
+	var wg sync.WaitGroup
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *Node) {
+			defer wg.Done()
+			prog(nd)
+		}(nd)
+	}
+	wg.Wait()
+}
+
+// BenchmarkBarrierRound measures one full 8-node barrier (real goroutine
+// coordination through the simulated manager).
+func BenchmarkBarrierRound(b *testing.B) {
+	nodes := benchCluster(8, 8, 4096)
+	defer stopAll(nodes)
+	b.ResetTimer()
+	runAll(nodes, func(nd *Node) {
+		for i := 0; i < b.N; i++ {
+			nd.Barrier(i)
+		}
+	})
+}
+
+// BenchmarkLockHandoff measures a contended lock acquire/release cycle.
+func BenchmarkLockHandoff(b *testing.B) {
+	nodes := benchCluster(4, 8, 4096)
+	defer stopAll(nodes)
+	b.ResetTimer()
+	runAll(nodes, func(nd *Node) {
+		for i := 0; i < b.N; i++ {
+			nd.AcquireLock(1)
+			nd.ReleaseLock(1)
+		}
+	})
+}
+
+// BenchmarkPageFetch measures the miss path: invalidate + one-round-trip
+// fetch from the home.
+func BenchmarkPageFetch(b *testing.B) {
+	nodes := benchCluster(2, 2, 4096)
+	defer stopAll(nodes)
+	nd := nodes[0]
+	page := nd.PageTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page.Invalidate(1) // homed at node 1
+		_ = nd.ReadI64(4096)
+	}
+}
+
+// BenchmarkReleaseWithDiffs measures an interval close that diffs and
+// flushes four dirty remote pages to their home.
+func BenchmarkReleaseWithDiffs(b *testing.B) {
+	nodes := benchCluster(2, 8, 4096)
+	defer stopAll(nodes)
+	nd := nodes[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < 4; g++ {
+			nd.WriteI64((2*g+1)*4096, int64(i)) // odd pages homed at node 1
+		}
+		nd.AcquireLock(3)
+		nd.ReleaseLock(3)
+	}
+}

@@ -1,0 +1,445 @@
+package hlrc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+)
+
+// ErrCrashed is the panic value used to unwind a node's application
+// goroutine when a fail-stop crash is injected. The runner recovers it.
+var ErrCrashed = errors.New("hlrc: node crashed (injected fail-stop)")
+
+// Config describes one node of the home-based SDSM.
+type Config struct {
+	ID       int
+	N        int
+	PageSize int
+	NumPages int
+	// Homes maps every page to its home node. All nodes share one
+	// assignment (read-only after construction).
+	Homes []int
+	// LockManagerNode hosts the state of every lock; BarrierManagerNode
+	// hosts every barrier. Centralized managers keep single-node failure
+	// recoverable without manager-state reconstruction (the paper's
+	// experiments fail a worker, not a manager).
+	LockManagerNode    int
+	BarrierManagerNode int
+	// DistributedLocks statically distributes lock managers over the
+	// nodes (manager of lock l is node l mod N), as TreadMarks does.
+	// Incompatible with crash injection: a victim's manager state is
+	// volatile.
+	DistributedLocks bool
+	Model            simtime.CostModel
+	// HomeUndo maintains a volatile per-home-page undo history so a live
+	// home can serve an earlier version of a page during a peer's
+	// recovery ("home rollback" in the paper, implemented as in-memory
+	// undo instead of re-execution; see DESIGN.md).
+	HomeUndo bool
+	// NoFlushOverlap disables CCL's flush/communication overlap
+	// (ablation): the release flush lands fully on the critical path.
+	NoFlushOverlap bool
+}
+
+// SyncDelegate intercepts synchronization operations and page validation
+// during recovery replay. A nil delegate means normal operation.
+// Each method returns true when it fully handled the operation.
+type SyncDelegate interface {
+	Acquire(nd *Node, op int32, lock int32) bool
+	Release(nd *Node, op int32, lock int32) bool
+	Barrier(nd *Node, op int32, barrier int32) bool
+	// Validate is consulted when an access hits an Invalid page during
+	// replay; it must make the page readable.
+	Validate(nd *Node, page memory.PageID) bool
+}
+
+type undoEntry struct {
+	writer int32
+	seq    int32
+	inv    memory.Diff // inverse diff: applying it removes (writer, seq)'s update
+	// postTwin marks entries applied while the home had an open interval
+	// with a twin: their words are genuine remote updates, everything
+	// else differing from the twin is a provisional self-write that a
+	// versioned fetch must not leak.
+	postTwin bool
+}
+
+// pendingMsg is a queued request together with its virtual arrival time.
+type pendingMsg struct {
+	m       transport.Message
+	arrival simtime.Time
+}
+
+type lockState struct {
+	held  bool
+	queue []pendingMsg // waiting LockReq messages (with reply channels)
+}
+
+type barrierState struct {
+	waiting []pendingMsg // checkins collected so far
+}
+
+// Node is one process of the home-based SDSM: its page table, interval
+// state, home-side bookkeeping, and (when it is a manager) the lock and
+// barrier manager state. The application goroutine calls the public
+// synchronization and access methods; a service goroutine started by
+// StartService handles incoming protocol messages.
+type Node struct {
+	cfg   Config
+	ep    *transport.Endpoint
+	clock *simtime.Clock
+	hooks LogHooks
+	stats *Stats
+
+	mu      sync.Mutex
+	pt      *memory.PageTable
+	vt      vclock.VC
+	notices *NoticeStore
+	// grantVT[l] is the lock manager's knowledge horizon received with
+	// the grant of lock l (still held); release deltas are relative to it.
+	grantVT map[int32]vclock.VC
+	// lastBarrierVT is the knowledge horizon of the last barrier release.
+	lastBarrierVT vclock.VC
+	// ver[p] is the version vector of home page p (nil for non-home
+	// pages): ver[p][w] = last interval of writer w applied to p.
+	ver  []vclock.VC
+	undo map[memory.PageID][]undoEntry
+	// opIndex counts synchronization operations, used to tag log records
+	// and to place crash points.
+	opIndex int32
+	// crashedAt records the op at which the injected crash fired (-1
+	// until then).
+	crashedAt int32
+
+	delegate SyncDelegate
+	// CrashOp: the node fail-stops at the first release/barrier whose op
+	// index is >= CrashOp, after its diffs are flushed and acknowledged
+	// but before it communicates with the managers (the paper's Fig. 1(b)
+	// scenario). Negative: never.
+	CrashOp int32
+
+	// Manager state (used only on manager nodes).
+	mgrVT      vclock.VC
+	mgrNotices *NoticeStore
+	locks      map[int32]*lockState
+	barriers   map[int32]*barrierState
+
+	stopSvc chan struct{}
+	svcDone chan struct{}
+	// ExtraHandler, when set, is offered every service message the engine
+	// does not understand (the recovery-service kinds). It runs on the
+	// service goroutine.
+	ExtraHandler func(m transport.Message) bool
+	// PostBarrier, when set, runs on the application goroutine after each
+	// live barrier completes (op already counted). The runner uses it to
+	// take periodic checkpoints at quiesced points.
+	PostBarrier func(op int32)
+}
+
+// NewNode builds a node attached to the network. The clock and stats are
+// owned by the caller (they may outlive a crashed incarnation for
+// reporting).
+func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogHooks, stats *Stats) *Node {
+	if len(cfg.Homes) != cfg.NumPages {
+		panic(fmt.Sprintf("hlrc: homes table has %d entries for %d pages", len(cfg.Homes), cfg.NumPages))
+	}
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	nd := &Node{
+		cfg:           cfg,
+		ep:            nw.NewEndpoint(cfg.ID, clock),
+		clock:         clock,
+		hooks:         hooks,
+		stats:         stats,
+		pt:            memory.NewPageTable(cfg.NumPages, cfg.PageSize),
+		vt:            vclock.New(cfg.N),
+		notices:       NewNoticeStore(cfg.N),
+		grantVT:       make(map[int32]vclock.VC),
+		lastBarrierVT: vclock.New(cfg.N),
+		ver:           make([]vclock.VC, cfg.NumPages),
+		undo:          make(map[memory.PageID][]undoEntry),
+		CrashOp:       -1,
+		crashedAt:     -1,
+		mgrVT:         vclock.New(cfg.N),
+		mgrNotices:    NewNoticeStore(cfg.N),
+		locks:         make(map[int32]*lockState),
+		barriers:      make(map[int32]*barrierState),
+	}
+	for p := range cfg.Homes {
+		if nd.cfg.Homes[p] == cfg.ID {
+			nd.ver[p] = vclock.New(cfg.N)
+		}
+	}
+	return nd
+}
+
+// ID returns the node id.
+func (nd *Node) ID() int { return nd.cfg.ID }
+
+// N returns the number of nodes.
+func (nd *Node) N() int { return nd.cfg.N }
+
+// Clock returns the node's virtual clock.
+func (nd *Node) Clock() *simtime.Clock { return nd.clock }
+
+// Model returns the cost model.
+func (nd *Node) Model() simtime.CostModel { return nd.cfg.Model }
+
+// Endpoint returns the node's network endpoint.
+func (nd *Node) Endpoint() *transport.Endpoint { return nd.ep }
+
+// Stats returns the node's protocol counters.
+func (nd *Node) Stats() *Stats { return nd.stats }
+
+// Hooks returns the logging hooks.
+func (nd *Node) Hooks() LogHooks { return nd.hooks }
+
+// PageTable exposes the node's page table. Outside the engine it must
+// only be touched while the service loop is stopped (recovery replay).
+func (nd *Node) PageTable() *memory.PageTable { return nd.pt }
+
+// HomeOf returns the home node of a page.
+func (nd *Node) HomeOf(p memory.PageID) int { return nd.cfg.Homes[p] }
+
+// IsHome reports whether this node is the page's home.
+func (nd *Node) IsHome(p memory.PageID) bool { return nd.cfg.Homes[p] == nd.cfg.ID }
+
+// VT returns a copy of the node's vector time.
+func (nd *Node) VT() vclock.VC {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.vt.Clone()
+}
+
+// SetVT overwrites the node's vector time (recovery restore).
+func (nd *Node) SetVT(v vclock.VC) {
+	nd.mu.Lock()
+	nd.vt = v.Clone()
+	nd.mu.Unlock()
+}
+
+// Notices exposes the node's write-notice store (recovery replay only).
+func (nd *Node) Notices() *NoticeStore { return nd.notices }
+
+// OpIndex returns the current synchronization-operation index.
+func (nd *Node) OpIndex() int32 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.opIndex
+}
+
+// SetDelegate installs (or, with nil, removes) the recovery delegate.
+func (nd *Node) SetDelegate(d SyncDelegate) { nd.delegate = d }
+
+// Ver returns a copy of the version vector of one of this node's home
+// pages, or nil when the page is not homed here.
+func (nd *Node) Ver(p memory.PageID) vclock.VC {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.ver[p] == nil {
+		return nil
+	}
+	return nd.ver[p].Clone()
+}
+
+// StartService launches the protocol service goroutine.
+func (nd *Node) StartService() {
+	nd.stopSvc = make(chan struct{})
+	nd.svcDone = make(chan struct{})
+	go nd.serve(nd.stopSvc, nd.svcDone)
+}
+
+// StopService stops the service goroutine and waits for it to finish the
+// message in hand. Unprocessed messages stay queued in the inbox and are
+// handled by the next incarnation's service loop, like a TCP backlog
+// surviving a reboot.
+func (nd *Node) StopService() {
+	if nd.stopSvc == nil {
+		return
+	}
+	close(nd.stopSvc)
+	<-nd.svcDone
+	nd.stopSvc = nil
+}
+
+func (nd *Node) serve(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case m := <-nd.ep.Inbox():
+			nd.handle(m)
+		}
+	}
+}
+
+// handle dispatches one service message. Protocol handlers run like the
+// asynchronous message handlers of a real SDSM — concurrently with
+// application compute — so their replies are stamped from the request's
+// arrival time plus the handling cost, never from the application clock
+// (which may have advanced deep into a compute phase and would otherwise
+// artificially serialize remote misses behind it).
+func (nd *Node) handle(m transport.Message) {
+	at := nd.ep.ArrivalOf(m) + simtime.Time(nd.cfg.Model.MsgHandling)
+	switch m.Kind {
+	case KindPageReq:
+		nd.handlePageReq(m, at)
+	case KindDiffUpdate:
+		nd.handleDiffUpdate(m, at)
+	case KindLockReq:
+		nd.handleLockReq(m, at)
+	case KindLockRelease:
+		nd.handleLockRelease(m, at)
+	case KindBarrierCheckin:
+		nd.handleBarrierCheckin(m, at)
+	default:
+		if nd.ExtraHandler != nil && nd.ExtraHandler(m) {
+			return
+		}
+		panic(fmt.Sprintf("hlrc: node %d: unexpected message kind %d from %d", nd.cfg.ID, m.Kind, m.From))
+	}
+}
+
+// handlePageReq serves a remote miss: one round trip returns the current
+// home copy (HLRC's single-round-trip property).
+func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
+	req := m.Payload.(*PageReq)
+	nd.mu.Lock()
+	if !nd.IsHome(req.Page) {
+		nd.mu.Unlock()
+		panic(fmt.Sprintf("hlrc: node %d asked for page %d homed at %d", nd.cfg.ID, req.Page, nd.HomeOf(req.Page)))
+	}
+	data := make([]byte, nd.cfg.PageSize)
+	copy(data, nd.pt.Page(req.Page))
+	ver := nd.ver[req.Page].Clone()
+	nd.mu.Unlock()
+	resp := &PageReply{Data: data, Ver: ver}
+	nd.ep.ReplyAt(at, m, KindPageReply, resp.WireSize(), resp)
+}
+
+// handleDiffUpdate applies a writer interval's diffs to the home copies,
+// records the update events, and acknowledges. This is the paper's
+// "Asynchronous Update Handler".
+func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
+	du := m.Payload.(*DiffUpdate)
+	var copied int
+	nd.mu.Lock()
+	events := make([]UpdateEvent, 0, len(du.Diffs))
+	for _, d := range du.Diffs {
+		if !nd.IsHome(d.Page) {
+			nd.mu.Unlock()
+			panic(fmt.Sprintf("hlrc: node %d got diff for page %d homed at %d", nd.cfg.ID, d.Page, nd.HomeOf(d.Page)))
+		}
+		nd.applyHomeDiffLocked(d, du.Writer, du.Seq)
+		copied += d.DataBytes()
+		events = append(events, UpdateEvent{Page: d.Page, Writer: du.Writer, Seq: du.Seq})
+	}
+	nd.hooks.OnIncomingDiffs(nd.opIndex, events, du.Diffs)
+	nd.stats.DiffsApplied.Add(int64(len(du.Diffs)))
+	nd.mu.Unlock()
+	// The ack leaves after the diffs are applied; the copy cost is the
+	// handler's, not the application's.
+	at += simtime.Time(nd.cfg.Model.CopyTime(copied))
+	nd.ep.ReplyAt(at, m, KindDiffAck, DiffAck{}.WireSize(), DiffAck{})
+}
+
+// applyHomeDiffLocked applies one diff to a home copy, maintaining the
+// page's version vector and (when enabled) the undo history. Callers hold
+// nd.mu.
+func (nd *Node) applyHomeDiffLocked(d memory.Diff, writer, seq int32) {
+	page := nd.pt.Page(d.Page)
+	if nd.cfg.HomeUndo {
+		nd.undo[d.Page] = append(nd.undo[d.Page], undoEntry{
+			writer: writer, seq: seq, inv: memory.InverseDiff(d, page),
+			postTwin: nd.pt.HasTwin(d.Page),
+		})
+	}
+	d.Apply(page)
+	v := nd.ver[d.Page]
+	if int(writer) < len(v) && seq > v[writer] {
+		v[writer] = seq
+	}
+}
+
+// ApplyDiffAsHome is the exported form of applyHomeDiffLocked for the
+// recovery engine (which runs while the service loop is stopped).
+func (nd *Node) ApplyDiffAsHome(d memory.Diff, writer, seq int32) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.applyHomeDiffLocked(d, writer, seq)
+}
+
+// PageAtVersion returns a copy of home page p rolled back so that no
+// writer interval beyond need is included. With HomeUndo disabled, or
+// when the current copy already satisfies need, the current copy is
+// returned. The second result is the version vector of the returned copy.
+func (nd *Node) PageAtVersion(p memory.PageID, need vclock.VC) ([]byte, vclock.VC) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	data := make([]byte, nd.cfg.PageSize)
+	copy(data, nd.pt.Page(p))
+	ver := nd.ver[p].Clone()
+	if !nd.cfg.HomeUndo {
+		return data, ver // documented fallback: current copy
+	}
+	// Strip the open interval's provisional self-writes: the home may be
+	// mid-interval (dirty with a twin), and those writes have no undo
+	// entry until the interval closes, so they must never leak into a
+	// versioned fetch. Every word that is not covered by a post-twin
+	// remote update reverts to the twin (data-race freedom keeps the two
+	// word sets disjoint).
+	if nd.pt.IsDirty(p) && nd.pt.HasTwin(p) {
+		covered := make([]bool, nd.cfg.PageSize)
+		for _, e := range nd.undo[p] {
+			if !e.postTwin {
+				continue
+			}
+			for _, r := range e.inv.Runs {
+				for b := int(r.Off); b < int(r.Off)+len(r.Data); b++ {
+					covered[b] = true
+				}
+			}
+		}
+		twin := nd.pt.Twin(p)
+		for b := range data {
+			if !covered[b] {
+				data[b] = twin[b]
+			}
+		}
+	}
+	if need.Covers(ver) {
+		return data, ver
+	}
+	// Roll back, newest first, every update beyond need.
+	hist := nd.undo[p]
+	for i := len(hist) - 1; i >= 0; i-- {
+		e := hist[i]
+		if int(e.writer) < len(need) && e.seq > need[e.writer] {
+			e.inv.Apply(data)
+			if ver[e.writer] >= e.seq {
+				ver[e.writer] = e.seq - 1
+			}
+		}
+	}
+	return data, ver
+}
+
+// clearPostTwinLocked resets the post-twin markers of a home page when
+// its interval closes (the twin is about to be dropped and the self
+// writes get their own undo entry).
+func (nd *Node) clearPostTwinLocked(p memory.PageID) {
+	hist := nd.undo[p]
+	for i := range hist {
+		hist[i].postTwin = false
+	}
+}

@@ -1,0 +1,165 @@
+package hlrc
+
+import (
+	"testing"
+
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+)
+
+func soloNode(t *testing.T, homeUndo bool) *Node {
+	t.Helper()
+	model := simtime.DefaultCostModel()
+	nw := transport.NewNetwork(2, model)
+	return NewNode(Config{
+		ID: 0, N: 2, PageSize: 64, NumPages: 4,
+		Homes: []int{0, 0, 1, 1}, Model: model, HomeUndo: homeUndo,
+	}, nw, simtime.NewClock(0), nil, nil)
+}
+
+func diffAt(page memory.PageID, off int, val byte) memory.Diff {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[off] = val
+	return memory.MakeDiff(page, twin, cur)
+}
+
+func TestApplyDiffAsHomeUpdatesVersion(t *testing.T) {
+	nd := soloNode(t, false)
+	nd.ApplyDiffAsHome(diffAt(0, 0, 7), 1, 3)
+	if got := nd.Ver(0); !got.Equal(vclock.VC{0, 3}) {
+		t.Fatalf("ver = %v", got)
+	}
+	if nd.PageTable().Page(0)[0] != 7 {
+		t.Fatal("diff not applied")
+	}
+	// Older interval does not regress the version.
+	nd.ApplyDiffAsHome(diffAt(0, 4, 8), 1, 2)
+	if got := nd.Ver(0); !got.Equal(vclock.VC{0, 3}) {
+		t.Fatalf("ver regressed: %v", got)
+	}
+	if nd.Ver(2) != nil {
+		t.Fatal("non-home page has a version vector")
+	}
+}
+
+func TestPageAtVersionRollback(t *testing.T) {
+	nd := soloNode(t, true)
+	nd.ApplyDiffAsHome(diffAt(0, 0, 1), 1, 1)
+	nd.ApplyDiffAsHome(diffAt(0, 8, 2), 1, 2)
+	nd.ApplyDiffAsHome(diffAt(0, 16, 3), 1, 3)
+
+	// Full version: everything present.
+	data, ver := nd.PageAtVersion(0, vclock.VC{0, 3})
+	if data[0] != 1 || data[8] != 2 || data[16] != 3 || !ver.Equal(vclock.VC{0, 3}) {
+		t.Fatalf("full version wrong: %v %v", data[:20], ver)
+	}
+	// Mid version: interval 3 rolled back.
+	data, ver = nd.PageAtVersion(0, vclock.VC{0, 2})
+	if data[0] != 1 || data[8] != 2 || data[16] != 0 {
+		t.Fatalf("rollback to 2 wrong: %v", data[:20])
+	}
+	if ver[1] != 2 {
+		t.Fatalf("rolled-back ver = %v", ver)
+	}
+	// Oldest version: everything rolled back.
+	data, _ = nd.PageAtVersion(0, vclock.VC{0, 0})
+	if data[0] != 0 || data[8] != 0 || data[16] != 0 {
+		t.Fatalf("rollback to 0 wrong: %v", data[:20])
+	}
+	// The live copy itself is untouched.
+	if nd.PageTable().Page(0)[16] != 3 {
+		t.Fatal("rollback mutated the live copy")
+	}
+}
+
+func TestPageAtVersionWithoutUndo(t *testing.T) {
+	nd := soloNode(t, false)
+	nd.ApplyDiffAsHome(diffAt(0, 0, 9), 1, 5)
+	// Without undo history the current copy is returned even when newer
+	// than requested (documented fallback).
+	data, ver := nd.PageAtVersion(0, vclock.VC{0, 1})
+	if data[0] != 9 || ver[1] != 5 {
+		t.Fatalf("fallback fetch: %v %v", data[0], ver)
+	}
+}
+
+func TestFreezeSnapshotsAtomically(t *testing.T) {
+	nd := soloNode(t, false)
+	nd.PageTable().Page(1)[3] = 77
+	nd.SetVT(vclock.VC{2, 1})
+	nd.SetOpIndex(9)
+	nd.Notices().Add(Notice{Proc: 0, Seq: 1, Pages: []memory.PageID{2}})
+	fs := nd.Freeze()
+	if fs.Op != 9 || !fs.VT.Equal(vclock.VC{2, 1}) {
+		t.Fatalf("frozen meta: op=%d vt=%v", fs.Op, fs.VT)
+	}
+	if fs.Pages[64+3] != 77 {
+		t.Fatal("frozen pages wrong")
+	}
+	if len(fs.Notices) != 1 || len(fs.VerPages) != 2 {
+		t.Fatalf("frozen notices/vers: %d/%d", len(fs.Notices), len(fs.VerPages))
+	}
+	// Snapshot is a copy.
+	fs.Pages[64+3] = 0
+	if nd.PageTable().Page(1)[3] != 77 {
+		t.Fatal("freeze aliased live pages")
+	}
+}
+
+func TestHoldsLocks(t *testing.T) {
+	nd := soloNode(t, false)
+	if nd.HoldsLocks() {
+		t.Fatal("fresh node holds locks")
+	}
+	nd.SetGrantVT(3, vclock.VC{0, 0})
+	if !nd.HoldsLocks() {
+		t.Fatal("grant not tracked")
+	}
+}
+
+func TestCloseIntervalLocal(t *testing.T) {
+	nd := soloNode(t, false)
+	// Nothing dirty: no interval.
+	if seq := nd.CloseIntervalLocal(); seq != 0 {
+		t.Fatalf("empty close ticked to %d", seq)
+	}
+	// Dirty one home page and one remote page.
+	nd.PageTable().MarkDirty(0)
+	nd.PageTable().MarkDirty(2)
+	seq := nd.CloseIntervalLocal()
+	if seq != 1 {
+		t.Fatalf("seq = %d", seq)
+	}
+	if got := nd.VT(); got[0] != 1 {
+		t.Fatalf("vt = %v", got)
+	}
+	if v := nd.Ver(0); v[0] != 1 {
+		t.Fatalf("home ver = %v", v)
+	}
+	if pages := nd.Notices().Pages(0, 1); len(pages) != 2 {
+		t.Fatalf("own notice pages = %v", pages)
+	}
+	if nd.PageTable().IsDirty(0) {
+		t.Fatal("dirty bit survived the close")
+	}
+}
+
+func TestCrashOnManagerPanics(t *testing.T) {
+	model := simtime.DefaultCostModel()
+	nw := transport.NewNetwork(1, model)
+	nd := NewNode(Config{
+		ID: 0, N: 1, PageSize: 64, NumPages: 1, Homes: []int{0}, Model: model,
+	}, nw, simtime.NewClock(0), nil, nil)
+	nd.CrashOp = 0
+	nd.StartService()
+	defer nd.StopService()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("crashing a manager must panic loudly")
+		}
+	}()
+	nd.Barrier(0)
+}

@@ -1,0 +1,62 @@
+package hlrc
+
+import "sdsm/internal/memory"
+
+// UpdateEvent is the record of one incoming asynchronous update applied at
+// a home node: "interval number, page id of a home copy, and the writer
+// process id" (paper §3.3). It carries no page content — that is the
+// essence of CCL's log-size reduction.
+type UpdateEvent struct {
+	Page   memory.PageID
+	Writer int32
+	Seq    int32
+}
+
+// LogHooks is the interface between the coherence engine and a logging
+// protocol. The engine reports every loggable event; the protocol decides
+// what to keep and returns, from the two flush points, how many bytes it
+// wrote to stable storage so the engine can charge disk time with the
+// protocol's overlap policy.
+//
+// All hook methods are called with the engine's mutex held except
+// AtSyncEntry and AtRelease, which are called from the application
+// goroutine at well-defined protocol points.
+type LogHooks interface {
+	// OnAcquireNotices reports the write-invalidation notices received
+	// with a lock grant or barrier release during sync op `op`.
+	OnAcquireNotices(op int32, notices []Notice)
+	// OnPageFetched reports a page copy fetched from its home on a miss.
+	OnPageFetched(op int32, page memory.PageID, data []byte)
+	// OnIncomingDiffs reports diffs applied to home copies, together with
+	// the corresponding update-event records.
+	OnIncomingDiffs(op int32, events []UpdateEvent, diffs []memory.Diff)
+	// AtSyncEntry is called at the start of every synchronization
+	// operation before any communication; ML flushes its volatile log
+	// here. Returns the bytes flushed (0 when nothing was written); the
+	// engine charges full disk time on the critical path.
+	AtSyncEntry(op int32) int
+	// AtRelease is called at a release or barrier arrival right after the
+	// interval's diffs have been sent to their homes; CCL flushes here.
+	// Returns bytes flushed; the engine overlaps the disk time with the
+	// diff/ack round trip.
+	AtRelease(op int32, seq int32, created []memory.Diff) int
+}
+
+// NopHooks is the no-logging protocol: the unmodified home-based SDSM
+// whose execution time is the paper's baseline.
+type NopHooks struct{}
+
+// OnAcquireNotices implements LogHooks.
+func (NopHooks) OnAcquireNotices(int32, []Notice) {}
+
+// OnPageFetched implements LogHooks.
+func (NopHooks) OnPageFetched(int32, memory.PageID, []byte) {}
+
+// OnIncomingDiffs implements LogHooks.
+func (NopHooks) OnIncomingDiffs(int32, []UpdateEvent, []memory.Diff) {}
+
+// AtSyncEntry implements LogHooks.
+func (NopHooks) AtSyncEntry(int32) int { return 0 }
+
+// AtRelease implements LogHooks.
+func (NopHooks) AtRelease(int32, int32, []memory.Diff) int { return 0 }

@@ -1,0 +1,176 @@
+package hlrc
+
+import (
+	"sdsm/internal/memory"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+)
+
+// Protocol message kinds carried over the transport.
+const (
+	KindLockReq transport.Kind = iota + 1
+	KindLockGrant
+	KindLockRelease
+	KindBarrierCheckin
+	KindBarrierRelease
+	KindDiffUpdate
+	KindDiffAck
+	KindPageReq
+	KindPageReply
+	// Recovery-service kinds (handled by live nodes on behalf of a
+	// recovering peer; see internal/recovery).
+	KindRecPageReq
+	KindRecPageReply
+	KindRecDiffsReq
+	KindRecDiffsReply
+)
+
+// LockReq asks the lock manager for ownership of a lock. VT is the
+// acquirer's vector time so the grant can carry only the notices the
+// acquirer lacks.
+type LockReq struct {
+	Lock int32
+	VT   vclock.VC
+}
+
+// WireSize is the accounted message size.
+func (m *LockReq) WireSize() int { return 4 + m.VT.WireSize() }
+
+// LockGrant transfers lock ownership. It carries the manager's knowledge
+// horizon and the write-invalidation notices the acquirer lacks —
+// the paper's "lock grant message piggybacked with write-invalidation
+// notices".
+type LockGrant struct {
+	VT      vclock.VC
+	Notices []Notice
+}
+
+// WireSize is the accounted message size.
+func (m *LockGrant) WireSize() int { return m.VT.WireSize() + NoticesWireSize(m.Notices) }
+
+// LockRelease returns ownership to the manager together with the
+// releaser's knowledge delta (everything it learned or produced since its
+// grant).
+type LockRelease struct {
+	Lock    int32
+	VT      vclock.VC
+	Notices []Notice
+}
+
+// WireSize is the accounted message size.
+func (m *LockRelease) WireSize() int { return 4 + m.VT.WireSize() + NoticesWireSize(m.Notices) }
+
+// BarrierCheckin announces arrival at a barrier, carrying the arriver's
+// vector time and knowledge delta since the last barrier.
+type BarrierCheckin struct {
+	Barrier int32
+	VT      vclock.VC
+	Notices []Notice
+}
+
+// WireSize is the accounted message size.
+func (m *BarrierCheckin) WireSize() int { return 4 + m.VT.WireSize() + NoticesWireSize(m.Notices) }
+
+// BarrierRelease releases one waiter from the barrier with the merged
+// vector time and the notices that waiter lacks.
+type BarrierRelease struct {
+	VT      vclock.VC
+	Notices []Notice
+}
+
+// WireSize is the accounted message size.
+func (m *BarrierRelease) WireSize() int { return m.VT.WireSize() + NoticesWireSize(m.Notices) }
+
+// DiffUpdate flushes one writer interval's diffs for the pages homed at
+// the destination node.
+type DiffUpdate struct {
+	Writer int32
+	Seq    int32 // the writer interval the diffs belong to
+	Diffs  []memory.Diff
+}
+
+// WireSize is the accounted message size.
+func (m *DiffUpdate) WireSize() int {
+	n := 8
+	for _, d := range m.Diffs {
+		n += d.WireSize()
+	}
+	return n
+}
+
+// DiffAck acknowledges a DiffUpdate; after it arrives the writer may
+// discard its diffs (and, under CCL, knows they are both applied at the
+// home and safely logged locally).
+type DiffAck struct{}
+
+// WireSize is the accounted message size.
+func (DiffAck) WireSize() int { return 8 }
+
+// PageReq fetches the current home copy of one page.
+type PageReq struct {
+	Page memory.PageID
+}
+
+// WireSize is the accounted message size.
+func (PageReq) WireSize() int { return 8 }
+
+// PageReply carries the home copy and its version vector (the latter is
+// ignored during failure-free operation and used by recovery).
+type PageReply struct {
+	Data []byte
+	Ver  vclock.VC
+}
+
+// WireSize is the accounted message size.
+func (m *PageReply) WireSize() int { return len(m.Data) + m.Ver.WireSize() }
+
+// RecPageReq fetches a page during recovery at a version no newer than
+// Need. If the live home's copy has advanced past Need, the home rolls the
+// copy back using its volatile undo history (the paper's "home node must
+// rollback ... to recreate its modification" case).
+type RecPageReq struct {
+	Page memory.PageID
+	Need vclock.VC
+}
+
+// WireSize is the accounted message size.
+func (m *RecPageReq) WireSize() int { return 8 + m.Need.WireSize() }
+
+// RecPageReply answers a RecPageReq.
+type RecPageReply struct {
+	Data []byte
+	Ver  vclock.VC
+}
+
+// WireSize is the accounted message size.
+func (m *RecPageReply) WireSize() int { return len(m.Data) + m.Ver.WireSize() }
+
+// RecDiffsReq asks a live writer for the diffs it logged for one page,
+// for writer intervals in (FromSeq, ToSeq].
+type RecDiffsReq struct {
+	Page    memory.PageID
+	FromSeq int32
+	ToSeq   int32
+}
+
+// WireSize is the accounted message size.
+func (RecDiffsReq) WireSize() int { return 16 }
+
+// RecDiffsReply carries logged diffs read from the writer's stable store.
+// DiskBytes is the number of log bytes the writer had to read; the
+// recovering node charges that disk time to its replay clock, since the
+// remote read is on the recovery critical path.
+type RecDiffsReply struct {
+	Seqs      []int32
+	Diffs     []memory.Diff
+	DiskBytes int
+}
+
+// WireSize is the accounted message size.
+func (m *RecDiffsReply) WireSize() int {
+	n := 12 + 4*len(m.Seqs)
+	for _, d := range m.Diffs {
+		n += d.WireSize()
+	}
+	return n
+}

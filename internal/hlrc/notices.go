@@ -1,0 +1,175 @@
+// Package hlrc implements the home-based lazy release consistency
+// protocol (Zhou, Iftode & Li, OSDI'96) that the paper layers its logging
+// and recovery protocols on.
+//
+// Every shared page has a home node that collects updates (diffs) from
+// all writers at the end of each writer interval. Remote copies are
+// invalidated at acquire time according to write-invalidation notices
+// piggybacked on lock grants and barrier releases, and are brought
+// up to date on demand with a single round trip to the home.
+package hlrc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdsm/internal/memory"
+	"sdsm/internal/vclock"
+)
+
+// Notice is one write-invalidation notice: process Proc wrote Pages
+// during its interval Seq.
+type Notice struct {
+	Proc  int32
+	Seq   int32
+	Pages []memory.PageID
+}
+
+// WireSize is the serialized size of the notice.
+func (n Notice) WireSize() int { return 12 + 4*len(n.Pages) }
+
+// Encode appends a portable encoding of the notice to buf.
+func (n Notice) Encode(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Proc))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Seq))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Pages)))
+	for _, p := range n.Pages {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf
+}
+
+// DecodeNotice decodes one notice, returning it and the remaining bytes.
+func DecodeNotice(buf []byte) (Notice, []byte, error) {
+	var n Notice
+	if len(buf) < 12 {
+		return n, buf, fmt.Errorf("hlrc: short notice header")
+	}
+	n.Proc = int32(binary.LittleEndian.Uint32(buf))
+	n.Seq = int32(binary.LittleEndian.Uint32(buf[4:]))
+	cnt := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
+	if len(buf) < 4*cnt {
+		return n, buf, fmt.Errorf("hlrc: truncated notice page list")
+	}
+	n.Pages = make([]memory.PageID, cnt)
+	for i := range n.Pages {
+		n.Pages[i] = memory.PageID(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+	}
+	return n, buf, nil
+}
+
+// EncodeNotices encodes a slice of notices with a count prefix.
+func EncodeNotices(ns []Notice, buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ns)))
+	for _, n := range ns {
+		buf = n.Encode(buf)
+	}
+	return buf
+}
+
+// DecodeNotices decodes a slice produced by EncodeNotices.
+func DecodeNotices(buf []byte) ([]Notice, []byte, error) {
+	if len(buf) < 4 {
+		return nil, buf, fmt.Errorf("hlrc: short notice list")
+	}
+	cnt := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	ns := make([]Notice, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		n, rest, err := DecodeNotice(buf)
+		if err != nil {
+			return nil, rest, err
+		}
+		ns = append(ns, n)
+		buf = rest
+	}
+	return ns, buf, nil
+}
+
+// NoticesWireSize sums the wire sizes of a notice list (plus count).
+func NoticesWireSize(ns []Notice) int {
+	n := 4
+	for _, x := range ns {
+		n += x.WireSize()
+	}
+	return n
+}
+
+// NoticeStore accumulates the write notices a node (or a manager) knows,
+// indexed by process and interval. Interval sequence numbers of each
+// process are contiguous (the protocol only extends knowledge from a
+// vector the peer declared), which the store enforces.
+type NoticeStore struct {
+	n      int
+	byProc [][][]memory.PageID // byProc[p][seq-1] = pages of p's interval seq
+}
+
+// NewNoticeStore returns an empty store for n processes.
+func NewNoticeStore(n int) *NoticeStore {
+	return &NoticeStore{n: n, byProc: make([][][]memory.PageID, n)}
+}
+
+// Know returns the store's knowledge horizon: per process, the highest
+// interval stored.
+func (s *NoticeStore) Know() vclock.VC {
+	v := vclock.New(s.n)
+	for p := range s.byProc {
+		v[p] = int32(len(s.byProc[p]))
+	}
+	return v
+}
+
+// Add records one notice. Duplicates are ignored; a gap (seq beyond the
+// next expected interval) panics, as it indicates a protocol bug.
+func (s *NoticeStore) Add(n Notice) {
+	p := int(n.Proc)
+	if p < 0 || p >= s.n {
+		panic(fmt.Sprintf("hlrc: notice for unknown proc %d", n.Proc))
+	}
+	have := int32(len(s.byProc[p]))
+	switch {
+	case n.Seq <= have:
+		return // duplicate
+	case n.Seq == have+1:
+		s.byProc[p] = append(s.byProc[p], n.Pages)
+	default:
+		panic(fmt.Sprintf("hlrc: notice gap for proc %d: have %d, got seq %d", p, have, n.Seq))
+	}
+}
+
+// AddAll records each notice in ns. The slice must be sorted by (Proc,
+// Seq) within each process, which Delta guarantees.
+func (s *NoticeStore) AddAll(ns []Notice) {
+	for _, n := range ns {
+		s.Add(n)
+	}
+}
+
+// Pages returns the page list of one interval, or nil if unknown.
+func (s *NoticeStore) Pages(proc int, seq int32) []memory.PageID {
+	if proc < 0 || proc >= s.n {
+		return nil
+	}
+	if seq < 1 || int(seq) > len(s.byProc[proc]) {
+		return nil
+	}
+	return s.byProc[proc][seq-1]
+}
+
+// Delta returns every stored notice not covered by since, ordered by
+// process and ascending interval.
+func (s *NoticeStore) Delta(since vclock.VC) []Notice {
+	var out []Notice
+	for p := range s.byProc {
+		var from int32
+		if p < len(since) {
+			from = since[p]
+		}
+		for seq := from + 1; int(seq) <= len(s.byProc[p]); seq++ {
+			out = append(out, Notice{Proc: int32(p), Seq: seq, Pages: s.byProc[p][seq-1]})
+		}
+	}
+	return out
+}

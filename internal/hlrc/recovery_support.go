@@ -1,0 +1,174 @@
+package hlrc
+
+import (
+	"sdsm/internal/memory"
+	"sdsm/internal/vclock"
+)
+
+// This file holds the narrow interface the recovery engine
+// (internal/recovery) and the checkpointer (internal/checkpoint) use to
+// drive a Node outside normal operation. All of it runs on the victim's
+// application goroutine while the victim's service loop is stopped, so
+// the internal mutex is uncontended; it is still taken for consistency.
+
+// CrashedAtOp returns the op index at which the injected crash fired, or
+// -1 if the node has not crashed. It is set just before the ErrCrashed
+// panic unwinds the application goroutine.
+func (nd *Node) CrashedAtOp() int32 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashedAt
+}
+
+// BumpOp advances the synchronization-operation counter; the recovery
+// delegate calls it once per fully replayed op.
+func (nd *Node) BumpOp() {
+	nd.mu.Lock()
+	nd.opIndex++
+	nd.mu.Unlock()
+}
+
+// SetOpIndex overwrites the op counter (checkpoint restore).
+func (nd *Node) SetOpIndex(op int32) {
+	nd.mu.Lock()
+	nd.opIndex = op
+	nd.mu.Unlock()
+}
+
+// SetGrantVT records the knowledge horizon associated with a held lock,
+// reconstructed during replay, so the eventual live release computes the
+// right delta.
+func (nd *Node) SetGrantVT(lock int32, vt vclock.VC) {
+	nd.mu.Lock()
+	nd.grantVT[lock] = vt.Clone()
+	nd.mu.Unlock()
+}
+
+// SetLastBarrierVT overwrites the last-barrier knowledge horizon
+// (replay bookkeeping for the first live check-in after recovery).
+func (nd *Node) SetLastBarrierVT(vt vclock.VC) {
+	nd.mu.Lock()
+	nd.lastBarrierVT = vt.Clone()
+	nd.mu.Unlock()
+}
+
+// MergeVT merges v into the node's vector time.
+func (nd *Node) MergeVT(v vclock.VC) {
+	nd.mu.Lock()
+	nd.vt.Merge(v)
+	nd.mu.Unlock()
+}
+
+// SetVer overwrites the version vector of a home page (checkpoint
+// restore).
+func (nd *Node) SetVer(p memory.PageID, v vclock.VC) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.ver[p] == nil {
+		return
+	}
+	nd.ver[p] = v.Clone()
+}
+
+// ResetUndo clears the home-side undo history (taken checkpoints bound
+// the history the same way they bound the log).
+func (nd *Node) ResetUndo() {
+	nd.mu.Lock()
+	nd.undo = make(map[memory.PageID][]undoEntry)
+	nd.mu.Unlock()
+}
+
+// CloseIntervalLocal performs the local half of an interval close during
+// recovery replay: the dirty set becomes this node's next write notice,
+// home-page version vectors advance, the page table ends the interval —
+// but no diffs are computed, sent or flushed (the homes received them
+// before the failure, and the log already holds them). Returns the
+// closed interval's sequence number, or 0 when the interval was empty.
+func (nd *Node) CloseIntervalLocal() int32 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	dirty := nd.pt.DirtyPages()
+	if len(dirty) == 0 {
+		return 0
+	}
+	seq := nd.vt.Tick(nd.cfg.ID)
+	pages := make([]memory.PageID, 0, len(dirty))
+	for _, p := range dirty {
+		pages = append(pages, p)
+		if nd.IsHome(p) {
+			nd.ver[p][nd.cfg.ID] = seq
+			nd.clearPostTwinLocked(p)
+		}
+	}
+	nd.notices.Add(Notice{Proc: int32(nd.cfg.ID), Seq: seq, Pages: pages})
+	nd.pt.EndInterval()
+	nd.stats.Intervals.Add(1)
+	return seq
+}
+
+// HoldsLocks reports whether the node currently holds any lock.
+// Checkpoints are only taken at lock-free points.
+func (nd *Node) HoldsLocks() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return len(nd.grantVT) > 0
+}
+
+// FrozenState is an atomic snapshot of everything a checkpoint saves.
+type FrozenState struct {
+	Pages    []byte
+	VT       vclock.VC
+	Op       int32
+	Notices  []Notice
+	VerPages []memory.PageID
+	Vers     []vclock.VC
+}
+
+// Freeze captures the node's checkpointable state under the state mutex,
+// so concurrently applied asynchronous updates are either fully included
+// (their event records tagged with an earlier op) or fully excluded
+// (tagged with a later op and replayed after a restore).
+func (nd *Node) Freeze() *FrozenState {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	fs := &FrozenState{
+		Pages:   nd.pt.Snapshot(),
+		VT:      nd.vt.Clone(),
+		Op:      nd.opIndex,
+		Notices: nd.notices.Delta(nil),
+	}
+	for p := 0; p < nd.cfg.NumPages; p++ {
+		if nd.ver[p] != nil {
+			fs.VerPages = append(fs.VerPages, memory.PageID(p))
+			fs.Vers = append(fs.Vers, nd.ver[p].Clone())
+		}
+	}
+	return fs
+}
+
+// AnyDirty reports whether any of the notices (not yet covered by vt)
+// names a locally dirty page — the recovery replay's mirror of the live
+// protocol's early-close condition.
+func (nd *Node) AnyDirty(ns []Notice) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.anyDirtyLocked(ns)
+}
+
+// InstallPage overwrites a local page copy with fetched or logged
+// contents and marks it ReadOnly (recovery prefetch / log replay).
+func (nd *Node) InstallPage(p memory.PageID, data []byte) {
+	nd.mu.Lock()
+	nd.pt.Install(p, data)
+	nd.mu.Unlock()
+}
+
+// InvalidatePage invalidates a local (non-home) copy (ML replay applies
+// logged notices this way).
+func (nd *Node) InvalidatePage(p memory.PageID) {
+	nd.mu.Lock()
+	if !nd.IsHome(p) {
+		nd.pt.Invalidate(p)
+	}
+	nd.mu.Unlock()
+}

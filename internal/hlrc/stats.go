@@ -1,0 +1,63 @@
+package hlrc
+
+import "sync/atomic"
+
+// Stats counts protocol events on one node. All fields are updated
+// atomically; read them after the run (or accept slight skew during it).
+type Stats struct {
+	Faults        atomic.Int64 // software page faults taken
+	PageFetches   atomic.Int64 // pages fetched from homes
+	TwinsCreated  atomic.Int64 // twins created
+	DiffsCreated  atomic.Int64 // diffs created at releases
+	DiffBytesSent atomic.Int64 // diff payload bytes sent to homes
+	DiffsApplied  atomic.Int64 // diffs applied to home copies
+	LockAcquires  atomic.Int64
+	Barriers      atomic.Int64
+	Intervals     atomic.Int64 // non-empty intervals closed
+	EarlyCloses   atomic.Int64 // intervals force-closed at an acquire due to
+	// an invalidation hitting a locally dirty page (false-sharing path)
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	Faults        int64
+	PageFetches   int64
+	TwinsCreated  int64
+	DiffsCreated  int64
+	DiffBytesSent int64
+	DiffsApplied  int64
+	LockAcquires  int64
+	Barriers      int64
+	Intervals     int64
+	EarlyCloses   int64
+}
+
+// Snapshot copies the counters into plain values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Faults:        s.Faults.Load(),
+		PageFetches:   s.PageFetches.Load(),
+		TwinsCreated:  s.TwinsCreated.Load(),
+		DiffsCreated:  s.DiffsCreated.Load(),
+		DiffBytesSent: s.DiffBytesSent.Load(),
+		DiffsApplied:  s.DiffsApplied.Load(),
+		LockAcquires:  s.LockAcquires.Load(),
+		Barriers:      s.Barriers.Load(),
+		Intervals:     s.Intervals.Load(),
+		EarlyCloses:   s.EarlyCloses.Load(),
+	}
+}
+
+// Add accumulates another snapshot into this one.
+func (s *Snapshot) Add(o Snapshot) {
+	s.Faults += o.Faults
+	s.PageFetches += o.PageFetches
+	s.TwinsCreated += o.TwinsCreated
+	s.DiffsCreated += o.DiffsCreated
+	s.DiffBytesSent += o.DiffBytesSent
+	s.DiffsApplied += o.DiffsApplied
+	s.LockAcquires += o.LockAcquires
+	s.Barriers += o.Barriers
+	s.Intervals += o.Intervals
+	s.EarlyCloses += o.EarlyCloses
+}

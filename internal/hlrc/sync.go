@@ -1,0 +1,413 @@
+package hlrc
+
+import (
+	"fmt"
+	"sort"
+
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+)
+
+// AcquireLock acquires a lock: one request to the lock manager, whose
+// grant piggybacks the write-invalidation notices the acquirer lacks.
+func (nd *Node) AcquireLock(lock int) {
+	l := int32(lock)
+	op := nd.OpIndex()
+	if d := nd.delegate; d != nil && d.Acquire(nd, op, l) {
+		return
+	}
+	nd.syncEntryFlush(op)
+	nd.mu.Lock()
+	req := &LockReq{Lock: l, VT: nd.vt.Clone()}
+	nd.mu.Unlock()
+	resp := nd.ep.Call(nd.lockManagerFor(l), KindLockReq, req.WireSize(), req)
+	g := resp.Payload.(*LockGrant)
+
+	nd.mu.Lock()
+	nd.hooks.OnAcquireNotices(op, g.Notices)
+	conflict := nd.anyDirtyLocked(g.Notices)
+	nd.mu.Unlock()
+	if conflict {
+		// False-sharing path: an incoming notice names a page this node
+		// has dirtied in the still-open interval. Close the interval
+		// (flushing its diffs home) before invalidating, so the local
+		// modifications are not lost.
+		nd.stats.EarlyCloses.Add(1)
+		nd.closeAndPropagate(op)
+	}
+	nd.mu.Lock()
+	nd.applyNoticesLocked(g.Notices)
+	nd.vt.Merge(g.VT)
+	nd.grantVT[l] = g.VT.Clone()
+	nd.opIndex++
+	nd.mu.Unlock()
+	nd.stats.LockAcquires.Add(1)
+}
+
+// ReleaseLock ends the current interval: diffs of dirty remote pages are
+// flushed to their homes (and, under CCL, to the local disk, overlapped),
+// then lock ownership returns to the manager together with the releaser's
+// knowledge delta.
+func (nd *Node) ReleaseLock(lock int) {
+	l := int32(lock)
+	op := nd.OpIndex()
+	if d := nd.delegate; d != nil && d.Release(nd, op, l) {
+		return
+	}
+	crashing := nd.crashingAt(op)
+	if crashing {
+		nd.StopService()
+	}
+	nd.syncEntryFlush(op)
+	nd.closeAndPropagate(op)
+	if crashing {
+		nd.failStop(op)
+	}
+	nd.FinishReleaseLive(op, l)
+}
+
+// FinishReleaseLive performs the post-crash-point part of a release: the
+// LockRelease message to the manager. The recovery engine calls it
+// directly when replay reaches the crash op (whose first half was already
+// executed and logged before the failure).
+func (nd *Node) FinishReleaseLive(op int32, l int32) {
+	nd.mu.Lock()
+	gvt, ok := nd.grantVT[l]
+	if !ok {
+		nd.mu.Unlock()
+		panic(fmt.Sprintf("hlrc: node %d releases lock %d it does not hold", nd.cfg.ID, l))
+	}
+	delete(nd.grantVT, l)
+	rel := &LockRelease{Lock: l, VT: nd.vt.Clone(), Notices: nd.notices.Delta(gvt)}
+	nd.opIndex++
+	nd.mu.Unlock()
+	nd.ep.Send(nd.lockManagerFor(l), KindLockRelease, rel.WireSize(), rel)
+}
+
+// lockManagerFor returns the node managing a lock: a fixed node by
+// default, or l mod N with distributed lock management.
+func (nd *Node) lockManagerFor(l int32) int {
+	if nd.cfg.DistributedLocks {
+		return int(l) % nd.cfg.N
+	}
+	return nd.cfg.LockManagerNode
+}
+
+// Barrier enters a global barrier: the interval is closed exactly as at a
+// lock release, then a check-in message goes to the barrier manager and
+// the reply (the barrier release, piggybacked with write-invalidation
+// notices) ends the operation.
+func (nd *Node) Barrier(barrier int) {
+	b := int32(barrier)
+	op := nd.OpIndex()
+	if d := nd.delegate; d != nil && d.Barrier(nd, op, b) {
+		return
+	}
+	crashing := nd.crashingAt(op)
+	if crashing {
+		nd.StopService()
+	}
+	nd.syncEntryFlush(op)
+	nd.closeAndPropagate(op)
+	if crashing {
+		nd.failStop(op)
+	}
+	nd.FinishBarrierLive(op, b)
+}
+
+// FinishBarrierLive performs the post-crash-point part of a barrier:
+// check-in, wait for the release, apply its notices.
+func (nd *Node) FinishBarrierLive(op int32, b int32) {
+	nd.mu.Lock()
+	ci := &BarrierCheckin{Barrier: b, VT: nd.vt.Clone(), Notices: nd.notices.Delta(nd.lastBarrierVT)}
+	nd.mu.Unlock()
+	resp := nd.ep.Call(nd.cfg.BarrierManagerNode, KindBarrierCheckin, ci.WireSize(), ci)
+	rel := resp.Payload.(*BarrierRelease)
+	nd.mu.Lock()
+	nd.hooks.OnAcquireNotices(op, rel.Notices)
+	nd.applyNoticesLocked(rel.Notices)
+	nd.vt.Merge(rel.VT)
+	nd.lastBarrierVT = rel.VT.Clone()
+	nd.opIndex++
+	nd.mu.Unlock()
+	nd.stats.Barriers.Add(1)
+	if nd.PostBarrier != nil {
+		nd.PostBarrier(op)
+	}
+}
+
+// failStop records the crash op and unwinds the application goroutine.
+// The service loop was already stopped at the op's entry, so the volatile
+// state is exactly what the op's flush captured — the paper's Fig. 1(b)
+// scenario ("crashes ... after the volatile logs of this interval are
+// flushed to the local disk").
+func (nd *Node) failStop(op int32) {
+	nd.mu.Lock()
+	nd.crashedAt = op
+	nd.mu.Unlock()
+	panic(ErrCrashed)
+}
+
+// crashingAt reports whether the injected fail-stop fires at this op.
+func (nd *Node) crashingAt(op int32) bool {
+	if nd.CrashOp < 0 || op < nd.CrashOp {
+		return false
+	}
+	if nd.cfg.DistributedLocks {
+		panic("hlrc: cannot crash with distributed lock managers (manager state is volatile)")
+	}
+	if nd.cfg.ID == nd.cfg.LockManagerNode || nd.cfg.ID == nd.cfg.BarrierManagerNode {
+		panic("hlrc: cannot crash a manager node (out of the paper's failure model)")
+	}
+	return true
+}
+
+// syncEntryFlush gives the logging protocol its synchronization-point
+// flush opportunity (ML). The disk time lands fully on the critical path.
+func (nd *Node) syncEntryFlush(op int32) {
+	if n := nd.hooks.AtSyncEntry(op); n > 0 {
+		nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+	}
+}
+
+// anyDirtyLocked reports whether any incoming notice (not yet covered by
+// vt) names a page that is dirty in the open interval.
+func (nd *Node) anyDirtyLocked(ns []Notice) bool {
+	for _, n := range ns {
+		if nd.vt.CoversInterval(int(n.Proc), n.Seq) {
+			continue
+		}
+		for _, p := range n.Pages {
+			if !nd.IsHome(p) && nd.pt.IsDirty(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyNoticesLocked records incoming notices and invalidates the named
+// remote copies. Home copies are never invalidated (they receive diffs
+// directly). Callers hold nd.mu and have resolved dirty conflicts.
+func (nd *Node) applyNoticesLocked(ns []Notice) {
+	for _, n := range ns {
+		if nd.vt.CoversInterval(int(n.Proc), n.Seq) {
+			nd.notices.Add(n) // duplicate-safe
+			continue
+		}
+		for _, p := range n.Pages {
+			if nd.IsHome(p) {
+				continue
+			}
+			if nd.pt.IsDirty(p) {
+				panic(fmt.Sprintf("hlrc: node %d invalidating dirty page %d (early close missed)", nd.cfg.ID, p))
+			}
+			nd.pt.Invalidate(p)
+		}
+		nd.notices.Add(n)
+	}
+}
+
+// closeAndPropagate closes the current interval: diffs of dirty remote
+// pages are computed against their twins and sent to the pages' homes
+// (grouped per home, all in flight at once), the logging hook's release
+// flush is overlapped with the ack wait, and the interval bookkeeping is
+// advanced. With no dirty pages no interval is created, but the logging
+// protocol still gets its flush opportunity (staged acquire notices and
+// update-event records under CCL).
+func (nd *Node) closeAndPropagate(op int32) {
+	nd.mu.Lock()
+	dirty := nd.pt.DirtyPages()
+	if len(dirty) == 0 {
+		nd.mu.Unlock()
+		if n := nd.hooks.AtRelease(op, 0, nil); n > 0 {
+			nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+		}
+		return
+	}
+
+	seq := nd.vt.Tick(nd.cfg.ID)
+	perHome := make(map[int][]memory.Diff)
+	var created []memory.Diff
+	pages := make([]memory.PageID, 0, len(dirty))
+	compareBytes := 0
+	for _, p := range dirty {
+		pages = append(pages, p)
+		if nd.IsHome(p) {
+			// Home writes need no diff to propagate (paper §2: "a
+			// read/write to a page on its home node ... requires no
+			// summary of write modifications"), but the write notice and
+			// the version vector still advance.
+			nd.ver[p][nd.cfg.ID] = seq
+			if nd.cfg.HomeUndo && nd.pt.HasTwin(p) {
+				d := nd.pt.MakeDiff(p)
+				if !d.Empty() {
+					nd.undo[p] = append(nd.undo[p], undoEntry{
+						writer: int32(nd.cfg.ID), seq: seq,
+						inv: memory.InverseDiff(d, nd.pt.Twin(p)),
+					})
+				}
+				nd.clearPostTwinLocked(p)
+			}
+			continue
+		}
+		d := nd.pt.MakeDiff(p).Clone()
+		compareBytes += nd.cfg.PageSize
+		if d.Empty() {
+			continue // silent rewrite of identical values: nothing to send
+		}
+		home := nd.HomeOf(p)
+		perHome[home] = append(perHome[home], d)
+		created = append(created, d)
+	}
+	nd.notices.Add(Notice{Proc: int32(nd.cfg.ID), Seq: seq, Pages: pages})
+	nd.pt.EndInterval()
+	nd.mu.Unlock()
+
+	nd.stats.Intervals.Add(1)
+	nd.stats.DiffsCreated.Add(int64(len(created)))
+	nd.clock.Advance(nd.cfg.Model.CopyTime(compareBytes))
+
+	// Send all updates, then flush the log, then collect acks: the disk
+	// access overlaps the coherence-induced communication (CCL's
+	// latency-tolerance technique). With NoFlushOverlap (ablation) the
+	// flush completes before the diffs even leave, fully serialized.
+	var flushDone simtime.Time
+	flush := func() {
+		if n := nd.hooks.AtRelease(op, seq, created); n > 0 {
+			if nd.cfg.NoFlushOverlap {
+				nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+			} else {
+				flushDone = nd.clock.Now() + simtime.Time(nd.cfg.Model.DiskTime(n))
+			}
+		}
+	}
+	if nd.cfg.NoFlushOverlap {
+		flush()
+	}
+	homes := make([]int, 0, len(perHome))
+	for h := range perHome {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
+	pendings := make([]*transport.Pending, 0, len(homes))
+	var sentBytes int64
+	for _, h := range homes {
+		du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, Diffs: perHome[h]}
+		sz := du.WireSize()
+		sentBytes += int64(sz)
+		pendings = append(pendings, nd.ep.CallAsync(h, KindDiffUpdate, sz, du))
+	}
+	nd.stats.DiffBytesSent.Add(sentBytes)
+
+	if !nd.cfg.NoFlushOverlap {
+		flush()
+	}
+	for _, p := range pendings {
+		p.Wait(nd.clock)
+	}
+	// Only the disk time not hidden behind the ack round trips remains on
+	// the critical path.
+	nd.clock.AdvanceTo(flushDone)
+}
+
+// Manager-side handlers ------------------------------------------------
+
+func (nd *Node) grantLocked(since vclock.VC) *LockGrant {
+	return &LockGrant{VT: nd.mgrVT.Clone(), Notices: nd.mgrNotices.Delta(since)}
+}
+
+func (nd *Node) handleLockReq(m transport.Message, at simtime.Time) {
+	req := m.Payload.(*LockReq)
+	nd.mu.Lock()
+	ls := nd.locks[req.Lock]
+	if ls == nil {
+		ls = &lockState{}
+		nd.locks[req.Lock] = ls
+	}
+	if ls.held {
+		ls.queue = append(ls.queue, pendingMsg{m: m, arrival: at})
+		nd.mu.Unlock()
+		return
+	}
+	ls.held = true
+	g := nd.grantLocked(req.VT)
+	nd.mu.Unlock()
+	nd.ep.ReplyAt(at, m, KindLockGrant, g.WireSize(), g)
+}
+
+func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
+	rel := m.Payload.(*LockRelease)
+	nd.mu.Lock()
+	nd.mgrNotices.AddAll(rel.Notices)
+	nd.mgrVT.Merge(rel.VT)
+	ls := nd.locks[rel.Lock]
+	if ls == nil || !ls.held {
+		nd.mu.Unlock()
+		panic(fmt.Sprintf("hlrc: manager %d got release of free lock %d", nd.cfg.ID, rel.Lock))
+	}
+	var next pendingMsg
+	var g *LockGrant
+	granted := false
+	if len(ls.queue) > 0 {
+		next, ls.queue = ls.queue[0], ls.queue[1:]
+		g = nd.grantLocked(next.m.Payload.(*LockReq).VT)
+		granted = true
+	} else {
+		ls.held = false
+	}
+	nd.mu.Unlock()
+	if granted {
+		// The handoff happens when both the release and the queued
+		// request have arrived.
+		grantAt := at
+		if next.arrival > grantAt {
+			grantAt = next.arrival
+		}
+		nd.ep.ReplyAt(grantAt, next.m, KindLockGrant, g.WireSize(), g)
+	}
+}
+
+func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
+	ci := m.Payload.(*BarrierCheckin)
+	nd.mu.Lock()
+	nd.mgrNotices.AddAll(ci.Notices)
+	nd.mgrVT.Merge(ci.VT)
+	bs := nd.barriers[ci.Barrier]
+	if bs == nil {
+		bs = &barrierState{}
+		nd.barriers[ci.Barrier] = bs
+	}
+	bs.waiting = append(bs.waiting, pendingMsg{m: m, arrival: at})
+	if len(bs.waiting) < nd.cfg.N {
+		nd.mu.Unlock()
+		return
+	}
+	waiting := bs.waiting
+	bs.waiting = nil
+	// The barrier opens when the last check-in has arrived.
+	var releaseAt simtime.Time
+	for _, w := range waiting {
+		if w.arrival > releaseAt {
+			releaseAt = w.arrival
+		}
+	}
+	type out struct {
+		m   transport.Message
+		rel *BarrierRelease
+	}
+	outs := make([]out, 0, len(waiting))
+	for _, w := range waiting {
+		since := w.m.Payload.(*BarrierCheckin).VT
+		outs = append(outs, out{m: w.m, rel: &BarrierRelease{
+			VT:      nd.mgrVT.Clone(),
+			Notices: nd.mgrNotices.Delta(since),
+		}})
+	}
+	nd.mu.Unlock()
+	for _, o := range outs {
+		nd.ep.ReplyAt(releaseAt, o.m, KindBarrierRelease, o.rel.WireSize(), o.rel)
+	}
+}

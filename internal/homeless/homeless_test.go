@@ -1,0 +1,143 @@
+package homeless
+
+import (
+	"fmt"
+	"testing"
+
+	"sdsm/internal/simtime"
+)
+
+func run(t *testing.T, n, pages, pageSize int, prog func(nd *Node)) *Cluster {
+	t.Helper()
+	c := NewCluster(n, pages, pageSize, simtime.DefaultCostModel())
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBarrierPropagation(t *testing.T) {
+	c := run(t, 4, 8, 256, func(nd *Node) {
+		nd.WriteI64(nd.ID()*256, int64(100+nd.ID()))
+		nd.Barrier(0)
+		for w := 0; w < nd.N(); w++ {
+			if got := nd.ReadI64(w * 256); got != int64(100+w) {
+				panic(fmt.Sprintf("node %d reads %d from writer %d", nd.ID(), got, w))
+			}
+		}
+		nd.Barrier(1)
+	})
+	s := c.TotalStats()
+	if s.Faults == 0 || s.DiffsFetched == 0 {
+		t.Fatalf("no home-less fetches recorded: %+v", s)
+	}
+	if s.BytesRetained == 0 {
+		t.Fatal("writers retained nothing")
+	}
+}
+
+func TestLockCounter(t *testing.T) {
+	const n, iters = 4, 8
+	run(t, n, 4, 256, func(nd *Node) {
+		for i := 0; i < iters; i++ {
+			nd.AcquireLock(1)
+			nd.WriteI64(0, nd.ReadI64(0)+1)
+			nd.ReleaseLock(1)
+		}
+		nd.Barrier(0)
+		if got := nd.ReadI64(0); got != n*iters {
+			panic(fmt.Sprintf("counter = %d", got))
+		}
+		nd.Barrier(1)
+	})
+}
+
+// Cross-writer ordering: two nodes overwrite the same word in a
+// lock-ordered chain; the third must apply the fetched diffs in
+// happens-before order and see the final value.
+func TestOrderedDiffApplication(t *testing.T) {
+	run(t, 3, 2, 256, func(nd *Node) {
+		switch nd.ID() {
+		case 0:
+			nd.AcquireLock(5)
+			nd.WriteI64(0, 111)
+			nd.ReleaseLock(5)
+			nd.Barrier(0)
+			nd.Barrier(1)
+		case 1:
+			nd.Barrier(0) // node 0's write is visible
+			nd.AcquireLock(5)
+			nd.WriteI64(0, nd.ReadI64(0)+889) // 111 -> 1000
+			nd.ReleaseLock(5)
+			nd.Barrier(1)
+		case 2:
+			nd.Barrier(0)
+			nd.Barrier(1)
+			if got := nd.ReadI64(0); got != 1000 {
+				panic(fmt.Sprintf("ordered application broken: %d", got))
+			}
+		}
+		nd.Barrier(2)
+	})
+}
+
+// Multiple writers of one page between barriers (false sharing): the
+// reader must see both halves merged.
+func TestMultipleWriterMerge(t *testing.T) {
+	run(t, 2, 2, 256, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.WriteI64(0, 7)
+		} else {
+			nd.WriteI64(128, 8)
+		}
+		nd.Barrier(0)
+		if nd.ReadI64(0) != 7 || nd.ReadI64(128) != 8 {
+			panic("merge lost a half")
+		}
+		nd.Barrier(1)
+	})
+}
+
+// Diff retention grows monotonically with intervals — the storage the
+// home-based protocol does not need.
+func TestRetentionGrows(t *testing.T) {
+	measure := func(iters int) int64 {
+		c := run(t, 2, 2, 256, func(nd *Node) {
+			for i := 0; i < iters; i++ {
+				nd.WriteI64(nd.ID()*256, int64(i))
+				nd.Barrier(i)
+			}
+		})
+		return c.TotalStats().BytesRetained
+	}
+	few, many := measure(3), measure(12)
+	if many <= few {
+		t.Fatalf("retention did not grow: %d vs %d", few, many)
+	}
+}
+
+// The headline home-based advantage: with several writers of one page, a
+// home-less miss needs one round trip per writer while the home-based
+// miss needs exactly one.
+func TestMultiWriterMissCostsMultipleRounds(t *testing.T) {
+	const n = 4
+	c := run(t, n, 2, 4096, func(nd *Node) {
+		// All nodes write disjoint slices of page 0.
+		nd.WriteI64(nd.ID()*1024, int64(nd.ID()))
+		nd.Barrier(0)
+		// Everyone reads the whole page.
+		for w := 0; w < n; w++ {
+			_ = nd.ReadI64(w * 1024)
+		}
+		nd.Barrier(1)
+	})
+	s := c.TotalStats()
+	// Each of the 4 nodes misses once and must contact the 3 other
+	// writers: 12 fetch rounds for 4 faults.
+	if s.Faults != 4 {
+		t.Fatalf("faults = %d, want 4", s.Faults)
+	}
+	if s.FetchRounds != 12 {
+		t.Fatalf("fetch rounds = %d, want 12 (3 writers per miss)", s.FetchRounds)
+	}
+}

@@ -1,0 +1,62 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPage(density float64) (twin, cur []byte) {
+	rng := rand.New(rand.NewSource(42))
+	twin = make([]byte, 4096)
+	rng.Read(twin)
+	cur = make([]byte, 4096)
+	copy(cur, twin)
+	mods := int(float64(len(cur)) * density)
+	for i := 0; i < mods; i++ {
+		cur[rng.Intn(len(cur))] ^= 0xff
+	}
+	return twin, cur
+}
+
+func BenchmarkMakeDiffSparse(b *testing.B) {
+	twin, cur := benchPage(0.02)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MakeDiff(0, twin, cur)
+	}
+}
+
+func BenchmarkMakeDiffDense(b *testing.B) {
+	twin, cur := benchPage(0.5)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MakeDiff(0, twin, cur)
+	}
+}
+
+func BenchmarkApplyDiff(b *testing.B) {
+	twin, cur := benchPage(0.1)
+	d := MakeDiff(0, twin, cur)
+	dst := make([]byte, 4096)
+	copy(dst, twin)
+	b.SetBytes(int64(d.DataBytes()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst)
+	}
+}
+
+func BenchmarkDiffEncodeDecode(b *testing.B) {
+	twin, cur := benchPage(0.1)
+	d := MakeDiff(0, twin, cur)
+	buf := d.Encode(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeDiff(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package memory implements the paged shared address space of the
+// simulated SDSM: page storage, twin creation, word-granularity diffs and
+// the per-node page table.
+//
+// Real SDSM systems use virtual-memory protection hardware to detect
+// accesses; the Go runtime owns signals and page tables, so this package
+// instead exposes an explicit state machine per page (see PageTable) that
+// the access layer consults on every read and write. The protocol-visible
+// behaviour (which pages fault, which twins and diffs exist) is identical
+// to the mprotect-based original.
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordSize is the diff granularity in bytes. TreadMarks diffs at 4-byte
+// word granularity; we keep that so false sharing behaves the same way.
+const WordSize = 4
+
+// PageID names one shared page.
+type PageID int32
+
+// Run is one contiguous span of modified bytes within a page.
+type Run struct {
+	Off  int32  // byte offset within the page, WordSize-aligned
+	Data []byte // the new contents of the span
+}
+
+// Diff is a summary of the modifications made to one page during one
+// interval, computed by comparing the page against its twin.
+type Diff struct {
+	Page PageID
+	Runs []Run
+}
+
+// MakeDiff compares cur against twin and returns the diff, scanning at
+// word granularity and coalescing adjacent modified words into runs.
+// The two slices must have equal length. The returned runs alias cur; the
+// caller must copy them (see Clone) if cur will be modified afterwards.
+func MakeDiff(page PageID, twin, cur []byte) Diff {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("memory: twin/page size mismatch: %d vs %d", len(twin), len(cur)))
+	}
+	d := Diff{Page: page}
+	n := len(cur)
+	i := 0
+	for i < n {
+		// Find the next modified word.
+		for i < n && wordEqual(twin, cur, i) {
+			i += WordSize
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !wordEqual(twin, cur, i) {
+			i += WordSize
+		}
+		end := i
+		if end > n {
+			end = n
+		}
+		d.Runs = append(d.Runs, Run{Off: int32(start), Data: cur[start:end]})
+	}
+	return d
+}
+
+func wordEqual(a, b []byte, off int) bool {
+	end := off + WordSize
+	if end > len(a) {
+		end = len(a)
+	}
+	for i := off; i < end; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Apply writes the diff's runs into dst, which must be a full page buffer.
+func (d Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:int(r.Off)+len(r.Data)], r.Data)
+	}
+}
+
+// Clone returns a deep copy of the diff that does not alias the source
+// page buffer.
+func (d Diff) Clone() Diff {
+	c := Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	for i, r := range d.Runs {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		c.Runs[i] = Run{Off: r.Off, Data: data}
+	}
+	return c
+}
+
+// DataBytes is the number of payload bytes carried by the diff.
+func (d Diff) DataBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// WireSize is the serialized size of the diff: page id, run count, and per
+// run an offset, length and the payload. This is what message-size and
+// log-size accounting use.
+func (d Diff) WireSize() int { return 8 + 8*len(d.Runs) + d.DataBytes() }
+
+// Encode appends a portable encoding of the diff to buf.
+func (d Diff) Encode(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Page))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Runs)))
+	for _, r := range d.Runs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Off))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// DecodeDiff decodes a diff produced by Encode, returning the diff and the
+// remaining bytes. The decoded runs do not alias buf.
+func DecodeDiff(buf []byte) (Diff, []byte, error) {
+	var d Diff
+	if len(buf) < 8 {
+		return d, buf, fmt.Errorf("memory: short diff header")
+	}
+	d.Page = PageID(binary.LittleEndian.Uint32(buf))
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	d.Runs = make([]Run, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 8 {
+			return d, buf, fmt.Errorf("memory: short run header (run %d)", i)
+		}
+		off := int32(binary.LittleEndian.Uint32(buf))
+		ln := int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+		if len(buf) < ln {
+			return d, buf, fmt.Errorf("memory: truncated run payload (run %d)", i)
+		}
+		data := make([]byte, ln)
+		copy(data, buf[:ln])
+		buf = buf[ln:]
+		d.Runs = append(d.Runs, Run{Off: off, Data: data})
+	}
+	return d, buf, nil
+}
+
+// InverseDiff returns the diff that undoes d when applied to a page that
+// currently equals base-with-d-applied: it captures base's bytes at d's
+// runs. It is used by the home-side undo history that lets a live home
+// reconstruct an earlier version of a page during recovery ("home
+// rollback" in the paper).
+func InverseDiff(d Diff, base []byte) Diff {
+	inv := Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	for i, r := range d.Runs {
+		old := make([]byte, len(r.Data))
+		copy(old, base[r.Off:int(r.Off)+len(r.Data)])
+		inv.Runs[i] = Run{Off: r.Off, Data: old}
+	}
+	return inv
+}

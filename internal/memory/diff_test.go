@@ -1,0 +1,188 @@
+package memory
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeDiffEmpty(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	d := MakeDiff(3, twin, cur)
+	if !d.Empty() || d.Page != 3 {
+		t.Fatalf("diff of identical pages: %+v", d)
+	}
+	if d.DataBytes() != 0 {
+		t.Fatal("empty diff carries bytes")
+	}
+}
+
+func TestMakeDiffSingleWord(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[8] = 0xff
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(d.Runs))
+	}
+	r := d.Runs[0]
+	if r.Off != 8 || len(r.Data) != WordSize {
+		t.Fatalf("run = off %d len %d", r.Off, len(r.Data))
+	}
+}
+
+func TestMakeDiffCoalescesAdjacentWords(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	for i := 4; i < 16; i++ {
+		cur[i] = byte(i)
+	}
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 1 {
+		t.Fatalf("adjacent modified words must coalesce, got %d runs", len(d.Runs))
+	}
+	if d.Runs[0].Off != 4 || len(d.Runs[0].Data) != 12 {
+		t.Fatalf("run = %+v", d.Runs[0])
+	}
+}
+
+func TestMakeDiffSeparateRuns(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[32] = 2
+	d := MakeDiff(0, twin, cur)
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(d.Runs))
+	}
+}
+
+func TestMakeDiffSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	MakeDiff(0, make([]byte, 8), make([]byte, 16))
+}
+
+// The fundamental diff invariant: apply(twin, diff(twin, cur)) == cur.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nMods uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 256
+		twin := make([]byte, size)
+		rng.Read(twin)
+		cur := make([]byte, size)
+		copy(cur, twin)
+		for i := 0; i < int(nMods); i++ {
+			cur[rng.Intn(size)] = byte(rng.Int())
+		}
+		d := MakeDiff(1, twin, cur)
+		rebuilt := make([]byte, size)
+		copy(rebuilt, twin)
+		d.Apply(rebuilt)
+		return bytes.Equal(rebuilt, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Encode/Decode round trip, and WireSize matches the encoding length.
+func TestDiffEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64, nMods uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 128
+		twin := make([]byte, size)
+		cur := make([]byte, size)
+		rng.Read(cur)
+		for i := 0; i < int(nMods); i++ {
+			cur[rng.Intn(size)] = twin[rng.Intn(size)]
+		}
+		d := MakeDiff(7, twin, cur)
+		buf := d.Encode(nil)
+		if len(buf) != d.WireSize() {
+			return false
+		}
+		got, rest, err := DecodeDiff(buf)
+		if err != nil || len(rest) != 0 || got.Page != d.Page || len(got.Runs) != len(d.Runs) {
+			return false
+		}
+		rebuilt := make([]byte, size)
+		copy(rebuilt, twin)
+		got.Apply(rebuilt)
+		return bytes.Equal(rebuilt, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDiffErrors(t *testing.T) {
+	if _, _, err := DecodeDiff([]byte{1, 2}); err == nil {
+		t.Fatal("short header must fail")
+	}
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	cur[0] = 9
+	d := MakeDiff(0, twin, cur)
+	buf := d.Encode(nil)
+	if _, _, err := DecodeDiff(buf[:9]); err == nil {
+		t.Fatal("short run header must fail")
+	}
+	if _, _, err := DecodeDiff(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+}
+
+func TestDiffCloneDoesNotAlias(t *testing.T) {
+	twin := make([]byte, 16)
+	cur := make([]byte, 16)
+	cur[0] = 5
+	d := MakeDiff(0, twin, cur)
+	c := d.Clone()
+	cur[0] = 99 // mutate the source page
+	if c.Runs[0].Data[0] != 5 {
+		t.Fatal("clone aliases the source page")
+	}
+}
+
+func TestInverseDiffUndoes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 128
+		base := make([]byte, size)
+		rng.Read(base)
+		cur := make([]byte, size)
+		copy(cur, base)
+		for i := 0; i < 10; i++ {
+			cur[rng.Intn(size)] = byte(rng.Int())
+		}
+		d := MakeDiff(0, base, cur)
+		inv := InverseDiff(d, base)
+		// Apply forward then inverse: must restore base.
+		work := make([]byte, size)
+		copy(work, base)
+		d.Apply(work)
+		inv.Apply(work)
+		return bytes.Equal(work, base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffWireSizeAccountsRuns(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[32] = 1
+	d := MakeDiff(0, twin, cur)
+	want := 8 + 2*8 + d.DataBytes()
+	if d.WireSize() != want {
+		t.Fatalf("WireSize = %d, want %d", d.WireSize(), want)
+	}
+}

@@ -1,0 +1,194 @@
+package memory
+
+import "fmt"
+
+// State is the access state of one page in one node's page table. It
+// stands in for the mprotect protection bits of a real SDSM.
+type State uint8
+
+const (
+	// Invalid means the local copy is stale; any access must first fetch
+	// the current copy from the page's home.
+	Invalid State = iota
+	// ReadOnly means the local copy is valid for reading; the first write
+	// in an interval "faults" (creates a twin for non-home pages) and
+	// upgrades the page to Writable.
+	ReadOnly
+	// Writable means the page has been written in the current interval.
+	// Non-home pages in this state have a twin.
+	Writable
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case ReadOnly:
+		return "read-only"
+	case Writable:
+		return "writable"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// PageTable holds one node's copies of every shared page together with the
+// per-page access state, twins, and the current interval's dirty set.
+type PageTable struct {
+	pageSize int
+	numPages int
+	data     []byte // contiguous backing store, numPages*pageSize bytes
+	state    []State
+	twin     [][]byte // nil when no twin exists
+	dirty    []bool   // written during the current interval
+}
+
+// NewPageTable returns a table of numPages pages of pageSize bytes each,
+// all zero-filled and ReadOnly (the initial image is consistent
+// everywhere).
+func NewPageTable(numPages, pageSize int) *PageTable {
+	if numPages <= 0 || pageSize <= 0 || pageSize%WordSize != 0 {
+		panic(fmt.Sprintf("memory: bad page table geometry %dx%d", numPages, pageSize))
+	}
+	pt := &PageTable{
+		pageSize: pageSize,
+		numPages: numPages,
+		data:     make([]byte, numPages*pageSize),
+		state:    make([]State, numPages),
+		twin:     make([][]byte, numPages),
+		dirty:    make([]bool, numPages),
+	}
+	for i := range pt.state {
+		pt.state[i] = ReadOnly
+	}
+	return pt
+}
+
+// PageSize returns the page size in bytes.
+func (pt *PageTable) PageSize() int { return pt.pageSize }
+
+// NumPages returns the number of pages.
+func (pt *PageTable) NumPages() int { return pt.numPages }
+
+// Bytes returns the total size of the shared space in bytes.
+func (pt *PageTable) Bytes() int { return pt.numPages * pt.pageSize }
+
+// Page returns the backing slice of page id (len == pageSize).
+func (pt *PageTable) Page(id PageID) []byte {
+	off := int(id) * pt.pageSize
+	return pt.data[off : off+pt.pageSize : off+pt.pageSize]
+}
+
+// State returns page id's access state.
+func (pt *PageTable) State(id PageID) State { return pt.state[id] }
+
+// SetState sets page id's access state.
+func (pt *PageTable) SetState(id PageID, s State) { pt.state[id] = s }
+
+// Invalidate marks the page invalid. Its data stays in place (it will be
+// overwritten by the next fetch); any twin is kept — a dirty page must
+// flush its diff before being invalidated, which the protocol layer does.
+func (pt *PageTable) Invalidate(id PageID) { pt.state[id] = Invalid }
+
+// HasTwin reports whether page id currently has a twin.
+func (pt *PageTable) HasTwin(id PageID) bool { return pt.twin[id] != nil }
+
+// MakeTwin snapshots the current contents of page id as its twin. It
+// panics if a twin already exists (the protocol creates at most one twin
+// per page per interval).
+func (pt *PageTable) MakeTwin(id PageID) {
+	if pt.twin[id] != nil {
+		panic(fmt.Sprintf("memory: page %d already has a twin", id))
+	}
+	t := make([]byte, pt.pageSize)
+	copy(t, pt.Page(id))
+	pt.twin[id] = t
+}
+
+// Twin returns the twin of page id, or nil.
+func (pt *PageTable) Twin(id PageID) []byte { return pt.twin[id] }
+
+// DropTwin discards page id's twin.
+func (pt *PageTable) DropTwin(id PageID) { pt.twin[id] = nil }
+
+// MarkDirty records that page id was written during the current interval.
+func (pt *PageTable) MarkDirty(id PageID) { pt.dirty[id] = true }
+
+// IsDirty reports whether page id was written during the current interval.
+func (pt *PageTable) IsDirty(id PageID) bool { return pt.dirty[id] }
+
+// DirtyPages returns the ids of all pages written during the current
+// interval, in ascending order.
+func (pt *PageTable) DirtyPages() []PageID {
+	var out []PageID
+	for i, d := range pt.dirty {
+		if d {
+			out = append(out, PageID(i))
+		}
+	}
+	return out
+}
+
+// ClearDirty resets the dirty bit of one page (used when a page's diff is
+// flushed early at an acquire because the page is being invalidated).
+func (pt *PageTable) ClearDirty(id PageID) { pt.dirty[id] = false }
+
+// EndInterval clears all dirty bits and drops all twins; called once the
+// interval's diffs have been produced.
+func (pt *PageTable) EndInterval() {
+	for i := range pt.dirty {
+		pt.dirty[i] = false
+		pt.twin[i] = nil
+	}
+}
+
+// MakeDiff computes the diff of page id against its twin.
+func (pt *PageTable) MakeDiff(id PageID) Diff {
+	t := pt.twin[id]
+	if t == nil {
+		panic(fmt.Sprintf("memory: MakeDiff(%d) without twin", id))
+	}
+	return MakeDiff(id, t, pt.Page(id))
+}
+
+// ApplyDiff applies d to the local copy of its page.
+func (pt *PageTable) ApplyDiff(d Diff) { d.Apply(pt.Page(d.Page)) }
+
+// Install overwrites page id with data (a fetched home copy) and marks it
+// ReadOnly.
+func (pt *PageTable) Install(id PageID, data []byte) {
+	if len(data) != pt.pageSize {
+		panic(fmt.Sprintf("memory: install of %d bytes into %d-byte page", len(data), pt.pageSize))
+	}
+	copy(pt.Page(id), data)
+	pt.state[id] = ReadOnly
+}
+
+// Snapshot returns a copy of the entire shared space; used by checkpoints
+// and by tests comparing final memory images.
+func (pt *PageTable) Snapshot() []byte {
+	s := make([]byte, len(pt.data))
+	copy(s, pt.data)
+	return s
+}
+
+// Restore overwrites the entire space from a snapshot and resets all
+// per-page protocol state (ReadOnly, no twins, clean).
+func (pt *PageTable) Restore(snapshot []byte) {
+	if len(snapshot) != len(pt.data) {
+		panic(fmt.Sprintf("memory: restore of %d bytes into %d-byte space", len(snapshot), len(pt.data)))
+	}
+	copy(pt.data, snapshot)
+	for i := range pt.state {
+		pt.state[i] = ReadOnly
+		pt.twin[i] = nil
+		pt.dirty[i] = false
+	}
+}
+
+// PageOf returns the page containing byte address addr and the offset
+// within that page.
+func (pt *PageTable) PageOf(addr int) (PageID, int) {
+	return PageID(addr / pt.pageSize), addr % pt.pageSize
+}

@@ -1,0 +1,217 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newPT(t *testing.T) *PageTable {
+	t.Helper()
+	return NewPageTable(4, 64)
+}
+
+func TestNewPageTableInitialState(t *testing.T) {
+	pt := newPT(t)
+	if pt.NumPages() != 4 || pt.PageSize() != 64 || pt.Bytes() != 256 {
+		t.Fatal("geometry wrong")
+	}
+	for i := 0; i < 4; i++ {
+		id := PageID(i)
+		if pt.State(id) != ReadOnly {
+			t.Fatalf("page %d initial state %v", i, pt.State(id))
+		}
+		if pt.HasTwin(id) || pt.IsDirty(id) {
+			t.Fatalf("page %d has twin/dirty initially", i)
+		}
+		for _, b := range pt.Page(id) {
+			if b != 0 {
+				t.Fatal("pages must start zeroed")
+			}
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 64}, {4, 0}, {4, 63}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geometry %v must panic", g)
+				}
+			}()
+			NewPageTable(g[0], g[1])
+		}()
+	}
+}
+
+func TestTwinLifecycle(t *testing.T) {
+	pt := newPT(t)
+	p := pt.Page(1)
+	p[0] = 42
+	pt.MakeTwin(1)
+	if !pt.HasTwin(1) {
+		t.Fatal("twin missing")
+	}
+	p[0] = 99
+	p[16] = 7 // non-adjacent word: separate run
+	d := pt.MakeDiff(1)
+	if len(d.Runs) != 2 {
+		t.Fatalf("diff runs = %d, want 2", len(d.Runs))
+	}
+	if d.Runs[0].Data[0] != 99 {
+		t.Fatal("diff captured twin value, not current")
+	}
+	pt.DropTwin(1)
+	if pt.HasTwin(1) {
+		t.Fatal("twin not dropped")
+	}
+}
+
+func TestDoubleTwinPanics(t *testing.T) {
+	pt := newPT(t)
+	pt.MakeTwin(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second MakeTwin must panic")
+		}
+	}()
+	pt.MakeTwin(0)
+}
+
+func TestDiffWithoutTwinPanics(t *testing.T) {
+	pt := newPT(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeDiff without twin must panic")
+		}
+	}()
+	pt.MakeDiff(2)
+}
+
+func TestDirtyTracking(t *testing.T) {
+	pt := newPT(t)
+	pt.MarkDirty(2)
+	pt.MarkDirty(0)
+	got := pt.DirtyPages()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("DirtyPages = %v", got)
+	}
+	pt.ClearDirty(0)
+	if pt.IsDirty(0) || !pt.IsDirty(2) {
+		t.Fatal("ClearDirty wrong")
+	}
+	pt.MakeTwin(2)
+	pt.EndInterval()
+	if len(pt.DirtyPages()) != 0 || pt.HasTwin(2) {
+		t.Fatal("EndInterval must clear dirty bits and twins")
+	}
+}
+
+func TestInstallAndInvalidate(t *testing.T) {
+	pt := newPT(t)
+	data := make([]byte, 64)
+	data[10] = 123
+	pt.Invalidate(3)
+	if pt.State(3) != Invalid {
+		t.Fatal("Invalidate")
+	}
+	pt.Install(3, data)
+	if pt.State(3) != ReadOnly || pt.Page(3)[10] != 123 {
+		t.Fatal("Install")
+	}
+}
+
+func TestInstallSizeMismatchPanics(t *testing.T) {
+	pt := newPT(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Install with bad size must panic")
+		}
+	}()
+	pt.Install(0, make([]byte, 5))
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	pt := newPT(t)
+	pt.Page(0)[0] = 11
+	pt.Page(3)[63] = 22
+	snap := pt.Snapshot()
+	pt.Page(0)[0] = 0
+	pt.MakeTwin(1)
+	pt.MarkDirty(1)
+	pt.Invalidate(2)
+	pt.Restore(snap)
+	if pt.Page(0)[0] != 11 || pt.Page(3)[63] != 22 {
+		t.Fatal("restore lost data")
+	}
+	if pt.State(2) != ReadOnly || pt.HasTwin(1) || pt.IsDirty(1) {
+		t.Fatal("restore must reset protocol state")
+	}
+	// Snapshot must be a copy, not an alias.
+	snap[0] = 77
+	if pt.Page(0)[0] == 77 {
+		t.Fatal("snapshot aliases the table")
+	}
+}
+
+func TestRestoreSizeMismatchPanics(t *testing.T) {
+	pt := newPT(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restore with bad size must panic")
+		}
+	}()
+	pt.Restore(make([]byte, 3))
+}
+
+func TestApplyDiffToTable(t *testing.T) {
+	pt := newPT(t)
+	other := make([]byte, 64)
+	cur := make([]byte, 64)
+	copy(cur, other)
+	cur[8] = 200
+	d := MakeDiff(2, other, cur)
+	pt.ApplyDiff(d)
+	if pt.Page(2)[8] != 200 {
+		t.Fatal("ApplyDiff")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	pt := newPT(t)
+	for _, tc := range []struct {
+		addr int
+		page PageID
+		off  int
+	}{{0, 0, 0}, {63, 0, 63}, {64, 1, 0}, {200, 3, 8}} {
+		p, o := pt.PageOf(tc.addr)
+		if p != tc.page || o != tc.off {
+			t.Fatalf("PageOf(%d) = (%d,%d), want (%d,%d)", tc.addr, p, o, tc.page, tc.off)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "invalid" || ReadOnly.String() != "read-only" || Writable.String() != "writable" {
+		t.Fatal("State.String")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+}
+
+func TestPageSliceBounds(t *testing.T) {
+	pt := newPT(t)
+	p := pt.Page(1)
+	if len(p) != 64 || cap(p) != 64 {
+		t.Fatalf("page slice len/cap = %d/%d", len(p), cap(p))
+	}
+	// Writing through the slice lands in the backing store.
+	p[0] = 9
+	if pt.Snapshot()[64] != 9 {
+		t.Fatal("page slice does not alias backing store")
+	}
+	if !bytes.Equal(pt.Page(1), p) {
+		t.Fatal("Page not stable")
+	}
+}

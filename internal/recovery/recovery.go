@@ -1,0 +1,453 @@
+// Package recovery implements the paper's crash-recovery schemes for the
+// recoverable home-based SDSM:
+//
+//   - Re-execution (the no-logging baseline): restart the entire program
+//     from the initial state; it costs the original execution time.
+//
+//   - ML-recovery: the victim replays alone from its local disk log. The
+//     logged write notices are applied at each synchronization point, the
+//     logged incoming diffs are applied to its home copies, and every
+//     memory miss is served by reading the logged page copy from disk —
+//     the per-miss disk stall is the "memory miss idle time" the paper
+//     charges against ML.
+//
+//   - CCL-recovery (the paper's scheme): at the beginning of each replayed
+//     interval the victim reads its (small) local log once, fetches the
+//     logged update events' diffs from the writers' logs, and prefetches
+//     every remote page named by the interval's write-invalidation
+//     notices directly from the live homes, at exactly the version the
+//     replay needs. Page faults never happen during replay.
+//
+// Surviving nodes answer the recovery's versioned page fetches and logged
+// diff reads through a service handler installed on every node
+// (InstallService).
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+	"sdsm/internal/stable"
+	"sdsm/internal/transport"
+	"sdsm/internal/vclock"
+	"sdsm/internal/wal"
+)
+
+// Kind selects a recovery scheme.
+type Kind int
+
+// The recovery schemes compared in Figure 5.
+const (
+	// ReExecution restarts the program from the initial state.
+	ReExecution Kind = iota
+	// MLRecovery replays the victim from its message log.
+	MLRecovery
+	// CCLRecovery replays the victim with prefetch-based reconstruction.
+	CCLRecovery
+)
+
+// String names the scheme as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case ReExecution:
+		return "Re-Execution"
+	case MLRecovery:
+		return "ML-Recovery"
+	case CCLRecovery:
+		return "CCL-Recovery"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// InstallService installs the recovery-service handler on a node: it
+// serves versioned page fetches (RecPageReq) from the node's home copies
+// (rolling back with the undo history when the copy has advanced past the
+// needed version) and logged-diff reads (RecDiffsReq) from the node's
+// stable store. Every node gets this at cluster construction, so any
+// single peer can recover.
+func InstallService(nd *hlrc.Node, store *stable.Store) {
+	ep := nd.Endpoint()
+	nd.ExtraHandler = func(m transport.Message) bool {
+		at := ep.ArrivalOf(m) + simtime.Time(nd.Model().MsgHandling)
+		switch m.Kind {
+		case hlrc.KindRecPageReq:
+			req := m.Payload.(*hlrc.RecPageReq)
+			data, ver := nd.PageAtVersion(req.Page, req.Need)
+			resp := &hlrc.RecPageReply{Data: data, Ver: ver}
+			ep.ReplyAt(at, m, hlrc.KindRecPageReply, resp.WireSize(), resp)
+			return true
+		case hlrc.KindRecDiffsReq:
+			req := m.Payload.(*hlrc.RecDiffsReq)
+			resp := readLoggedDiffs(store, req)
+			ep.ReplyAt(at, m, hlrc.KindRecDiffsReply, resp.WireSize(), resp)
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// readLoggedDiffs scans a writer's log for its own diffs of one page in
+// the interval range (FromSeq, ToSeq]. DiskBytes accounts the log bytes
+// read on the writer's disk; the recovering node charges that time.
+func readLoggedDiffs(store *stable.Store, req *hlrc.RecDiffsReq) *hlrc.RecDiffsReply {
+	resp := &hlrc.RecDiffsReply{}
+	for _, rec := range store.Records() {
+		if rec.Kind != wal.RecDiff {
+			continue
+		}
+		writer, seq, d, err := wal.DecodeDiffRecord(rec.Data)
+		if err != nil {
+			panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
+		}
+		if writer != -1 { // only diffs this node created itself (CCL log)
+			continue
+		}
+		if d.Page != req.Page || seq <= req.FromSeq || seq > req.ToSeq {
+			continue
+		}
+		resp.Seqs = append(resp.Seqs, seq)
+		resp.Diffs = append(resp.Diffs, d)
+		resp.DiskBytes += rec.WireSize()
+	}
+	store.NoteRead(resp.DiskBytes)
+	return resp
+}
+
+// Replayer drives a recovering node through its logged execution. It
+// implements hlrc.SyncDelegate: while installed, synchronization
+// operations replay from the log instead of communicating, and page
+// misses are resolved from the log (ML) or never happen (CCL).
+type Replayer struct {
+	kind    Kind
+	store   *stable.Store
+	crashOp int32
+	model   simtime.CostModel
+
+	byOp      map[int32][]stable.Record
+	pagesByOp map[int32]map[memory.PageID][]byte // ML page copies
+
+	replayTime simtime.Time
+	detached   bool
+	// reportedSelf is the victim's own interval count as last reported
+	// to the managers (at its releases and barrier check-ins). A lock
+	// grant's knowledge horizon can never exceed it on the victim's own
+	// component, so the replayed grantVT must use it — using the
+	// victim's full vector time would make post-recovery release deltas
+	// skip own intervals the manager never learned.
+	reportedSelf int32
+	// seeked: the replay reads the log as one forward sequential stream,
+	// so only the first batch read pays the positioning latency; later
+	// batches are bandwidth-only. (ML's per-miss page reads are random
+	// accesses and always pay it — the paper's "memory miss idle time".)
+	seeked bool
+	// OnDetach runs when replay reaches the crash op, just before the
+	// node resumes live operation (the runner restarts the service loop
+	// here).
+	OnDetach func()
+}
+
+// NewReplayer indexes the victim's log for replay up to crashOp.
+func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.CostModel) *Replayer {
+	if kind != MLRecovery && kind != CCLRecovery {
+		panic(fmt.Sprintf("recovery: no replayer for %v", kind))
+	}
+	r := &Replayer{
+		kind:      kind,
+		store:     store,
+		crashOp:   crashOp,
+		model:     model,
+		byOp:      make(map[int32][]stable.Record),
+		pagesByOp: make(map[int32]map[memory.PageID][]byte),
+	}
+	for _, rec := range store.Records() {
+		if kind == MLRecovery && rec.Kind == wal.RecPage {
+			page, data, err := wal.DecodePageRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt page record: %v", err))
+			}
+			m := r.pagesByOp[rec.Op]
+			if m == nil {
+				m = make(map[memory.PageID][]byte)
+				r.pagesByOp[rec.Op] = m
+			}
+			m[page] = data
+			continue
+		}
+		r.byOp[rec.Op] = append(r.byOp[rec.Op], rec)
+	}
+	return r
+}
+
+// ReplayTime reports the virtual time the replay consumed (valid after
+// detach).
+func (r *Replayer) ReplayTime() simtime.Time { return r.replayTime }
+
+// Detached reports whether replay has completed.
+func (r *Replayer) Detached() bool { return r.detached }
+
+// Acquire implements hlrc.SyncDelegate.
+func (r *Replayer) Acquire(nd *hlrc.Node, op int32, lock int32) bool {
+	if op >= r.crashOp {
+		panic(fmt.Sprintf("recovery: replay reached acquire op %d beyond crash op %d", op, r.crashOp))
+	}
+	r.enterPhase(nd, op, true)
+	// The merged vector time equals the grant's knowledge horizon on
+	// every foreign component (all knowledge routes through the
+	// centralized manager); on the victim's own component the manager
+	// only knows what the victim last reported.
+	gvt := nd.VT()
+	gvt[nd.ID()] = r.reportedSelf
+	nd.SetGrantVT(lock, gvt)
+	nd.BumpOp()
+	return true
+}
+
+// Release implements hlrc.SyncDelegate. Per the paper's Figure 2, a
+// release during recovery performs no communication.
+func (r *Replayer) Release(nd *hlrc.Node, op int32, lock int32) bool {
+	nd.CloseIntervalLocal()
+	r.reportedSelf = nd.VT()[nd.ID()]
+	r.enterPhase(nd, op, false)
+	if op >= r.crashOp {
+		r.detach(nd)
+		// The failure struck after this op's local half: the release
+		// message never reached the manager. Send it now, live.
+		nd.FinishReleaseLive(op, lock)
+		return true
+	}
+	nd.BumpOp()
+	return true
+}
+
+// Barrier implements hlrc.SyncDelegate.
+func (r *Replayer) Barrier(nd *hlrc.Node, op int32, barrier int32) bool {
+	nd.CloseIntervalLocal()
+	r.reportedSelf = nd.VT()[nd.ID()]
+	r.enterPhase(nd, op, false)
+	if op >= r.crashOp {
+		r.detach(nd)
+		// Check in live: the manager never saw this arrival.
+		nd.FinishBarrierLive(op, barrier)
+		return true
+	}
+	nd.SetLastBarrierVT(nd.VT())
+	nd.BumpOp()
+	return true
+}
+
+// Validate implements hlrc.SyncDelegate: resolve an invalid page during
+// replay.
+func (r *Replayer) Validate(nd *hlrc.Node, page memory.PageID) bool {
+	switch r.kind {
+	case MLRecovery:
+		// The logged copy fetched at this point of the original run is
+		// read from the local disk — one seek per miss (the memory miss
+		// idle time the paper charges against ML-recovery).
+		op := nd.OpIndex()
+		data := r.pagesByOp[op][page]
+		if data == nil {
+			panic(fmt.Sprintf("recovery: ML replay diverged: no logged copy of page %d at op %d", page, op))
+		}
+		n := r.store.NoteRead(len(data) + 9)
+		nd.Clock().Advance(r.model.DiskTime(n))
+		nd.InstallPage(page, data)
+		return true
+	case CCLRecovery:
+		// Prefetch should have validated everything; as a safety net,
+		// fetch the page at the current replay version.
+		r.fetchPages(nd, []memory.PageID{page})
+		return true
+	}
+	return false
+}
+
+// detach ends replay: the node returns to live operation.
+func (r *Replayer) detach(nd *hlrc.Node) {
+	r.replayTime = nd.Clock().Now()
+	r.detached = true
+	nd.SetDelegate(nil)
+	if r.OnDetach != nil {
+		r.OnDetach()
+	}
+}
+
+// enterPhase consumes the log records tagged with op: write notices,
+// update events, and (ML) incoming home diffs. isAcquire selects the
+// dirty-conflict check that mirrors the live protocol's early close.
+func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
+	recs := r.byOp[op]
+	delete(r.byOp, op)
+
+	// One batched local-log read per interval (CCL's "reducing disk
+	// access frequency"); ML reads its (bigger) batch the same way, and
+	// pays again at every miss. The stream is sequential, so only the
+	// first read pays the positioning latency.
+	batch := 0
+	for _, rec := range recs {
+		batch += rec.WireSize()
+	}
+	if batch > 0 {
+		cost := r.model.DiskTime(r.store.NoteRead(batch))
+		if r.seeked {
+			cost -= r.model.DiskSeek
+		}
+		r.seeked = true
+		nd.Clock().Advance(cost)
+	}
+
+	var notices []hlrc.Notice
+	var events []hlrc.UpdateEvent
+	for _, rec := range recs {
+		switch rec.Kind {
+		case wal.RecNotices:
+			ns, rest, err := hlrc.DecodeNotices(rec.Data)
+			if err != nil || len(rest) != 0 {
+				panic(fmt.Sprintf("recovery: corrupt notices record: %v", err))
+			}
+			notices = append(notices, ns...)
+		case wal.RecEvents:
+			evs, err := wal.DecodeEventsRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt events record: %v", err))
+			}
+			events = append(events, evs...)
+		case wal.RecDiff:
+			writer, seq, d, err := wal.DecodeDiffRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
+			}
+			if writer == -1 {
+				// The victim's own outgoing diff (CCL): the home already
+				// has it, and replay recomputes the writes; skip.
+				continue
+			}
+			// ML: an incoming diff applied to a home copy.
+			nd.ApplyDiffAsHome(d, writer, seq)
+		default:
+			panic(fmt.Sprintf("recovery: unexpected record kind %d", rec.Kind))
+		}
+	}
+
+	if isAcquire && nd.AnyDirty(notices) {
+		// Mirror the live protocol's early close on the false-sharing
+		// path so the interval numbering stays aligned.
+		nd.CloseIntervalLocal()
+	}
+
+	// Merge knowledge.
+	if len(notices) > 0 {
+		vt := vclock.New(nd.N())
+		for _, n := range notices {
+			if n.Seq > vt[int(n.Proc)] {
+				vt[int(n.Proc)] = n.Seq
+			}
+		}
+		nd.Notices().AddAll(notices)
+		nd.MergeVT(vt)
+	}
+
+	switch r.kind {
+	case CCLRecovery:
+		r.fetchEvents(nd, events)
+		// Prefetch every remote page the notices name, eliminating the
+		// memory-miss idle time during the coming interval.
+		pages := pagesToValidate(nd, notices)
+		r.fetchPages(nd, pages)
+	case MLRecovery:
+		// No prefetch: invalidate as the original run did; misses will
+		// read logged copies from disk.
+		for _, n := range notices {
+			for _, p := range n.Pages {
+				nd.InvalidatePage(p)
+			}
+		}
+	}
+}
+
+// pagesToValidate lists the distinct non-home pages named by notices.
+func pagesToValidate(nd *hlrc.Node, notices []hlrc.Notice) []memory.PageID {
+	seen := make(map[memory.PageID]bool)
+	var out []memory.PageID
+	for _, n := range notices {
+		for _, p := range n.Pages {
+			if nd.IsHome(p) || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// fetchEvents retrieves the diffs named by the logged update events from
+// the writers' logs, all round trips overlapped, and applies them to the
+// victim's home copies — "the recovery process fetches the corresponding
+// logs of updates (i.e., diffs) for its home copy from the writer
+// process(es)".
+func (r *Replayer) fetchEvents(nd *hlrc.Node, events []hlrc.UpdateEvent) {
+	if len(events) == 0 {
+		return
+	}
+	ep := nd.Endpoint()
+	type call struct {
+		ev      hlrc.UpdateEvent
+		pending *transport.Pending
+	}
+	calls := make([]call, 0, len(events))
+	for _, ev := range events {
+		req := &hlrc.RecDiffsReq{Page: ev.Page, FromSeq: ev.Seq - 1, ToSeq: ev.Seq}
+		calls = append(calls, call{
+			ev:      ev,
+			pending: ep.CallAsync(int(ev.Writer), hlrc.KindRecDiffsReq, req.WireSize(), req),
+		})
+	}
+	diskByWriter := make(map[int32]int)
+	for _, c := range calls {
+		m := c.pending.WaitDetached(nd.Clock())
+		resp := m.Payload.(*hlrc.RecDiffsReply)
+		if len(resp.Diffs) == 0 {
+			panic(fmt.Sprintf("recovery: writer %d has no logged diff for page %d seq %d",
+				c.ev.Writer, c.ev.Page, c.ev.Seq))
+		}
+		diskByWriter[c.ev.Writer] += resp.DiskBytes
+		for i, d := range resp.Diffs {
+			nd.ApplyDiffAsHome(d, c.ev.Writer, resp.Seqs[i])
+		}
+	}
+	// The writers' disk reads are on the recovery critical path, but the
+	// writers' disks work in parallel: charge the slowest one.
+	var worst simtime.Duration
+	for _, bytes := range diskByWriter {
+		if d := r.model.DiskTime(bytes); d > worst {
+			worst = d
+		}
+	}
+	nd.Clock().Advance(worst)
+}
+
+// fetchPages prefetches remote pages at exactly the replay's current
+// version, all round trips overlapped.
+func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	ep := nd.Endpoint()
+	need := nd.VT()
+	pendings := make([]*transport.Pending, 0, len(pages))
+	for _, p := range pages {
+		req := &hlrc.RecPageReq{Page: p, Need: need}
+		pendings = append(pendings, ep.CallAsync(nd.HomeOf(p), hlrc.KindRecPageReq, req.WireSize(), req))
+	}
+	for i, pd := range pendings {
+		m := pd.WaitDetached(nd.Clock())
+		resp := m.Payload.(*hlrc.RecPageReply)
+		nd.InstallPage(pages[i], resp.Data)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stable simulates the per-node local disk that the logging
+// protocols and the checkpointer write to.
+//
+// The paper's testbed dedicates part of each workstation's local disk to
+// logged data. Here each node owns a Store whose contents survive the
+// node's crash (a Depot keyed by node id outlives node incarnations).
+// Timing is not performed here: every operation returns the number of
+// bytes moved, and the caller charges its virtual clock with
+// CostModel.DiskTime according to the protocol's overlap policy (ML pays
+// on the critical path; CCL overlaps the flush with the release's
+// diff/ack round trip).
+package stable
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RecordKind tags the protocol meaning of a log record. Values are
+// defined by the logging layer.
+type RecordKind uint8
+
+// Record is one logged unit: a diff, a write-notice set, an
+// incoming-update event record, a fetched page, a lock grant, or an
+// interval mark, in serialized form.
+type Record struct {
+	Kind RecordKind
+	Op   int32  // synchronization-operation index the record belongs to
+	Data []byte // serialized payload
+}
+
+// recordHeader is the accounted per-record on-disk header size: kind (1),
+// op (4), length (4).
+const recordHeader = 9
+
+// WireSize is the accounted on-disk size of the record.
+func (r Record) WireSize() int { return recordHeader + len(r.Data) }
+
+// Checkpoint is one saved process state. Pages always holds the complete
+// image for simplicity of restoration; Bytes holds the *accounted* size
+// (incremental checkpoints account only pages dirtied since the previous
+// checkpoint, as in the paper).
+type Checkpoint struct {
+	Op    int32  // sync-op index at which the checkpoint was taken
+	Pages []byte // full shared-space image
+	Meta  []byte // serialized protocol state (vector time, etc.)
+	Bytes int    // accounted on-disk size
+}
+
+// Store is one node's stable storage.
+type Store struct {
+	mu          sync.Mutex
+	log         []Record
+	logBytes    int64
+	flushes     int64
+	reads       int64
+	readBytes   int64
+	checkpoints []Checkpoint
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Flush appends records to the log as one flush operation and returns the
+// number of bytes written. A flush with no records still counts (it still
+// costs a disk access in the ML protocol), unless recs is empty and
+// countEmpty is false — callers that suppress empty flushes simply don't
+// call Flush.
+func (s *Store) Flush(recs []Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range recs {
+		n += r.WireSize()
+	}
+	s.log = append(s.log, recs...)
+	s.logBytes += int64(n)
+	s.flushes++
+	return n
+}
+
+// Records returns the full log. The returned slice must be treated as
+// read-only; recovery readers account their read costs explicitly via
+// NoteRead.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// NoteRead accounts one read operation of n bytes against the store's
+// statistics and returns n (for chaining into a DiskTime charge).
+func (s *Store) NoteRead(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	s.readBytes += int64(n)
+	return n
+}
+
+// PutCheckpoint stores a checkpoint.
+func (s *Store) PutCheckpoint(cp Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints = append(s.checkpoints, cp)
+}
+
+// LatestCheckpoint returns the most recent checkpoint and true, or false
+// if none exists.
+func (s *Store) LatestCheckpoint() (Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.checkpoints) == 0 {
+		return Checkpoint{}, false
+	}
+	return s.checkpoints[len(s.checkpoints)-1], true
+}
+
+// FirstCheckpoint returns the oldest checkpoint and true, or false if
+// none exists. Recovery replays the whole log from here (resuming an
+// SPMD closure mid-run would require a process-image checkpoint; see
+// DESIGN.md).
+func (s *Store) FirstCheckpoint() (Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.checkpoints) == 0 {
+		return Checkpoint{}, false
+	}
+	return s.checkpoints[0], true
+}
+
+// CheckpointBytes sums the accounted on-disk sizes of all checkpoints.
+func (s *Store) CheckpointBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, cp := range s.checkpoints {
+		n += int64(cp.Bytes)
+	}
+	return n
+}
+
+// Stats is a snapshot of the store's accounting counters.
+type Stats struct {
+	Flushes     int64 // number of flush operations
+	LoggedBytes int64 // total bytes written to the log
+	Records     int   // records currently in the log
+	Reads       int64 // number of read operations (recovery)
+	ReadBytes   int64 // bytes read (recovery)
+	Checkpoints int   // checkpoints stored
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Flushes:     s.flushes,
+		LoggedBytes: s.logBytes,
+		Records:     len(s.log),
+		Reads:       s.reads,
+		ReadBytes:   s.readBytes,
+		Checkpoints: len(s.checkpoints),
+	}
+}
+
+// MeanFlushBytes returns the mean number of bytes per flush, or 0 when no
+// flush has happened. This is the paper's "mean log size" column.
+func (s *Store) MeanFlushBytes() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flushes == 0 {
+		return 0
+	}
+	return float64(s.logBytes) / float64(s.flushes)
+}
+
+// Reset clears the log, checkpoints and counters. Used between benchmark
+// configurations, never by the protocols (stable storage survives
+// crashes by definition).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+	s.logBytes = 0
+	s.flushes = 0
+	s.reads = 0
+	s.readBytes = 0
+	s.checkpoints = nil
+}
+
+// Depot holds the stable stores of all nodes in a run. It outlives node
+// incarnations: when a node crashes and recovers, its new incarnation
+// reattaches to the same Store.
+type Depot struct {
+	stores []*Store
+}
+
+// NewDepot creates a depot for n nodes with empty stores.
+func NewDepot(n int) *Depot {
+	if n <= 0 {
+		panic(fmt.Sprintf("stable: invalid depot size %d", n))
+	}
+	d := &Depot{stores: make([]*Store, n)}
+	for i := range d.stores {
+		d.stores[i] = NewStore()
+	}
+	return d
+}
+
+// Store returns node id's store.
+func (d *Depot) Store(id int) *Store { return d.stores[id] }
+
+// Nodes returns the number of nodes.
+func (d *Depot) Nodes() int { return len(d.stores) }
+
+// TotalLoggedBytes sums logged bytes across all nodes — the paper's
+// "total log size" column.
+func (d *Depot) TotalLoggedBytes() int64 {
+	var n int64
+	for _, s := range d.stores {
+		n += s.Stats().LoggedBytes
+	}
+	return n
+}
+
+// TotalFlushes sums flush counts across all nodes — the paper's
+// "# of flushes" column.
+func (d *Depot) TotalFlushes() int64 {
+	var n int64
+	for _, s := range d.stores {
+		n += s.Stats().Flushes
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package stable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlushAccounting(t *testing.T) {
+	s := NewStore()
+	n := s.Flush([]Record{
+		{Kind: 1, Op: 0, Data: make([]byte, 100)},
+		{Kind: 2, Op: 0, Data: make([]byte, 50)},
+	})
+	want := 2*9 + 150
+	if n != want {
+		t.Fatalf("flush bytes = %d, want %d", n, want)
+	}
+	st := s.Stats()
+	if st.Flushes != 1 || st.LoggedBytes != int64(want) || st.Records != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := s.MeanFlushBytes(); got != float64(want) {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestMeanFlushBytesEmpty(t *testing.T) {
+	if NewStore().MeanFlushBytes() != 0 {
+		t.Fatal("mean of zero flushes must be 0")
+	}
+}
+
+func TestRecordsReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Kind: 1, Data: []byte{1}}})
+	recs := s.Records()
+	recs[0].Kind = 99
+	if s.Records()[0].Kind != 1 {
+		t.Fatal("Records must not expose internal storage")
+	}
+}
+
+func TestNoteRead(t *testing.T) {
+	s := NewStore()
+	if got := s.NoteRead(123); got != 123 {
+		t.Fatalf("NoteRead returned %d", got)
+	}
+	s.NoteRead(7)
+	st := s.Stats()
+	if st.Reads != 2 || st.ReadBytes != 130 {
+		t.Fatalf("read stats = %+v", st)
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.LatestCheckpoint(); ok {
+		t.Fatal("empty store has a checkpoint")
+	}
+	s.PutCheckpoint(Checkpoint{Op: 1, Bytes: 10})
+	s.PutCheckpoint(Checkpoint{Op: 5, Bytes: 20})
+	cp, ok := s.LatestCheckpoint()
+	if !ok || cp.Op != 5 {
+		t.Fatalf("latest = %+v ok=%v", cp, ok)
+	}
+	if s.Stats().Checkpoints != 2 {
+		t.Fatal("checkpoint count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Data: []byte{1, 2, 3}}})
+	s.NoteRead(5)
+	s.PutCheckpoint(Checkpoint{})
+	s.Reset()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("reset left stats %+v", st)
+	}
+}
+
+func TestDepot(t *testing.T) {
+	d := NewDepot(3)
+	if d.Nodes() != 3 {
+		t.Fatal("Nodes")
+	}
+	d.Store(0).Flush([]Record{{Data: make([]byte, 91)}}) // 100 bytes
+	d.Store(2).Flush([]Record{{Data: make([]byte, 41)}}) // 50 bytes
+	d.Store(2).Flush(nil)
+	if d.TotalLoggedBytes() != 150 {
+		t.Fatalf("total bytes = %d", d.TotalLoggedBytes())
+	}
+	if d.TotalFlushes() != 3 {
+		t.Fatalf("total flushes = %d", d.TotalFlushes())
+	}
+	// Stores survive by identity: same pointer across lookups.
+	if d.Store(0) != d.Store(0) {
+		t.Fatal("store identity not stable")
+	}
+}
+
+func TestDepotInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDepot(0)
+}
+
+func TestConcurrentFlushes(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Flush([]Record{{Data: make([]byte, 10)}})
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Flushes != 800 || st.LoggedBytes != 800*19 {
+		t.Fatalf("concurrent stats = %+v", st)
+	}
+}
+
+// Property: total logged bytes always equals the sum of record wire sizes.
+func TestLoggedBytesMatchesRecordsProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewStore()
+		want := int64(0)
+		for _, sz := range sizes {
+			r := Record{Kind: 1, Data: make([]byte, int(sz)%4096)}
+			want += int64(r.WireSize())
+			s.Flush([]Record{r})
+		}
+		st := s.Stats()
+		return st.LoggedBytes == want && st.Flushes == int64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

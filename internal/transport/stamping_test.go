@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"sdsm/internal/simtime"
+)
+
+func TestArrivalOf(t *testing.T) {
+	nw := NewNetwork(2, simtime.DefaultCostModel())
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+
+	a.Clock().Set(simtime.Time(time.Millisecond))
+	a.Send(1, Kind(1), 1000, nil)
+	m := <-b.Inbox()
+	want := m.SentAt + simtime.Time(nw.Model().MsgTime(1000))
+	if got := b.ArrivalOf(m); got != want {
+		t.Fatalf("ArrivalOf = %v, want %v", got, want)
+	}
+	// Self-messages arrive instantly.
+	b.Send(1, Kind(1), 1000, nil)
+	m = <-b.Inbox()
+	if got := b.ArrivalOf(m); got != m.SentAt {
+		t.Fatalf("self ArrivalOf = %v, want %v", got, m.SentAt)
+	}
+}
+
+func TestReplyAtStampsExplicitly(t *testing.T) {
+	nw := NewNetwork(2, simtime.DefaultCostModel())
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	// The responder's own clock is far ahead — ReplyAt must not leak it.
+	b.Clock().Set(simtime.Time(time.Hour))
+	go func() {
+		m := <-b.Inbox()
+		b.ReplyAt(b.ArrivalOf(m)+simtime.Time(time.Microsecond), m, Kind(2), 10, nil)
+	}()
+	resp := a.CallAsync(1, Kind(1), 100, nil).Wait(a.Clock())
+	if resp.SentAt >= simtime.Time(time.Hour) {
+		t.Fatalf("ReplyAt leaked the responder's clock: %v", resp.SentAt)
+	}
+	// The caller's clock reflects only the true round trip.
+	rtt := simtime.Time(nw.Model().MsgTime(100) + time.Microsecond + nw.Model().MsgTime(10))
+	if got := a.Clock().Now(); got != rtt {
+		t.Fatalf("caller clock = %v, want %v", got, rtt)
+	}
+}
+
+// Two requesters with wildly different clocks fetching from the same
+// responder must not drag each other: each round trip is priced
+// independently (the "no false convoy" property the cost model relies
+// on).
+func TestIndependentRequestersDoNotCouple(t *testing.T) {
+	nw := NewNetwork(3, simtime.DefaultCostModel())
+	slow := nw.NewEndpoint(0, simtime.NewClock(simtime.Time(time.Second)))
+	fast := nw.NewEndpoint(1, simtime.NewClock(0))
+	server := nw.NewEndpoint(2, simtime.NewClock(0))
+	go func() {
+		for i := 0; i < 2; i++ {
+			m := <-server.Inbox()
+			server.ReplyAt(server.ArrivalOf(m), m, Kind(2), 0, nil)
+		}
+	}()
+	pSlow := slow.CallAsync(2, Kind(1), 0, nil)
+	pSlow.Wait(slow.Clock())
+	pFast := fast.CallAsync(2, Kind(1), 0, nil)
+	pFast.Wait(fast.Clock())
+	// The fast requester's round trip must cost ~2 message times, not
+	// jump past the slow requester's second-scale clock.
+	if got := fast.Clock().Now(); got > simtime.Time(10*time.Millisecond) {
+		t.Fatalf("fast requester dragged to %v by the slow one", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package transport implements the simulated cluster interconnect.
+//
+// The paper's testbed is eight workstations on switched 100 Mbps Ethernet.
+// Here each node is a pair of goroutines (application + protocol service)
+// and the interconnect is a set of buffered channels, one inbox per node.
+// Message timing is charged to the nodes' virtual clocks by the callers
+// using the helpers on Endpoint: a receive merges the sender's timestamp
+// plus the message cost (Lamport rule), so virtual time respects causality
+// without a global event queue.
+//
+// Crash model: a node crash stops its service loop and discards its
+// volatile state, but messages addressed to it keep queueing in its inbox
+// — exactly like TCP senders blocking on a dead peer — and are processed
+// when the node rejoins after recovery. Stable storage lives outside this
+// package and survives.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sdsm/internal/simtime"
+)
+
+// Kind tags the protocol meaning of a message. The values are defined by
+// the protocol layer; transport treats them opaquely.
+type Kind uint8
+
+// Message is one protocol message in flight.
+type Message struct {
+	From, To int
+	Kind     Kind
+	SentAt   simtime.Time // sender's virtual clock when the message left
+	Size     int          // wire size in bytes, for cost accounting
+	Payload  any
+	reply    chan Message // non-nil on requests that expect a reply
+}
+
+// WantsReply reports whether the sender is waiting for a reply.
+func (m Message) WantsReply() bool { return m.reply != nil }
+
+// Network connects n nodes. It is created once per run and shared by all
+// node endpoints.
+type Network struct {
+	n       int
+	model   simtime.CostModel
+	inboxes []chan Message
+
+	msgCount  atomic.Int64
+	byteCount atomic.Int64
+}
+
+// DefaultInboxCap is the per-node inbox buffer. It is sized far above any
+// realistic in-flight count for the workloads in this repository so that
+// protocol service loops never block on sends (which could deadlock the
+// simulation).
+const DefaultInboxCap = 1 << 14
+
+// NewNetwork returns a network of n nodes with the given cost model.
+func NewNetwork(n int, model simtime.CostModel) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: invalid node count %d", n))
+	}
+	nw := &Network{n: n, model: model, inboxes: make([]chan Message, n)}
+	for i := range nw.inboxes {
+		nw.inboxes[i] = make(chan Message, DefaultInboxCap)
+	}
+	return nw
+}
+
+// Nodes returns the number of nodes.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Model returns the cost model.
+func (nw *Network) Model() simtime.CostModel { return nw.model }
+
+// MsgCount returns the total number of messages sent so far.
+func (nw *Network) MsgCount() int64 { return nw.msgCount.Load() }
+
+// ByteCount returns the total bytes sent so far.
+func (nw *Network) ByteCount() int64 { return nw.byteCount.Load() }
+
+func (nw *Network) deliver(m Message) {
+	if m.To < 0 || m.To >= nw.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", m.To))
+	}
+	nw.msgCount.Add(1)
+	nw.byteCount.Add(int64(m.Size))
+	nw.inboxes[m.To] <- m
+}
+
+// Endpoint is one node's attachment to the network. The clock is the
+// node's virtual clock; the endpoint stamps outgoing messages with it and
+// offers helpers that charge receive costs to it.
+type Endpoint struct {
+	id    int
+	nw    *Network
+	clock *simtime.Clock
+}
+
+// NewEndpoint attaches node id with its clock to the network.
+func (nw *Network) NewEndpoint(id int, clock *simtime.Clock) *Endpoint {
+	if id < 0 || id >= nw.n {
+		panic(fmt.Sprintf("transport: invalid endpoint id %d", id))
+	}
+	return &Endpoint{id: id, nw: nw, clock: clock}
+}
+
+// ID returns the node id of the endpoint.
+func (e *Endpoint) ID() int { return e.id }
+
+// Clock returns the node's virtual clock.
+func (e *Endpoint) Clock() *simtime.Clock { return e.clock }
+
+// Inbox returns the node's receive channel, consumed by its protocol
+// service loop.
+func (e *Endpoint) Inbox() <-chan Message { return e.nw.inboxes[e.id] }
+
+// Send delivers a one-way message.
+func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
+	e.nw.deliver(Message{
+		From: e.id, To: to, Kind: kind,
+		SentAt: e.clock.Now(), Size: size, Payload: payload,
+	})
+}
+
+// Pending is an outstanding request; the reply arrives on a dedicated
+// buffered channel so replies never contend with the inbox.
+type Pending struct {
+	ch      chan Message
+	sentAt  simtime.Time
+	reqSize int
+	model   simtime.CostModel
+	local   bool // request to self: no wire cost, only handling
+}
+
+// CallAsync sends a request and returns a handle to wait for the reply.
+// Issuing several CallAsyncs before waiting models the protocol's
+// "send all updates, then collect all acks" pattern.
+func (e *Endpoint) CallAsync(to int, kind Kind, size int, payload any) *Pending {
+	p := &Pending{
+		ch:      make(chan Message, 1),
+		sentAt:  e.clock.Now(),
+		reqSize: size,
+		model:   e.nw.Model(),
+		local:   to == e.id,
+	}
+	e.nw.deliver(Message{
+		From: e.id, To: to, Kind: kind,
+		SentAt: p.sentAt, Size: size, Payload: payload, reply: p.ch,
+	})
+	return p
+}
+
+// Wait blocks for the reply and charges the caller's clock with the
+// Lamport receive rule: clock = max(clock, reply.SentAt + msgTime).
+// Replies to self-requests (a node acting as its own lock or barrier
+// manager) carry no wire cost, only the handling already charged.
+func (p *Pending) Wait(clock *simtime.Clock) Message {
+	m := <-p.ch
+	if p.local {
+		clock.AdvanceTo(m.SentAt)
+	} else {
+		clock.MergePlus(m.SentAt, p.model.MsgTime(m.Size))
+	}
+	return m
+}
+
+// WaitDetached blocks for the reply but charges only the fixed round-trip
+// cost instead of merging the responder's absolute clock. Recovery uses
+// this: the surviving nodes' clocks are frozen near the crash time, far
+// ahead of the victim's replay clock, and merging them would corrupt the
+// recovery-time measurement. The responder is idle, so the fixed
+// round-trip is the faithful cost.
+func (p *Pending) WaitDetached(clock *simtime.Clock) Message {
+	m := <-p.ch
+	if p.local {
+		clock.MergePlus(p.sentAt, 2*p.model.MsgHandling)
+	} else {
+		clock.MergePlus(p.sentAt, p.model.RoundTrip(p.reqSize, m.Size))
+	}
+	return m
+}
+
+// Call is CallAsync followed by Wait.
+func (e *Endpoint) Call(to int, kind Kind, size int, payload any) Message {
+	return e.CallAsync(to, kind, size, payload).Wait(e.clock)
+}
+
+// Arrive charges the receive of m to the node's clock (Lamport rule plus
+// per-message handling cost) and returns the updated time. Protocol
+// service loops call this once per message taken from the inbox.
+// Self-messages carry no wire cost.
+func (e *Endpoint) Arrive(m Message) simtime.Time {
+	model := e.nw.Model()
+	if m.From == e.id {
+		e.clock.AdvanceTo(m.SentAt)
+	} else {
+		e.clock.MergePlus(m.SentAt, model.MsgTime(m.Size))
+	}
+	return e.clock.Advance(model.MsgHandling)
+}
+
+// Reply answers a request stamped with the node's current clock. It
+// panics if m does not want a reply. The reply channel is buffered, so
+// Reply never blocks.
+func (e *Endpoint) Reply(m Message, kind Kind, size int, payload any) {
+	e.ReplyAt(e.clock.Now(), m, kind, size, payload)
+}
+
+// ArrivalOf returns the virtual time at which m became available at this
+// node: the sender's timestamp plus the wire cost (zero for
+// self-messages). It is a pure function of the message, so concurrent
+// request streams do not contaminate each other's timing.
+func (e *Endpoint) ArrivalOf(m Message) simtime.Time {
+	if m.From == e.id {
+		return m.SentAt
+	}
+	return m.SentAt + simtime.Time(e.nw.Model().MsgTime(m.Size))
+}
+
+// ReplyAt answers a request with an explicit virtual timestamp, used by
+// protocol service handlers that run concurrently with application
+// compute (their replies are stamped from the request's arrival plus the
+// handling cost, like an interrupt handler, not from the application
+// clock).
+func (e *Endpoint) ReplyAt(at simtime.Time, m Message, kind Kind, size int, payload any) {
+	if m.reply == nil {
+		panic(fmt.Sprintf("transport: reply to one-way message kind %d from %d", m.Kind, m.From))
+	}
+	e.nw.msgCount.Add(1)
+	e.nw.byteCount.Add(int64(size))
+	m.reply <- Message{
+		From: e.id, To: m.From, Kind: kind,
+		SentAt: at, Size: size, Payload: payload,
+	}
+}

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdsm/internal/simtime"
+)
+
+func pairs(t *testing.T) (*Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	nw := NewNetwork(2, simtime.DefaultCostModel())
+	c0, c1 := simtime.NewClock(0), simtime.NewClock(0)
+	return nw, nw.NewEndpoint(0, c0), nw.NewEndpoint(1, c1)
+}
+
+func TestSendReceive(t *testing.T) {
+	nw, a, b := pairs(t)
+	a.Clock().Advance(time.Millisecond)
+	a.Send(1, Kind(7), 1000, "hello")
+	m := <-b.Inbox()
+	if m.From != 0 || m.To != 1 || m.Kind != 7 || m.Payload.(string) != "hello" {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.WantsReply() {
+		t.Fatal("one-way message wants reply")
+	}
+	if m.SentAt != simtime.Time(time.Millisecond) {
+		t.Fatalf("SentAt = %v", m.SentAt)
+	}
+	b.Arrive(m)
+	// Receiver clock >= sentAt + latency + xfer.
+	min := m.SentAt + simtime.Time(nw.Model().MsgTime(1000))
+	if b.Clock().Now() < min {
+		t.Fatalf("receiver clock %v < causal minimum %v", b.Clock().Now(), min)
+	}
+	if nw.MsgCount() != 1 || nw.ByteCount() != 1000 {
+		t.Fatalf("counters = %d msgs %d bytes", nw.MsgCount(), nw.ByteCount())
+	}
+}
+
+func TestCallReply(t *testing.T) {
+	nw, a, b := pairs(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m := <-b.Inbox()
+		b.Arrive(m)
+		if !m.WantsReply() {
+			t.Error("request lost reply channel")
+			return
+		}
+		b.Reply(m, Kind(2), 4096, []byte("page"))
+	}()
+	resp := a.Call(1, Kind(1), 64, nil)
+	<-done
+	if resp.Kind != 2 || string(resp.Payload.([]byte)) != "page" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Caller clock must cover the full round trip.
+	min := simtime.Time(nw.Model().RoundTrip(64, 4096))
+	if a.Clock().Now() < min {
+		t.Fatalf("caller clock %v < round trip %v", a.Clock().Now(), min)
+	}
+}
+
+func TestCallAsyncOverlap(t *testing.T) {
+	nw := NewNetwork(3, simtime.DefaultCostModel())
+	clocks := []*simtime.Clock{simtime.NewClock(0), simtime.NewClock(0), simtime.NewClock(0)}
+	eps := []*Endpoint{nw.NewEndpoint(0, clocks[0]), nw.NewEndpoint(1, clocks[1]), nw.NewEndpoint(2, clocks[2])}
+	var wg sync.WaitGroup
+	for _, sid := range []int{1, 2} {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			m := <-eps[sid].Inbox()
+			eps[sid].Arrive(m)
+			eps[sid].Reply(m, Kind(9), 128, sid)
+		}(sid)
+	}
+	p1 := eps[0].CallAsync(1, Kind(8), 256, nil)
+	p2 := eps[0].CallAsync(2, Kind(8), 256, nil)
+	r1 := p1.Wait(clocks[0])
+	r2 := p2.Wait(clocks[0])
+	wg.Wait()
+	if r1.Payload.(int) != 1 || r2.Payload.(int) != 2 {
+		t.Fatal("replies mixed up")
+	}
+	// Two overlapped round trips should cost roughly one round trip, not
+	// two: both requests left at t=0.
+	rt := simtime.Time(nw.Model().RoundTrip(256, 128))
+	if now := clocks[0].Now(); now > 2*rt {
+		t.Fatalf("overlapped calls were serialized: %v > %v", now, 2*rt)
+	}
+}
+
+func TestWaitDetachedChargesFixedRTT(t *testing.T) {
+	nw, a, b := pairs(t)
+	// Responder's clock is far in the "future" (like a live node at crash
+	// time).
+	b.Clock().Set(simtime.Time(time.Hour))
+	go func() {
+		m := <-b.Inbox()
+		b.Reply(m, Kind(3), 100, nil)
+	}()
+	p := a.CallAsync(1, Kind(3), 50, nil)
+	p.WaitDetached(a.Clock())
+	want := simtime.Time(nw.Model().RoundTrip(50, 100))
+	if got := a.Clock().Now(); got != want {
+		t.Fatalf("detached wait charged %v, want %v (must not merge remote clock)", got, want)
+	}
+}
+
+func TestWaitMergesRemoteClock(t *testing.T) {
+	_, a, b := pairs(t)
+	b.Clock().Set(simtime.Time(time.Second))
+	go func() {
+		m := <-b.Inbox()
+		b.Reply(m, Kind(3), 0, nil)
+	}()
+	a.Call(1, Kind(3), 0, nil)
+	if a.Clock().Now() < simtime.Time(time.Second) {
+		t.Fatalf("Wait must merge remote clock, got %v", a.Clock().Now())
+	}
+}
+
+func TestReplyToOneWayPanics(t *testing.T) {
+	_, a, b := pairs(t)
+	a.Send(1, Kind(1), 0, nil)
+	m := <-b.Inbox()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reply to one-way message must panic")
+		}
+	}()
+	b.Reply(m, Kind(1), 0, nil)
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	nw, a, _ := pairs(t)
+	for _, f := range []func(){
+		func() { a.Send(5, Kind(0), 0, nil) },
+		func() { nw.NewEndpoint(-1, simtime.NewClock(0)) },
+		func() { NewNetwork(0, simtime.DefaultCostModel()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPerPairOrdering(t *testing.T) {
+	_, a, b := pairs(t)
+	for i := 0; i < 100; i++ {
+		a.Send(1, Kind(1), 8, i)
+	}
+	for i := 0; i < 100; i++ {
+		m := <-b.Inbox()
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d arrived out of order (got %d)", i, m.Payload.(int))
+		}
+	}
+}
+
+func TestManyNodesCrossTraffic(t *testing.T) {
+	const n = 8
+	nw := NewNetwork(n, simtime.DefaultCostModel())
+	eps := make([]*Endpoint, n)
+	for i := range eps {
+		eps[i] = nw.NewEndpoint(i, simtime.NewClock(0))
+	}
+	var wg sync.WaitGroup
+	// Every node echoes n-1 requests.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < n-1; k++ {
+				m := <-eps[i].Inbox()
+				eps[i].Arrive(m)
+				eps[i].Reply(m, m.Kind, 16, m.Payload)
+			}
+		}(i)
+	}
+	var callers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		callers.Add(1)
+		go func(i int) {
+			defer callers.Done()
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				resp := eps[i].Call(j, Kind(4), 32, i*100+j)
+				if resp.Payload.(int) != i*100+j {
+					t.Errorf("echo mismatch from %d to %d", i, j)
+				}
+			}
+		}(i)
+	}
+	callers.Wait()
+	wg.Wait()
+	if nw.MsgCount() != int64(2*n*(n-1)) {
+		t.Fatalf("message count = %d", nw.MsgCount())
+	}
+}

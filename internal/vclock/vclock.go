@@ -1,0 +1,136 @@
+// Package vclock implements the vector timestamps that order intervals in
+// lazy release consistency.
+//
+// Each process's execution is divided into intervals delimited by
+// synchronization operations (lock releases and barrier arrivals). A
+// vector timestamp VC holds, per process, the index of the most recent
+// interval of that process whose write notices the owner has seen. The
+// coherence protocol and the recovery protocols both reason in terms of
+// these vectors: "which write notices does the acquirer lack", "has this
+// home copy advanced past the version the recovering process needs".
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// VC is a vector timestamp: VC[p] is the number of completed intervals of
+// process p known to the owner. A fresh process starts at all-zeros.
+type VC []int32
+
+// New returns a zeroed vector for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Merge sets v to the component-wise maximum of v and o.
+func (v VC) Merge(o VC) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// Covers reports whether v >= o component-wise: every interval known to o
+// is known to v.
+func (v VC) Covers(o VC) bool {
+	for i := range o {
+		var vi int32
+		if i < len(v) {
+			vi = v[i]
+		}
+		if vi < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversInterval reports whether v already includes interval seq of
+// process p.
+func (v VC) CoversInterval(p int, seq int32) bool {
+	return p >= 0 && p < len(v) && v[p] >= seq
+}
+
+// Equal reports whether the two vectors are identical.
+func (v VC) Equal(o VC) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances process p's own component and returns the new interval
+// index (the index of the interval just completed).
+func (v VC) Tick(p int) int32 {
+	v[p]++
+	return v[p]
+}
+
+// String renders the vector compactly, e.g. "<1 0 3>".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// WireSize is the serialized size of the vector in bytes.
+func (v VC) WireSize() int { return 2 + 4*len(v) }
+
+// Encode appends a portable encoding of v to buf and returns the extended
+// slice.
+func (v VC) Encode(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+// DecodeVC decodes a vector produced by Encode, returning the vector and
+// the remaining bytes.
+func DecodeVC(buf []byte) (VC, []byte, error) {
+	if len(buf) < 2 {
+		return nil, buf, fmt.Errorf("vclock: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < 4*n {
+		return nil, buf, fmt.Errorf("vclock: truncated vector of %d entries", n)
+	}
+	v := make(VC, n)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+	}
+	return v, buf, nil
+}
+
+// Interval identifies one interval of one process.
+type Interval struct {
+	Proc int32 // process id
+	Seq  int32 // interval index, starting at 1 for the first completed interval
+}
+
+// String renders the interval id.
+func (iv Interval) String() string { return fmt.Sprintf("p%d:%d", iv.Proc, iv.Seq) }

@@ -1,0 +1,283 @@
+// Package wal implements the two logging protocols the paper compares:
+//
+//   - ML, traditional message logging (§3.1): every incoming coherence
+//     message — fetched pages, incoming diffs, write-invalidation notices
+//     — is kept in volatile memory and flushed to the local disk at the
+//     next synchronization point, on the critical path.
+//
+//   - CCL, coherence-centric logging (§3.2, the paper's contribution):
+//     only data indispensable for recovery is logged — the diffs this
+//     process itself created, the write-invalidation notices it received
+//     at its acquires, and content-free records of the asynchronous
+//     updates applied to its home pages. The flush happens at the
+//     release, overlapped with the diff/ack round trip.
+//
+// Both implement hlrc.LogHooks. The record encodings here are also what
+// the recovery engines decode.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/stable"
+)
+
+// Protocol selects a logging protocol.
+type Protocol int
+
+// The protocols under evaluation.
+const (
+	// ProtocolNone is the unmodified home-based SDSM (the baseline row
+	// "None" of Table 2). A failure forces re-execution from the start.
+	ProtocolNone Protocol = iota
+	// ProtocolML is traditional message logging.
+	ProtocolML
+	// ProtocolCCL is the paper's coherence-centric logging.
+	ProtocolCCL
+)
+
+// String names the protocol as in the paper's tables.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolNone:
+		return "None"
+	case ProtocolML:
+		return "ML"
+	case ProtocolCCL:
+		return "CCL"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Log record kinds stored in stable.Record.Kind.
+const (
+	// RecNotices holds write-invalidation notices received at one
+	// acquire (lock grant or barrier release). Payload: EncodeNotices.
+	RecNotices stable.RecordKind = iota + 1
+	// RecDiff holds one diff. Payload: writer id, writer interval, diff.
+	// Under CCL the writer is the log's owner (it logs only its own
+	// diffs); under ML it is the remote writer whose DiffUpdate arrived.
+	RecDiff
+	// RecEvents holds content-free incoming-update event records
+	// (page, writer, interval) triples — CCL only.
+	RecEvents
+	// RecPage holds a page copy fetched from its home — ML only.
+	RecPage
+)
+
+// New returns the LogHooks implementation for protocol p writing to
+// store. ProtocolNone returns hlrc.NopHooks.
+func New(p Protocol, store *stable.Store) hlrc.LogHooks {
+	switch p {
+	case ProtocolNone:
+		return hlrc.NopHooks{}
+	case ProtocolML:
+		return &MLHooks{store: store}
+	case ProtocolCCL:
+		return &CCLHooks{store: store}
+	default:
+		panic(fmt.Sprintf("wal: unknown protocol %d", int(p)))
+	}
+}
+
+// --- record payload encodings ------------------------------------------
+
+// EncodeDiffRecord packs (writer, seq, diff) into a RecDiff payload.
+func EncodeDiffRecord(writer, seq int32, d memory.Diff) []byte {
+	buf := make([]byte, 0, 8+d.WireSize())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(writer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(seq))
+	return d.Encode(buf)
+}
+
+// DecodeDiffRecord unpacks a RecDiff payload.
+func DecodeDiffRecord(buf []byte) (writer, seq int32, d memory.Diff, err error) {
+	if len(buf) < 8 {
+		return 0, 0, d, fmt.Errorf("wal: short diff record")
+	}
+	writer = int32(binary.LittleEndian.Uint32(buf))
+	seq = int32(binary.LittleEndian.Uint32(buf[4:]))
+	d, rest, err := memory.DecodeDiff(buf[8:])
+	if err == nil && len(rest) != 0 {
+		err = fmt.Errorf("wal: %d trailing bytes in diff record", len(rest))
+	}
+	return writer, seq, d, err
+}
+
+// EncodeEventsRecord packs update-event triples into a RecEvents payload.
+func EncodeEventsRecord(events []hlrc.UpdateEvent) []byte {
+	buf := make([]byte, 0, 4+12*len(events))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
+	for _, e := range events {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Page))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Writer))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Seq))
+	}
+	return buf
+}
+
+// DecodeEventsRecord unpacks a RecEvents payload.
+func DecodeEventsRecord(buf []byte) ([]hlrc.UpdateEvent, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("wal: short events record")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) != 12*n {
+		return nil, fmt.Errorf("wal: events record wants %d bytes, has %d", 12*n, len(buf))
+	}
+	events := make([]hlrc.UpdateEvent, n)
+	for i := range events {
+		events[i] = hlrc.UpdateEvent{
+			Page:   memory.PageID(binary.LittleEndian.Uint32(buf)),
+			Writer: int32(binary.LittleEndian.Uint32(buf[4:])),
+			Seq:    int32(binary.LittleEndian.Uint32(buf[8:])),
+		}
+		buf = buf[12:]
+	}
+	return events, nil
+}
+
+// EncodePageRecord packs (page, contents) into a RecPage payload.
+func EncodePageRecord(page memory.PageID, data []byte) []byte {
+	buf := make([]byte, 0, 4+len(data))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(page))
+	return append(buf, data...)
+}
+
+// DecodePageRecord unpacks a RecPage payload.
+func DecodePageRecord(buf []byte) (memory.PageID, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("wal: short page record")
+	}
+	return memory.PageID(binary.LittleEndian.Uint32(buf)), buf[4:], nil
+}
+
+// --- CCL ------------------------------------------------------------------
+
+// CCLHooks implements coherence-centric logging. Staged state accumulates
+// between releases; AtRelease turns it into one flush overlapped with the
+// coherence traffic.
+type CCLHooks struct {
+	mu     sync.Mutex
+	store  *stable.Store
+	staged []stable.Record
+}
+
+// OnAcquireNotices stages the received write-invalidation notices for the
+// next release flush.
+func (h *CCLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
+	if len(notices) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.staged = append(h.staged, stable.Record{
+		Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil),
+	})
+	h.mu.Unlock()
+}
+
+// OnPageFetched logs nothing: "CCL does not keep a received copy of a
+// shared memory page ... because such an up-to-date copy can be
+// reconstructed during recovery" (paper §3.2).
+func (h *CCLHooks) OnPageFetched(int32, memory.PageID, []byte) {}
+
+// OnIncomingDiffs stages only the content-free event records; the diff
+// contents are discarded with the message (the writer logged them).
+func (h *CCLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, _ []memory.Diff) {
+	if len(events) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.staged = append(h.staged, stable.Record{
+		Kind: RecEvents, Op: op, Data: EncodeEventsRecord(events),
+	})
+	h.mu.Unlock()
+}
+
+// AtSyncEntry flushes nothing: CCL's only flush point is the release.
+func (h *CCLHooks) AtSyncEntry(int32) int { return 0 }
+
+// AtRelease flushes the staged records plus this interval's own diffs.
+func (h *CCLHooks) AtRelease(op int32, seq int32, created []memory.Diff) int {
+	h.mu.Lock()
+	recs := h.staged
+	h.staged = nil
+	h.mu.Unlock()
+	for _, d := range created {
+		recs = append(recs, stable.Record{
+			Kind: RecDiff, Op: op,
+			Data: EncodeDiffRecord(-1, seq, d), // writer -1: the log owner
+		})
+	}
+	if len(recs) == 0 {
+		return 0
+	}
+	return h.store.Flush(recs)
+}
+
+// --- ML ---------------------------------------------------------------------
+
+// MLHooks implements traditional message logging: every incoming
+// coherence message is kept verbatim in volatile memory and flushed at
+// the next synchronization point.
+type MLHooks struct {
+	mu       sync.Mutex
+	store    *stable.Store
+	volatile []stable.Record
+}
+
+// OnAcquireNotices logs the grant/release message's notice content.
+func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
+	if len(notices) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.volatile = append(h.volatile, stable.Record{
+		Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil),
+	})
+	h.mu.Unlock()
+}
+
+// OnPageFetched logs the full content of the fetched page — the dominant
+// share of ML's log volume.
+func (h *MLHooks) OnPageFetched(op int32, page memory.PageID, data []byte) {
+	h.mu.Lock()
+	h.volatile = append(h.volatile, stable.Record{
+		Kind: RecPage, Op: op, Data: EncodePageRecord(page, data),
+	})
+	h.mu.Unlock()
+}
+
+// OnIncomingDiffs logs the received DiffUpdate contents.
+func (h *MLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, diffs []memory.Diff) {
+	h.mu.Lock()
+	for i, d := range diffs {
+		h.volatile = append(h.volatile, stable.Record{
+			Kind: RecDiff, Op: op,
+			Data: EncodeDiffRecord(events[i].Writer, events[i].Seq, d),
+		})
+	}
+	h.mu.Unlock()
+}
+
+// AtSyncEntry flushes the volatile log on the critical path.
+func (h *MLHooks) AtSyncEntry(int32) int {
+	h.mu.Lock()
+	recs := h.volatile
+	h.volatile = nil
+	h.mu.Unlock()
+	if len(recs) == 0 {
+		return 0
+	}
+	return h.store.Flush(recs)
+}
+
+// AtRelease flushes nothing extra: ML already flushed at the entry of
+// this synchronization operation.
+func (h *MLHooks) AtRelease(int32, int32, []memory.Diff) int { return 0 }

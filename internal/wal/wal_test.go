@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/stable"
+)
+
+func mkDiff(page memory.PageID, vals ...byte) memory.Diff {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	copy(cur, vals)
+	return memory.MakeDiff(page, twin, cur)
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtocolNone.String() != "None" || ProtocolML.String() != "ML" || ProtocolCCL.String() != "CCL" {
+		t.Fatal("protocol names")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol name")
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	s := stable.NewStore()
+	if _, ok := New(ProtocolNone, s).(hlrc.NopHooks); !ok {
+		t.Fatal("None must be NopHooks")
+	}
+	if _, ok := New(ProtocolML, s).(*MLHooks); !ok {
+		t.Fatal("ML factory")
+	}
+	if _, ok := New(ProtocolCCL, s).(*CCLHooks); !ok {
+		t.Fatal("CCL factory")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown protocol must panic")
+		}
+	}()
+	New(Protocol(42), s)
+}
+
+func TestDiffRecordRoundTrip(t *testing.T) {
+	d := mkDiff(7, 1, 2, 3, 4)
+	buf := EncodeDiffRecord(3, 11, d)
+	w, s, got, err := DecodeDiffRecord(buf)
+	if err != nil || w != 3 || s != 11 || got.Page != 7 || len(got.Runs) != len(d.Runs) {
+		t.Fatalf("round trip: w=%d s=%d err=%v", w, s, err)
+	}
+	if _, _, _, err := DecodeDiffRecord(buf[:4]); err == nil {
+		t.Fatal("short record must fail")
+	}
+	if _, _, _, err := DecodeDiffRecord(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestEventsRecordRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		evs := make([]hlrc.UpdateEvent, len(raw))
+		for i, r := range raw {
+			evs[i] = hlrc.UpdateEvent{Page: memory.PageID(r), Writer: int32(i % 8), Seq: int32(i + 1)}
+		}
+		buf := EncodeEventsRecord(evs)
+		got, err := DecodeEventsRecord(buf)
+		if err != nil || len(got) != len(evs) {
+			return false
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEventsRecord([]byte{1}); err == nil {
+		t.Fatal("short events record must fail")
+	}
+	if _, err := DecodeEventsRecord([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Fatal("bad length must fail")
+	}
+}
+
+func TestPageRecordRoundTrip(t *testing.T) {
+	data := []byte{9, 8, 7}
+	p, got, err := DecodePageRecord(EncodePageRecord(5, data))
+	if err != nil || p != 5 || string(got) != string(data) {
+		t.Fatalf("page record: %v %v %v", p, got, err)
+	}
+	if _, _, err := DecodePageRecord([]byte{1}); err == nil {
+		t.Fatal("short page record must fail")
+	}
+}
+
+func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
+	s := stable.NewStore()
+	h := New(ProtocolCCL, s)
+	h.OnAcquireNotices(1, []hlrc.Notice{{Proc: 0, Seq: 1, Pages: []memory.PageID{2}}})
+	h.OnIncomingDiffs(1, []hlrc.UpdateEvent{{Page: 2, Writer: 0, Seq: 1}}, []memory.Diff{mkDiff(2, 5)})
+	h.OnPageFetched(1, 3, make([]byte, 64)) // must be ignored
+	if s.Stats().Flushes != 0 {
+		t.Fatal("CCL flushed before release")
+	}
+	if h.AtSyncEntry(2) != 0 {
+		t.Fatal("CCL must not flush at sync entry")
+	}
+	n := h.AtRelease(2, 1, []memory.Diff{mkDiff(4, 9)})
+	if n == 0 {
+		t.Fatal("release flush wrote nothing")
+	}
+	st := s.Stats()
+	if st.Flushes != 1 || st.Records != 3 {
+		t.Fatalf("stats = %+v (want 1 flush: notices, events, one diff)", st)
+	}
+	// Page contents must not be in the log.
+	for _, r := range s.Records() {
+		if r.Kind == RecPage {
+			t.Fatal("CCL logged a fetched page")
+		}
+	}
+	// A release with nothing staged flushes nothing.
+	if h.AtRelease(3, 0, nil) != 0 || s.Stats().Flushes != 1 {
+		t.Fatal("empty release must not flush")
+	}
+}
+
+func TestMLFlushesAtSyncEntry(t *testing.T) {
+	s := stable.NewStore()
+	h := New(ProtocolML, s)
+	page := make([]byte, 64)
+	h.OnPageFetched(0, 3, page)
+	h.OnAcquireNotices(0, []hlrc.Notice{{Proc: 1, Seq: 1, Pages: []memory.PageID{3}}})
+	h.OnIncomingDiffs(0, []hlrc.UpdateEvent{{Page: 0, Writer: 1, Seq: 1}}, []memory.Diff{mkDiff(0, 1)})
+	if h.AtRelease(1, 1, []memory.Diff{mkDiff(4, 9)}) != 0 {
+		t.Fatal("ML must not flush at release")
+	}
+	n := h.AtSyncEntry(1)
+	if n == 0 {
+		t.Fatal("ML sync-entry flush wrote nothing")
+	}
+	st := s.Stats()
+	if st.Flushes != 1 || st.Records != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Nothing new: next flush is empty and skipped.
+	if h.AtSyncEntry(2) != 0 || s.Stats().Flushes != 1 {
+		t.Fatal("empty ML flush must be skipped")
+	}
+}
+
+// The headline property behind Table 2: for the same workload trace, the
+// CCL log is much smaller than the ML log, because ML logs full fetched
+// pages and incoming diff contents while CCL logs its own diffs and
+// content-free event records.
+func TestCCLLogMuchSmallerThanML(t *testing.T) {
+	const pageSize = 4096
+	mlStore, cclStore := stable.NewStore(), stable.NewStore()
+	ml := New(ProtocolML, mlStore)
+	ccl := New(ProtocolCCL, cclStore)
+
+	page := make([]byte, pageSize)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	// Simulate 50 intervals: each fetches 4 pages, receives 2 diffs at
+	// home pages, gets a notice set, and creates 2 small diffs.
+	for op := int32(0); op < 50; op++ {
+		notices := []hlrc.Notice{{Proc: 1, Seq: op + 1, Pages: []memory.PageID{1, 2, 3}}}
+		events := []hlrc.UpdateEvent{{Page: 0, Writer: 1, Seq: op + 1}, {Page: 4, Writer: 2, Seq: op + 1}}
+		inDiffs := []memory.Diff{mkDiff(0, 1, 2, 3), mkDiff(4, 4, 5, 6)}
+		own := []memory.Diff{mkDiff(1, 7), mkDiff(2, 8)}
+
+		for _, h := range []hlrc.LogHooks{ml, ccl} {
+			h.AtSyncEntry(op)
+			h.OnAcquireNotices(op, notices)
+			for p := memory.PageID(0); p < 4; p++ {
+				h.OnPageFetched(op, p, page)
+			}
+			h.OnIncomingDiffs(op, events, inDiffs)
+			h.AtRelease(op, op+1, own)
+		}
+	}
+	ml.AtSyncEntry(50) // final ML flush
+	mlBytes := mlStore.Stats().LoggedBytes
+	cclBytes := cclStore.Stats().LoggedBytes
+	if cclBytes == 0 || mlBytes == 0 {
+		t.Fatal("no log volume")
+	}
+	ratio := float64(cclBytes) / float64(mlBytes)
+	if ratio > 0.15 {
+		t.Fatalf("CCL/ML log ratio = %.3f, want well below 0.15 (paper: 0.045-0.125)", ratio)
+	}
+}
+
+func TestConcurrentHookCalls(t *testing.T) {
+	// Service goroutine (OnIncomingDiffs) races the app goroutine
+	// (AtRelease); the hooks must be internally synchronized.
+	s := stable.NewStore()
+	h := New(ProtocolCCL, s)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int32(0); i < 500; i++ {
+			h.OnIncomingDiffs(i, []hlrc.UpdateEvent{{Page: 1, Writer: 0, Seq: i + 1}}, nil)
+		}
+	}()
+	for i := int32(0); i < 500; i++ {
+		h.AtRelease(i, i+1, []memory.Diff{mkDiff(2, byte(i))})
+	}
+	<-done
+	h.AtRelease(501, 501, nil)
+	// All 500 event batches and 500 diffs must be in the log.
+	var events, diffs int
+	for _, r := range s.Records() {
+		switch r.Kind {
+		case RecEvents:
+			evs, err := DecodeEventsRecord(r.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events += len(evs)
+		case RecDiff:
+			diffs++
+		}
+	}
+	if events != 500 || diffs != 500 {
+		t.Fatalf("events=%d diffs=%d, want 500/500", events, diffs)
+	}
+}

@@ -1,0 +1,125 @@
+// Package sdsm is a recoverable home-based software distributed shared
+// memory (SDSM) system, reproducing:
+//
+//	Angkul Kongmunvattana and Nian-Feng Tzeng.
+//	"Coherence-Centric Logging and Recovery for Home-Based Software
+//	Distributed Shared Memory." ICPP 1999.
+//
+// The library provides:
+//
+//   - A home-based lazy release consistency (HLRC) protocol over a
+//     simulated cluster: every shared page has a home node collecting
+//     diffs from all writers; remote copies are invalidated by write
+//     notices piggybacked on lock grants and barrier releases and
+//     refreshed with a single round trip to the home.
+//
+//   - Two logging protocols: traditional message logging (ML), which
+//     logs every incoming coherence message and flushes at
+//     synchronization points, and the paper's coherence-centric logging
+//     (CCL), which logs only the data indispensable for recovery (own
+//     diffs, received write notices, content-free update-event records)
+//     and overlaps its flushes with the release's diff/ack round trip.
+//
+//   - Crash injection and recovery: re-execution, ML-recovery (log
+//     replay with per-miss disk stalls), and the paper's CCL-recovery
+//     (prefetch-based replay that eliminates memory-miss idle time).
+//
+// Programs are SPMD functions over a Proc handle:
+//
+//	rep, err := sdsm.Run(sdsm.Config{Nodes: 8, NumPages: 256,
+//		Protocol: sdsm.ProtocolCCL}, func(p *sdsm.Proc) {
+//		p.SetF64(0, p.ID(), float64(p.ID()))
+//		p.Barrier(0)
+//		// ... every node now sees all writes ordered by the barrier.
+//	})
+//
+// Execution cost (network, disk, page faults, computation declared via
+// Proc.Compute) is accounted in deterministic virtual time calibrated to
+// the paper's 1999 testbed, so the benchmark harness reproduces the
+// paper's tables and figures by shape. See DESIGN.md and EXPERIMENTS.md.
+package sdsm
+
+import (
+	"sdsm/internal/core"
+	"sdsm/internal/recovery"
+	"sdsm/internal/simtime"
+	"sdsm/internal/wal"
+)
+
+// Config describes one run of the recoverable SDSM. See the field
+// documentation in the core package; zero values select the calibrated
+// defaults (4 KiB pages, the 1999-cluster cost model, block-distributed
+// homes).
+type Config = core.Config
+
+// Proc is a process's handle on the shared-memory system.
+type Proc = core.Proc
+
+// Program is the SPMD application body, run once per node.
+type Program = core.Program
+
+// Report summarizes a run: execution time, per-node protocol statistics,
+// log sizes and flush counts, and (for crash runs) the recovery report.
+type Report = core.Report
+
+// RecoveryReport describes an injected crash and its recovery.
+type RecoveryReport = core.RecoveryReport
+
+// CrashPlan injects a fail-stop crash and selects the recovery scheme.
+type CrashPlan = core.CrashPlan
+
+// Protocol selects a logging protocol.
+type Protocol = wal.Protocol
+
+// The logging protocols of the paper's Table 2.
+const (
+	// ProtocolNone runs the unmodified home-based SDSM (no logging).
+	ProtocolNone = wal.ProtocolNone
+	// ProtocolML runs traditional message logging.
+	ProtocolML = wal.ProtocolML
+	// ProtocolCCL runs the paper's coherence-centric logging.
+	ProtocolCCL = wal.ProtocolCCL
+)
+
+// RecoveryKind selects a crash-recovery scheme.
+type RecoveryKind = recovery.Kind
+
+// The recovery schemes of the paper's Figure 5.
+const (
+	// ReExecution restarts the program from the initial state.
+	ReExecution = recovery.ReExecution
+	// MLRecovery replays the victim from its message log.
+	MLRecovery = recovery.MLRecovery
+	// CCLRecovery replays the victim with prefetch-based reconstruction.
+	CCLRecovery = recovery.CCLRecovery
+)
+
+// CostModel holds the calibrated virtual-time costs of the simulated
+// platform.
+type CostModel = simtime.CostModel
+
+// Time is a virtual timestamp (nanoseconds of simulated execution).
+type Time = simtime.Time
+
+// DefaultCostModel returns the calibrated model of the paper's testbed:
+// Sun Ultra-5 workstations on switched 100 Mbps Ethernet with a local
+// disk for logs.
+func DefaultCostModel() CostModel { return simtime.DefaultCostModel() }
+
+// Run executes prog failure-free and reports timing, logging and
+// protocol statistics.
+func Run(cfg Config, prog Program) (*Report, error) { return core.Run(cfg, prog) }
+
+// RunWithCrash executes prog, fail-stops the plan's victim, recovers it
+// from its checkpoint and logs, lets it rejoin, and runs the program to
+// completion. The report includes the replay time Figure 5 compares.
+func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
+	return core.RunWithCrash(cfg, prog, plan)
+}
+
+// BlockHomes distributes pages over nodes in contiguous blocks (the
+// default placement).
+func BlockHomes(numPages, nodes int) []int { return core.BlockHomes(numPages, nodes) }
+
+// RoundRobinHomes distributes pages over nodes round-robin.
+func RoundRobinHomes(numPages, nodes int) []int { return core.RoundRobinHomes(numPages, nodes) }

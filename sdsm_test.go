@@ -1,0 +1,77 @@
+package sdsm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsm"
+)
+
+// TestPublicAPISmoke exercises the whole public surface end to end: a
+// lock-and-barrier program under every protocol, then a crash/recovery
+// run, verifying the final memory image is identical throughout.
+func TestPublicAPISmoke(t *testing.T) {
+	prog := func(p *sdsm.Proc) {
+		for r := 0; r < 4; r++ {
+			p.AcquireLock(0)
+			p.WriteI64(0, p.ReadI64(0)+int64(p.ID()+1))
+			p.ReleaseLock(0)
+			p.SetF64(4096, p.ID()*4+r, float64(p.ID()*100+r))
+			p.Compute(10_000)
+			p.Barrier(r)
+		}
+	}
+	cfg := sdsm.Config{Nodes: 4, PageSize: 1024, NumPages: 16}
+
+	var golden []byte
+	for _, proto := range []sdsm.Protocol{sdsm.ProtocolNone, sdsm.ProtocolML, sdsm.ProtocolCCL} {
+		cfg.Protocol = proto
+		rep, err := sdsm.Run(cfg, prog)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if golden == nil {
+			golden = rep.MemoryImage()
+		} else if !bytes.Equal(golden, rep.MemoryImage()) {
+			t.Fatalf("%v: memory image differs", proto)
+		}
+	}
+
+	// Counter: 4 rounds of (1+2+3+4).
+	if got := int64(golden[0]) | int64(golden[1])<<8; got != 40 {
+		t.Fatalf("counter = %d, want 40", got)
+	}
+
+	cfg.Protocol = sdsm.ProtocolCCL
+	rep, err := sdsm.RunWithCrash(cfg, prog, sdsm.CrashPlan{
+		Victim: 2, AtOp: 6, Recovery: sdsm.CCLRecovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, rep.MemoryImage()) {
+		t.Fatal("post-recovery memory image differs")
+	}
+	if rep.Recovery == nil || rep.Recovery.ReplayTime <= 0 {
+		t.Fatalf("recovery report: %+v", rep.Recovery)
+	}
+}
+
+func TestDefaultCostModel(t *testing.T) {
+	m := sdsm.DefaultCostModel()
+	if m.NetBandwidth != 100e6/8 {
+		t.Fatalf("network bandwidth = %v, want 100 Mbps", m.NetBandwidth)
+	}
+	if m.DiskSeek <= 0 || m.FlopTime <= 0 {
+		t.Fatal("model incomplete")
+	}
+}
+
+func TestHomePolicies(t *testing.T) {
+	if h := sdsm.BlockHomes(8, 2); h[0] != 0 || h[7] != 1 {
+		t.Fatalf("BlockHomes = %v", h)
+	}
+	if h := sdsm.RoundRobinHomes(4, 2); h[1] != 1 || h[2] != 0 {
+		t.Fatalf("RoundRobinHomes = %v", h)
+	}
+}
