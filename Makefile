@@ -1,0 +1,20 @@
+# Verification tiers.
+#
+# tier1 is the gate every change must pass: full build + full test suite.
+# tier2 adds static analysis and the race detector; -short skips the
+# heavier fault-soak and crash sweeps so the race run stays fast.
+
+.PHONY: all tier1 tier2 bench-faults
+
+all: tier1 tier2
+
+tier1:
+	go build ./...
+	go test ./...
+
+tier2:
+	go vet ./...
+	go test -race -short ./...
+
+bench-faults:
+	go run ./cmd/sdsmbench -nodes 8 -faults

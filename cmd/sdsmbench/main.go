@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery]
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults]
 package main
 
 import (
@@ -24,11 +24,23 @@ func main() {
 	appFlag := flag.String("app", "all", "application: all|3d-fft|mg|shallow|water")
 	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
+	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
 	flag.Parse()
 
+	if *nodes < 1 {
+		log.Fatalf("-nodes %d: need at least one node", *nodes)
+	}
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *faults {
+		out, err := bench.FormatFaultSweep(*nodes, bench.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+		return
 	}
 	if *ablations {
 		out, err := bench.FormatAblations(*nodes, bench.ScaleSmall)

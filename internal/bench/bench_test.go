@@ -182,3 +182,31 @@ func TestCheckpointSweepShape(t *testing.T) {
 		t.Fatal("checkpointing did not cost time")
 	}
 }
+
+func TestFaultSweepShape(t *testing.T) {
+	ws := Workloads(4, ScaleSmall)
+	rows, err := RunFaultSweep(ws[2], 4) // Shallow
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultRates) {
+		t.Fatalf("%d rows for %d rates", len(rows), len(FaultRates))
+	}
+	for pi := range rows[0].Sec {
+		if rows[0].Overhead[pi] != 0 {
+			t.Fatalf("reliable run has nonzero overhead %f", rows[0].Overhead[pi])
+		}
+		if rows[0].Sec[pi] <= 0 {
+			t.Fatalf("degenerate time %f", rows[0].Sec[pi])
+		}
+	}
+	// At the top loss rate, retransmission timeouts must be visible both in
+	// execution time and in wire-copy inflation.
+	last := rows[len(rows)-1]
+	if last.Overhead[0] <= 0 {
+		t.Fatalf("1%% loss shows no execution overhead: %+v", last)
+	}
+	if last.ExtraMsgsPct <= 0 {
+		t.Fatalf("1%% loss put no extra copies on the wire: %+v", last)
+	}
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"sdsm/internal/fault"
 	"sdsm/internal/simtime"
 	"sdsm/internal/wal"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// lock l is node l mod Nodes), as TreadMarks does, instead of the
 	// default centralized manager. Incompatible with RunWithCrash.
 	DistributedLocks bool
+	// Faults is the deterministic fault-injection plan: seeded message
+	// loss, duplication and delay on the transport, and torn log writes on
+	// crash. The zero value injects nothing. The same seed always yields
+	// the same fault schedule, execution and report.
+	Faults fault.Plan
 }
 
 // withDefaults validates the config and fills defaults.
@@ -88,6 +94,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LockManagerNode < 0 || c.LockManagerNode >= c.Nodes ||
 		c.BarrierManagerNode < 0 || c.BarrierManagerNode >= c.Nodes {
 		return c, fmt.Errorf("core: manager node out of range")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return c, fmt.Errorf("core: %w", err)
 	}
 	return c, nil
 }

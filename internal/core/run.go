@@ -36,6 +36,7 @@ func buildCluster(cfg Config) (*cluster, error) {
 		nodes: make([]*hlrc.Node, cfg.Nodes),
 		stats: make([]*hlrc.Stats, cfg.Nodes),
 	}
+	c.nw.SetFaultPlan(cfg.Faults)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.stats[i] = &hlrc.Stats{}
 		c.nodes[i] = c.newIncarnation(i, c.stats[i], simtime.NewClock(0))
@@ -50,6 +51,12 @@ func buildCluster(cfg Config) (*cluster, error) {
 
 // newIncarnation builds a (fresh or recovered) node attached to slot id.
 func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock) *hlrc.Node {
+	hooks := wal.New(c.cfg.Protocol, c.depot.Store(id))
+	if c.cfg.Faults.TornWriteOnCrash {
+		// Torn-tail recovery needs the hardened log layout (ML logs its
+		// own diffs too) and manager sender logs to replay from.
+		hooks = wal.NewHardened(c.cfg.Protocol, c.depot.Store(id))
+	}
 	nd := hlrc.NewNode(hlrc.Config{
 		ID: id, N: c.cfg.Nodes,
 		PageSize: c.cfg.PageSize, NumPages: c.cfg.NumPages,
@@ -60,7 +67,8 @@ func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock
 		HomeUndo:           c.cfg.HomeUndo,
 		NoFlushOverlap:     c.cfg.NoFlushOverlap,
 		DistributedLocks:   c.cfg.DistributedLocks,
-	}, c.nw, clock, wal.New(c.cfg.Protocol, c.depot.Store(id)), stats)
+		SenderLogs:         c.cfg.Faults.TornWriteOnCrash,
+	}, c.nw, clock, hooks, stats)
 	recovery.InstallService(nd, c.depot.Store(id))
 	c.installCheckpointing(nd)
 	return nd
@@ -142,6 +150,12 @@ type RecoveryReport struct {
 	// ReplayTime is the victim's virtual time from the start of recovery
 	// until it resumed live operation — the paper's "recovery time".
 	ReplayTime simtime.Time
+	// TornTail reports whether the crash tore the victim's final log
+	// flush (Config.Faults.TornWriteOnCrash and the log was non-empty);
+	// TailOps counts the sync ops replayed from the managers' sender logs
+	// instead of the (lost) disk records.
+	TornTail bool
+	TailOps  int
 }
 
 // MemoryImage returns the authoritative final shared-memory image,
@@ -232,34 +246,51 @@ type CrashPlan struct {
 	Recovery recovery.Kind
 }
 
+// validate checks the plan against a defaults-resolved config. All
+// RunWithCrash rejection paths live here.
+func (p CrashPlan) validate(cfg Config) error {
+	switch {
+	case p.Recovery == recovery.MLRecovery && cfg.Protocol != wal.ProtocolML:
+		return fmt.Errorf("core: ML-recovery needs the ML logging protocol")
+	case p.Recovery == recovery.CCLRecovery && cfg.Protocol != wal.ProtocolCCL:
+		return fmt.Errorf("core: CCL-recovery needs the CCL logging protocol")
+	case p.Recovery != recovery.MLRecovery && p.Recovery != recovery.CCLRecovery:
+		return fmt.Errorf("core: RunWithCrash supports ML- and CCL-recovery, not %v", p.Recovery)
+	}
+	if p.AtOp < 0 {
+		return fmt.Errorf("core: crash op %d is negative", p.AtOp)
+	}
+	if p.Victim < 0 || p.Victim >= cfg.Nodes {
+		return fmt.Errorf("core: invalid victim %d", p.Victim)
+	}
+	if p.Victim == cfg.LockManagerNode || p.Victim == cfg.BarrierManagerNode {
+		return fmt.Errorf("core: victim %d hosts a manager (outside the paper's failure model)", p.Victim)
+	}
+	if cfg.DistributedLocks {
+		return fmt.Errorf("core: crash injection requires centralized lock management")
+	}
+	return nil
+}
+
 // RunWithCrash executes prog, crashes the victim per plan, recovers it by
 // replaying its logs, lets it rejoin, runs the program to completion, and
 // reports — including the replay time that Figure 5 compares.
 func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
-	switch {
-	case plan.Recovery == recovery.MLRecovery && cfg.Protocol != wal.ProtocolML:
-		return nil, fmt.Errorf("core: ML-recovery needs the ML logging protocol")
-	case plan.Recovery == recovery.CCLRecovery && cfg.Protocol != wal.ProtocolCCL:
-		return nil, fmt.Errorf("core: CCL-recovery needs the CCL logging protocol")
-	case plan.Recovery != recovery.MLRecovery && plan.Recovery != recovery.CCLRecovery:
-		return nil, fmt.Errorf("core: RunWithCrash supports ML- and CCL-recovery, not %v", plan.Recovery)
-	}
 	if plan.Recovery == recovery.CCLRecovery {
 		cfg.HomeUndo = true // versioned home fetches need the undo history
+	}
+	if plan.Recovery == recovery.MLRecovery && cfg.Faults.TornWriteOnCrash {
+		// An ML victim whose torn log lost page copies falls back to
+		// versioned fetches from the live homes, which need undo.
+		cfg.HomeUndo = true
 	}
 	cfg.SkipInitialCheckpoint = false
 	c, err := buildCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if plan.Victim < 0 || plan.Victim >= c.cfg.Nodes {
-		return nil, fmt.Errorf("core: invalid victim %d", plan.Victim)
-	}
-	if plan.Victim == c.cfg.LockManagerNode || plan.Victim == c.cfg.BarrierManagerNode {
-		return nil, fmt.Errorf("core: victim %d hosts a manager (outside the paper's failure model)", plan.Victim)
-	}
-	if c.cfg.DistributedLocks {
-		return nil, fmt.Errorf("core: crash injection requires centralized lock management")
+	if err := plan.validate(c.cfg); err != nil {
+		return nil, err
 	}
 	c.nodes[plan.Victim].CrashOp = plan.AtOp
 
@@ -325,12 +356,22 @@ func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryRepor
 	// attachment survive. The replay clock starts at zero so the
 	// measured replay time is the recovery duration.
 	store := c.depot.Store(plan.Victim)
+	if c.cfg.Faults.TornWriteOnCrash {
+		// The crash interrupted the victim's final log flush: destroy a
+		// deterministic suffix of it. Recovery must detect the damage via
+		// the per-record checksums and rebuild the lost tail from the
+		// managers' sender logs and the writers' own-diff logs.
+		store.TearTail(c.cfg.Faults.TearRoll(plan.Victim, 0))
+	}
 	nd := c.newIncarnation(plan.Victim, c.stats[plan.Victim], simtime.NewClock(0))
 	c.nodes[plan.Victim] = nd
 	if _, ok := checkpoint.RestoreInitial(nd, store); !ok {
 		return fmt.Errorf("core: victim %d has no checkpoint", plan.Victim)
 	}
 	rep := recovery.NewReplayer(plan.Recovery, store, crashOp, *c.cfg.Model)
+	if c.cfg.Faults.TornWriteOnCrash {
+		rep.EnableTailMode(c.cfg.LockManagerNode, c.cfg.BarrierManagerNode)
+	}
 	rep.OnDetach = func() {
 		// Resume live operation: the service loop drains everything that
 		// queued while the node was down.
@@ -349,5 +390,7 @@ func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryRepor
 		return fmt.Errorf("core: victim %d finished without completing replay", plan.Victim)
 	}
 	out.ReplayTime = rep.ReplayTime()
+	out.TornTail = rep.Torn()
+	out.TailOps = rep.TailOps
 	return nil
 }

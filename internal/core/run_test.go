@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
+	"sdsm/internal/fault"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
 )
@@ -307,6 +309,8 @@ func TestConfigValidation(t *testing.T) {
 		{Nodes: 2, PageSize: 512, NumPages: 4, Homes: []int{0}},
 		{Nodes: 2, PageSize: 512, NumPages: 2, Homes: []int{0, 5}},
 		{Nodes: 2, PageSize: 512, NumPages: 2, LockManagerNode: 9},
+		{Nodes: 2, PageSize: 512, NumPages: 2, Faults: fault.Plan{DropProb: 1.5}},
+		{Nodes: 2, PageSize: 512, NumPages: 2, Faults: fault.Plan{DupProb: -0.1}},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg, func(*Proc) {}); err == nil {
@@ -315,23 +319,51 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestCrashPlanValidation exercises every rejection path of
+// CrashPlan.validate, one case per path, and checks the error names the
+// actual problem.
 func TestCrashPlanValidation(t *testing.T) {
 	cfg := testCfg(wal.ProtocolCCL)
+	distLocks := testCfg(wal.ProtocolCCL)
+	distLocks.DistributedLocks = true
+	remoteBarrier := testCfg(wal.ProtocolCCL)
+	remoteBarrier.BarrierManagerNode = 2
 	prog := stencilProg(2)
 	cases := []struct {
-		name string
-		cfg  Config
-		plan CrashPlan
+		name    string
+		cfg     Config
+		plan    CrashPlan
+		errWant string
 	}{
-		{"protocol mismatch", testCfg(wal.ProtocolML), CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.CCLRecovery}},
-		{"reexec unsupported", cfg, CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.ReExecution}},
-		{"victim out of range", cfg, CrashPlan{Victim: 9, AtOp: 1, Recovery: recovery.CCLRecovery}},
-		{"victim is manager", cfg, CrashPlan{Victim: 0, AtOp: 1, Recovery: recovery.CCLRecovery}},
+		{"ML recovery on CCL log", cfg,
+			CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.MLRecovery}, "ML-recovery needs"},
+		{"CCL recovery on ML log", testCfg(wal.ProtocolML),
+			CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.CCLRecovery}, "CCL-recovery needs"},
+		{"re-execution unsupported", cfg,
+			CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.ReExecution}, "ML- and CCL-recovery"},
+		{"negative crash op", cfg,
+			CrashPlan{Victim: 1, AtOp: -1, Recovery: recovery.CCLRecovery}, "negative"},
+		{"victim above range", cfg,
+			CrashPlan{Victim: 9, AtOp: 1, Recovery: recovery.CCLRecovery}, "invalid victim"},
+		{"victim below range", cfg,
+			CrashPlan{Victim: -1, AtOp: 1, Recovery: recovery.CCLRecovery}, "invalid victim"},
+		{"victim hosts lock manager", cfg,
+			CrashPlan{Victim: 0, AtOp: 1, Recovery: recovery.CCLRecovery}, "hosts a manager"},
+		{"victim hosts barrier manager", remoteBarrier,
+			CrashPlan{Victim: 2, AtOp: 1, Recovery: recovery.CCLRecovery}, "hosts a manager"},
+		{"distributed locks", distLocks,
+			CrashPlan{Victim: 1, AtOp: 1, Recovery: recovery.CCLRecovery}, "centralized lock"},
 	}
 	for _, tc := range cases {
-		if _, err := RunWithCrash(tc.cfg, prog, tc.plan); err == nil {
-			t.Fatalf("%s: accepted", tc.name)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunWithCrash(tc.cfg, prog, tc.plan)
+			if err == nil {
+				t.Fatal("plan accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,12 @@ type Config struct {
 	// NoFlushOverlap disables CCL's flush/communication overlap
 	// (ablation): the release flush lands fully on the critical path.
 	NoFlushOverlap bool
+	// SenderLogs makes manager nodes keep an in-memory log of every lock
+	// grant and barrier release they issue, per receiver. A victim whose
+	// disk log lost its tail to a torn write replays those operations from
+	// the managers' logs instead (sender-based message logging; managers
+	// are outside the failure model, so their volatile logs survive).
+	SenderLogs bool
 }
 
 // SyncDelegate intercepts synchronization operations and page validation
@@ -78,10 +84,29 @@ type pendingMsg struct {
 type lockState struct {
 	held  bool
 	queue []pendingMsg // waiting LockReq messages (with reply channels)
+	// Retransmission state: who holds the lock, under which request id,
+	// and the grant that was sent — so a requester whose grant was lost
+	// on the wire gets the identical grant again.
+	holder      int
+	holderReq   int64
+	lastGrant   *LockGrant
+	lastGrantAt simtime.Time
+}
+
+// barrierReply caches the release sent to one node for one barrier round,
+// so a retransmitted check-in (its release was lost) is answered with the
+// identical payload.
+type barrierReply struct {
+	reqID int64
+	rel   *BarrierRelease
+	at    simtime.Time
 }
 
 type barrierState struct {
 	waiting []pendingMsg // checkins collected so far
+	// lastReply[node] is the node's release from its most recent
+	// completed round.
+	lastReply map[int]barrierReply
 }
 
 // Node is one process of the home-based SDSM: its page table, interval
@@ -128,6 +153,10 @@ type Node struct {
 	mgrNotices *NoticeStore
 	locks      map[int32]*lockState
 	barriers   map[int32]*barrierState
+	// Sender logs (SenderLogs): every grant/release issued, per receiver,
+	// in issue order. A torn-tail recovery replays from these.
+	grantLog   map[int][]*LockGrant
+	releaseLog map[int][]*BarrierRelease
 
 	stopSvc chan struct{}
 	svcDone chan struct{}
@@ -173,6 +202,8 @@ func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogH
 		mgrNotices:    NewNoticeStore(cfg.N),
 		locks:         make(map[int32]*lockState),
 		barriers:      make(map[int32]*barrierState),
+		grantLog:      make(map[int][]*LockGrant),
+		releaseLog:    make(map[int][]*BarrierRelease),
 	}
 	for p := range cfg.Homes {
 		if nd.cfg.Homes[p] == cfg.ID {
@@ -278,6 +309,9 @@ func (nd *Node) serve(stop <-chan struct{}, done chan<- struct{}) {
 		case <-stop:
 			return
 		case m := <-nd.ep.Inbox():
+			if nd.ep.WireDup(m) {
+				continue // fault-injected duplicate copy
+			}
 			nd.handle(m)
 		}
 	}
@@ -335,17 +369,23 @@ func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
 	var copied int
 	nd.mu.Lock()
 	events := make([]UpdateEvent, 0, len(du.Diffs))
+	applied := make([]memory.Diff, 0, len(du.Diffs))
 	for _, d := range du.Diffs {
 		if !nd.IsHome(d.Page) {
 			nd.mu.Unlock()
 			panic(fmt.Sprintf("hlrc: node %d got diff for page %d homed at %d", nd.cfg.ID, d.Page, nd.HomeOf(d.Page)))
 		}
-		nd.applyHomeDiffLocked(d, du.Writer, du.Seq)
+		if !nd.applyHomeDiffLocked(d, du.Writer, du.Seq) {
+			continue // retransmitted interval, already applied and logged
+		}
 		copied += d.DataBytes()
+		applied = append(applied, d)
 		events = append(events, UpdateEvent{Page: d.Page, Writer: du.Writer, Seq: du.Seq})
 	}
-	nd.hooks.OnIncomingDiffs(nd.opIndex, events, du.Diffs)
-	nd.stats.DiffsApplied.Add(int64(len(du.Diffs)))
+	if len(applied) > 0 {
+		nd.hooks.OnIncomingDiffs(nd.opIndex, events, applied)
+		nd.stats.DiffsApplied.Add(int64(len(applied)))
+	}
 	nd.mu.Unlock()
 	// The ack leaves after the diffs are applied; the copy cost is the
 	// handler's, not the application's.
@@ -356,7 +396,16 @@ func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
 // applyHomeDiffLocked applies one diff to a home copy, maintaining the
 // page's version vector and (when enabled) the undo history. Callers hold
 // nd.mu.
-func (nd *Node) applyHomeDiffLocked(d memory.Diff, writer, seq int32) {
+func (nd *Node) applyHomeDiffLocked(d memory.Diff, writer, seq int32) bool {
+	v := nd.ver[d.Page]
+	tracked := int(writer) >= 0 && int(writer) < len(v)
+	if tracked && seq <= v[writer] {
+		// The writer interval is already applied: this is a retransmitted
+		// or duplicated DiffUpdate (or a recovery re-fetch overlapping the
+		// live stream). Re-applying must be a no-op, keyed by the writer
+		// interval — and must not grow the undo history.
+		return false
+	}
 	page := nd.pt.Page(d.Page)
 	if nd.cfg.HomeUndo {
 		nd.undo[d.Page] = append(nd.undo[d.Page], undoEntry{
@@ -365,18 +414,20 @@ func (nd *Node) applyHomeDiffLocked(d memory.Diff, writer, seq int32) {
 		})
 	}
 	d.Apply(page)
-	v := nd.ver[d.Page]
-	if int(writer) < len(v) && seq > v[writer] {
+	if tracked {
 		v[writer] = seq
 	}
+	return true
 }
 
 // ApplyDiffAsHome is the exported form of applyHomeDiffLocked for the
-// recovery engine (which runs while the service loop is stopped).
-func (nd *Node) ApplyDiffAsHome(d memory.Diff, writer, seq int32) {
+// recovery engine (which runs while the service loop is stopped). It
+// reports whether the diff was new (false: the interval was already
+// applied, an idempotent re-delivery).
+func (nd *Node) ApplyDiffAsHome(d memory.Diff, writer, seq int32) bool {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	nd.applyHomeDiffLocked(d, writer, seq)
+	return nd.applyHomeDiffLocked(d, writer, seq)
 }
 
 // PageAtVersion returns a copy of home page p rolled back so that no

@@ -37,9 +37,12 @@ type LogHooks interface {
 	AtSyncEntry(op int32) int
 	// AtRelease is called at a release or barrier arrival right after the
 	// interval's diffs have been sent to their homes; CCL flushes here.
+	// vtSum is the sum of the closing interval's vector time, logged with
+	// the interval's own diffs so recovery can apply re-fetched diffs from
+	// different writers in a linear extension of their causal order.
 	// Returns bytes flushed; the engine overlaps the disk time with the
 	// diff/ack round trip.
-	AtRelease(op int32, seq int32, created []memory.Diff) int
+	AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int
 }
 
 // NopHooks is the no-logging protocol: the unmodified home-based SDSM
@@ -59,4 +62,4 @@ func (NopHooks) OnIncomingDiffs(int32, []UpdateEvent, []memory.Diff) {}
 func (NopHooks) AtSyncEntry(int32) int { return 0 }
 
 // AtRelease implements LogHooks.
-func (NopHooks) AtRelease(int32, int32, []memory.Diff) int { return 0 }
+func (NopHooks) AtRelease(int32, int32, int64, []memory.Diff) int { return 0 }

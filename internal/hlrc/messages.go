@@ -23,6 +23,13 @@ const (
 	KindRecPageReply
 	KindRecDiffsReq
 	KindRecDiffsReply
+	// Sender-log kinds: a victim whose torn disk log lost the tail of its
+	// sync records replays the lost lock grants and barrier releases from
+	// the managers' volatile sender logs (Config.SenderLogs).
+	KindRecGrantReq
+	KindRecGrantReply
+	KindRecBarrierReq
+	KindRecBarrierReply
 )
 
 // LockReq asks the lock manager for ownership of a lock. VT is the
@@ -157,20 +164,62 @@ type RecDiffsReq struct {
 func (RecDiffsReq) WireSize() int { return 16 }
 
 // RecDiffsReply carries logged diffs read from the writer's stable store.
+// VTSums holds, per diff, the vector-time sum the writer logged with the
+// closing interval; the recovering home sorts diffs from different
+// writers by it before applying (a linear extension of causal order).
 // DiskBytes is the number of log bytes the writer had to read; the
 // recovering node charges that disk time to its replay clock, since the
 // remote read is on the recovery critical path.
 type RecDiffsReply struct {
 	Seqs      []int32
+	VTSums    []int64
 	Diffs     []memory.Diff
 	DiskBytes int
 }
 
 // WireSize is the accounted message size.
 func (m *RecDiffsReply) WireSize() int {
-	n := 12 + 4*len(m.Seqs)
+	n := 12 + 12*len(m.Seqs)
 	for _, d := range m.Diffs {
 		n += d.WireSize()
 	}
 	return n
+}
+
+// RecSyncReq asks a manager for the Idx-th (0-based, in issue order) lock
+// grant or barrier release it sent to Node before the crash — the
+// sender-log read of a torn-tail recovery.
+type RecSyncReq struct {
+	Node int32
+	Idx  int32
+}
+
+// WireSize is the accounted message size.
+func (RecSyncReq) WireSize() int { return 8 }
+
+// RecGrantReply answers a KindRecGrantReq. Grant is nil past the end of
+// the sender log (a replay divergence; the requester panics).
+type RecGrantReply struct {
+	Grant *LockGrant
+}
+
+// WireSize is the accounted message size.
+func (m *RecGrantReply) WireSize() int {
+	if m.Grant == nil {
+		return 4
+	}
+	return 4 + m.Grant.WireSize()
+}
+
+// RecBarrierReply answers a KindRecBarrierReq.
+type RecBarrierReply struct {
+	Rel *BarrierRelease
+}
+
+// WireSize is the accounted message size.
+func (m *RecBarrierReply) WireSize() int {
+	if m.Rel == nil {
+		return 4
+	}
+	return 4 + m.Rel.WireSize()
 }

@@ -172,3 +172,45 @@ func (nd *Node) InvalidatePage(p memory.PageID) {
 	}
 	nd.mu.Unlock()
 }
+
+// NumPages returns the size of the shared space in pages.
+func (nd *Node) NumPages() int { return nd.cfg.NumPages }
+
+// HomeVersion returns a copy of the version vector of a home page, or nil
+// if the page is not homed here. Torn-tail recovery uses it to bound its
+// writer-log re-fetches to the intervals the home copy does not yet carry.
+func (nd *Node) HomeVersion(p memory.PageID) vclock.VC {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.ver[p] == nil {
+		return nil
+	}
+	return nd.ver[p].Clone()
+}
+
+// LoggedGrant returns the idx-th lock grant (0-based, in issue order) this
+// manager node sent to the given requester, or nil past the end. Available
+// only with Config.SenderLogs; used by torn-tail recovery to replay the
+// victim's acquires that the torn disk log no longer covers.
+func (nd *Node) LoggedGrant(requester, idx int) *LockGrant {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	log := nd.grantLog[requester]
+	if idx < 0 || idx >= len(log) {
+		return nil
+	}
+	return log[idx]
+}
+
+// LoggedBarrierRelease returns the idx-th barrier release (0-based, in
+// issue order) this manager node sent to the given node, or nil past the
+// end. Available only with Config.SenderLogs.
+func (nd *Node) LoggedBarrierRelease(node, idx int) *BarrierRelease {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	log := nd.releaseLog[node]
+	if idx < 0 || idx >= len(log) {
+		return nil
+	}
+	return log[idx]
+}

@@ -221,14 +221,16 @@ func (nd *Node) closeAndPropagate(op int32) {
 	nd.mu.Lock()
 	dirty := nd.pt.DirtyPages()
 	if len(dirty) == 0 {
+		vtSum := nd.vt.Sum()
 		nd.mu.Unlock()
-		if n := nd.hooks.AtRelease(op, 0, nil); n > 0 {
+		if n := nd.hooks.AtRelease(op, 0, vtSum, nil); n > 0 {
 			nd.clock.Advance(nd.cfg.Model.DiskTime(n))
 		}
 		return
 	}
 
 	seq := nd.vt.Tick(nd.cfg.ID)
+	vtSum := nd.vt.Sum()
 	perHome := make(map[int][]memory.Diff)
 	var created []memory.Diff
 	pages := make([]memory.PageID, 0, len(dirty))
@@ -270,22 +272,21 @@ func (nd *Node) closeAndPropagate(op int32) {
 	nd.stats.DiffsCreated.Add(int64(len(created)))
 	nd.clock.Advance(nd.cfg.Model.CopyTime(compareBytes))
 
-	// Send all updates, then flush the log, then collect acks: the disk
-	// access overlaps the coherence-induced communication (CCL's
-	// latency-tolerance technique). With NoFlushOverlap (ablation) the
-	// flush completes before the diffs even leave, fully serialized.
+	// The log flush executes before any diff leaves, so a diff a home has
+	// applied is always already durable in its writer's log (torn-tail
+	// recovery re-fetches lost home updates from the writers' logs and
+	// relies on this). Its *virtual* disk time still overlaps the diff/ack
+	// round trips (CCL's latency-tolerance technique): CallAsync does not
+	// advance the clock, so flushDone computed here equals the paper's
+	// flush-after-send overlap. With NoFlushOverlap (ablation) the flush
+	// lands fully on the critical path instead.
 	var flushDone simtime.Time
-	flush := func() {
-		if n := nd.hooks.AtRelease(op, seq, created); n > 0 {
-			if nd.cfg.NoFlushOverlap {
-				nd.clock.Advance(nd.cfg.Model.DiskTime(n))
-			} else {
-				flushDone = nd.clock.Now() + simtime.Time(nd.cfg.Model.DiskTime(n))
-			}
+	if n := nd.hooks.AtRelease(op, seq, vtSum, created); n > 0 {
+		if nd.cfg.NoFlushOverlap {
+			nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+		} else {
+			flushDone = nd.clock.Now() + simtime.Time(nd.cfg.Model.DiskTime(n))
 		}
-	}
-	if nd.cfg.NoFlushOverlap {
-		flush()
 	}
 	homes := make([]int, 0, len(perHome))
 	for h := range perHome {
@@ -302,9 +303,6 @@ func (nd *Node) closeAndPropagate(op int32) {
 	}
 	nd.stats.DiffBytesSent.Add(sentBytes)
 
-	if !nd.cfg.NoFlushOverlap {
-		flush()
-	}
 	for _, p := range pendings {
 		p.Wait(nd.clock)
 	}
@@ -319,6 +317,19 @@ func (nd *Node) grantLocked(since vclock.VC) *LockGrant {
 	return &LockGrant{VT: nd.mgrVT.Clone(), Notices: nd.mgrNotices.Delta(since)}
 }
 
+// issueGrantLocked records a fresh grant's retransmission state (and, with
+// SenderLogs, appends it to the receiver's sender log). Callers hold nd.mu.
+func (nd *Node) issueGrantLocked(ls *lockState, to int, reqID int64, g *LockGrant, at simtime.Time) {
+	ls.held = true
+	ls.holder = to
+	ls.holderReq = reqID
+	ls.lastGrant = g
+	ls.lastGrantAt = at
+	if nd.cfg.SenderLogs {
+		nd.grantLog[to] = append(nd.grantLog[to], g)
+	}
+}
+
 func (nd *Node) handleLockReq(m transport.Message, at simtime.Time) {
 	req := m.Payload.(*LockReq)
 	nd.mu.Lock()
@@ -328,12 +339,35 @@ func (nd *Node) handleLockReq(m transport.Message, at simtime.Time) {
 		nd.locks[req.Lock] = ls
 	}
 	if ls.held {
+		if ls.holder == m.From && ls.holderReq == m.ReqID {
+			// Retransmission of the request we already granted: the grant
+			// was lost on the wire. Re-send the identical grant, stamped
+			// with the original grant time — the requester's clock already
+			// carries the retransmission timeouts, and a stamp derived
+			// from this copy's arrival would make the timing depend on
+			// which handler path the retransmission raced into.
+			g, gat := ls.lastGrant, ls.lastGrantAt
+			nd.mu.Unlock()
+			nd.ep.ReplyAt(gat, m, KindLockGrant, g.WireSize(), g)
+			return
+		}
+		for i, q := range ls.queue {
+			if q.m.From == m.From && q.m.ReqID == m.ReqID {
+				// Retransmission of a still-queued request: keep the newest
+				// copy (its reply fate is the live one) but the original
+				// arrival time, which is what the handoff timing is
+				// measured from.
+				ls.queue[i].m = m
+				nd.mu.Unlock()
+				return
+			}
+		}
 		ls.queue = append(ls.queue, pendingMsg{m: m, arrival: at})
 		nd.mu.Unlock()
 		return
 	}
-	ls.held = true
 	g := nd.grantLocked(req.VT)
+	nd.issueGrantLocked(ls, m.From, m.ReqID, g, at)
 	nd.mu.Unlock()
 	nd.ep.ReplyAt(at, m, KindLockGrant, g.WireSize(), g)
 }
@@ -350,22 +384,24 @@ func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
 	}
 	var next pendingMsg
 	var g *LockGrant
+	var grantAt simtime.Time
 	granted := false
 	if len(ls.queue) > 0 {
 		next, ls.queue = ls.queue[0], ls.queue[1:]
 		g = nd.grantLocked(next.m.Payload.(*LockReq).VT)
+		// The handoff happens when both the release and the queued
+		// request have arrived.
+		grantAt = at
+		if next.arrival > grantAt {
+			grantAt = next.arrival
+		}
+		nd.issueGrantLocked(ls, next.m.From, next.m.ReqID, g, grantAt)
 		granted = true
 	} else {
 		ls.held = false
 	}
 	nd.mu.Unlock()
 	if granted {
-		// The handoff happens when both the release and the queued
-		// request have arrived.
-		grantAt := at
-		if next.arrival > grantAt {
-			grantAt = next.arrival
-		}
 		nd.ep.ReplyAt(grantAt, next.m, KindLockGrant, g.WireSize(), g)
 	}
 }
@@ -373,13 +409,40 @@ func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
 func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 	ci := m.Payload.(*BarrierCheckin)
 	nd.mu.Lock()
-	nd.mgrNotices.AddAll(ci.Notices)
-	nd.mgrVT.Merge(ci.VT)
 	bs := nd.barriers[ci.Barrier]
 	if bs == nil {
-		bs = &barrierState{}
+		bs = &barrierState{lastReply: make(map[int]barrierReply)}
 		nd.barriers[ci.Barrier] = bs
 	}
+	if lr, ok := bs.lastReply[m.From]; ok && lr.reqID == m.ReqID {
+		// Retransmission of a check-in from an already-released round: the
+		// release was lost on the wire. Re-send the identical cached
+		// release at the original release time (the check-in's own
+		// retransmission timeouts are already on the sender's clock, and
+		// a stamp derived from this copy's arrival would depend on which
+		// handler path the retransmission raced into).
+		nd.mu.Unlock()
+		nd.ep.ReplyAt(lr.at, m, KindBarrierRelease, lr.rel.WireSize(), lr.rel)
+		return
+	}
+	for i, w := range bs.waiting {
+		if w.m.From == m.From {
+			if w.m.ReqID != m.ReqID {
+				nd.mu.Unlock()
+				panic(fmt.Sprintf("hlrc: manager %d: node %d checked into barrier %d twice",
+					nd.cfg.ID, m.From, ci.Barrier))
+			}
+			// Retransmission while the round is still filling: keep the
+			// newest copy (its reply fate is the live one) but the first
+			// copy's arrival time, which is what the barrier opening is
+			// measured from.
+			bs.waiting[i].m = m
+			nd.mu.Unlock()
+			return
+		}
+	}
+	nd.mgrNotices.AddAll(ci.Notices)
+	nd.mgrVT.Merge(ci.VT)
 	bs.waiting = append(bs.waiting, pendingMsg{m: m, arrival: at})
 	if len(bs.waiting) < nd.cfg.N {
 		nd.mu.Unlock()
@@ -401,10 +464,15 @@ func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 	outs := make([]out, 0, len(waiting))
 	for _, w := range waiting {
 		since := w.m.Payload.(*BarrierCheckin).VT
-		outs = append(outs, out{m: w.m, rel: &BarrierRelease{
+		rel := &BarrierRelease{
 			VT:      nd.mgrVT.Clone(),
 			Notices: nd.mgrNotices.Delta(since),
-		}})
+		}
+		bs.lastReply[w.m.From] = barrierReply{reqID: w.m.ReqID, rel: rel, at: releaseAt}
+		if nd.cfg.SenderLogs {
+			nd.releaseLog[w.m.From] = append(nd.releaseLog[w.m.From], rel)
+		}
+		outs = append(outs, out{m: w.m, rel: rel})
 	}
 	nd.mu.Unlock()
 	for _, o := range outs {

@@ -628,7 +628,7 @@ func (nd *Node) validate(p memory.PageID) {
 	// concurrent intervals (whose diffs touch disjoint words under data-
 	// race freedom).
 	sort.Slice(need, func(i, j int) bool {
-		si, sj := vtSum(need[i].vt), vtSum(need[j].vt)
+		si, sj := need[i].vt.Sum(), need[j].vt.Sum()
 		if si != sj {
 			return si < sj
 		}
@@ -651,14 +651,6 @@ func (nd *Node) validate(p memory.PageID) {
 	nd.pt.SetState(p, memory.ReadOnly)
 	nd.mu.Unlock()
 	nd.clock.Advance(nd.model.CopyTime(applied))
-}
-
-func vtSum(v vclock.VC) int64 {
-	var s int64
-	for _, x := range v {
-		s += int64(x)
-	}
-	return s
 }
 
 func (nd *Node) ensureWritable(p memory.PageID) {

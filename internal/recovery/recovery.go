@@ -25,6 +25,7 @@ package recovery
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"sdsm/internal/hlrc"
@@ -85,6 +86,16 @@ func InstallService(nd *hlrc.Node, store *stable.Store) {
 			resp := readLoggedDiffs(store, req)
 			ep.ReplyAt(at, m, hlrc.KindRecDiffsReply, resp.WireSize(), resp)
 			return true
+		case hlrc.KindRecGrantReq:
+			req := m.Payload.(*hlrc.RecSyncReq)
+			resp := &hlrc.RecGrantReply{Grant: nd.LoggedGrant(int(req.Node), int(req.Idx))}
+			ep.ReplyAt(at, m, hlrc.KindRecGrantReply, resp.WireSize(), resp)
+			return true
+		case hlrc.KindRecBarrierReq:
+			req := m.Payload.(*hlrc.RecSyncReq)
+			resp := &hlrc.RecBarrierReply{Rel: nd.LoggedBarrierRelease(int(req.Node), int(req.Idx))}
+			ep.ReplyAt(at, m, hlrc.KindRecBarrierReply, resp.WireSize(), resp)
+			return true
 		default:
 			return false
 		}
@@ -100,7 +111,7 @@ func readLoggedDiffs(store *stable.Store, req *hlrc.RecDiffsReq) *hlrc.RecDiffsR
 		if rec.Kind != wal.RecDiff {
 			continue
 		}
-		writer, seq, d, err := wal.DecodeDiffRecord(rec.Data)
+		writer, seq, vtSum, d, err := wal.DecodeDiffRecord(rec.Data)
 		if err != nil {
 			panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
 		}
@@ -111,6 +122,7 @@ func readLoggedDiffs(store *stable.Store, req *hlrc.RecDiffsReq) *hlrc.RecDiffsR
 			continue
 		}
 		resp.Seqs = append(resp.Seqs, seq)
+		resp.VTSums = append(resp.VTSums, vtSum)
 		resp.Diffs = append(resp.Diffs, d)
 		resp.DiskBytes += rec.WireSize()
 	}
@@ -149,9 +161,31 @@ type Replayer struct {
 	// node resumes live operation (the runner restarts the service loop
 	// here).
 	OnDetach func()
+
+	// Torn-tail state. A crash during the final log flush (a torn write)
+	// leaves only a CRC-valid prefix of the log. Ops up to (excluding)
+	// tailFromOp replay from disk as usual; from tailFromOp on, the lost
+	// lock grants and barrier releases are re-fetched from the managers'
+	// sender logs, and the lost asynchronous home updates are
+	// reconstructed from the writers' own-diff logs (bounded by the
+	// notices during replay, unbounded at detach).
+	torn       bool
+	tailFromOp int32
+	lockMgr    int
+	barrierMgr int
+	tailReady  bool // EnableTailMode was called
+	acquireIdx int  // acquires replayed so far (indexes the lock manager's sender log)
+	barrierIdx int  // barriers replayed so far (indexes the barrier manager's sender log)
+	// TailOps counts sync ops that replayed from sender logs instead of
+	// the disk log (observability for tests and reports).
+	TailOps int
 }
 
-// NewReplayer indexes the victim's log for replay up to crashOp.
+// NewReplayer indexes the victim's log for replay up to crashOp. Only the
+// CRC-valid prefix of the log is used: if a torn write destroyed the tail
+// of the final flush, the records of the last op covered by the prefix
+// (and everything after it) are distrusted, and the replayer requires
+// EnableTailMode to recover them from live nodes.
 func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.CostModel) *Replayer {
 	if kind != MLRecovery && kind != CCLRecovery {
 		panic(fmt.Sprintf("recovery: no replayer for %v", kind))
@@ -164,7 +198,32 @@ func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.Co
 		byOp:      make(map[int32][]stable.Record),
 		pagesByOp: make(map[int32]map[memory.PageID][]byte),
 	}
-	for _, rec := range store.Records() {
+	recs, dropped := store.ValidPrefix()
+	// Record op tags are nondecreasing (both protocols stage and flush
+	// chronologically), so every op strictly below the prefix's maximum
+	// tag is fully covered; the maximum tag itself may have lost records
+	// to the tear and is replayed from sender logs instead.
+	var maxOp int32 = -1
+	for _, rec := range recs {
+		if rec.Op > maxOp {
+			maxOp = rec.Op
+		}
+	}
+	if dropped > 0 {
+		r.torn = true
+		r.tailFromOp = maxOp
+		if maxOp < 0 {
+			r.tailFromOp = 0 // the whole log is gone
+		}
+	}
+	for _, rec := range recs {
+		if r.torn && rec.Op >= r.tailFromOp && rec.Kind != wal.RecPage {
+			// Possibly-partial op: ignore its disk records; the tail path
+			// rebuilds the op from the managers' and writers' logs. (A
+			// logged ML page copy that did survive is still individually
+			// valid and stays usable.)
+			continue
+		}
 		if kind == MLRecovery && rec.Kind == wal.RecPage {
 			page, data, err := wal.DecodePageRecord(rec.Data)
 			if err != nil {
@@ -183,6 +242,29 @@ func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.Co
 	return r
 }
 
+// EnableTailMode tells the replayer which nodes host the lock and barrier
+// managers, allowing it to recover sync ops past a torn log tail from
+// their sender logs (the managers must run with hlrc.Config.SenderLogs).
+func (r *Replayer) EnableTailMode(lockMgr, barrierMgr int) {
+	r.lockMgr = lockMgr
+	r.barrierMgr = barrierMgr
+	r.tailReady = true
+}
+
+// Torn reports whether the log had a torn tail.
+func (r *Replayer) Torn() bool { return r.torn }
+
+// tailActive reports whether op must replay from sender logs.
+func (r *Replayer) tailActive(op int32) bool {
+	if !r.torn || op < r.tailFromOp {
+		return false
+	}
+	if !r.tailReady {
+		panic(fmt.Sprintf("recovery: log tail torn at op %d but sender-log recovery is not enabled", op))
+	}
+	return true
+}
+
 // ReplayTime reports the virtual time the replay consumed (valid after
 // detach).
 func (r *Replayer) ReplayTime() simtime.Time { return r.replayTime }
@@ -194,6 +276,13 @@ func (r *Replayer) Detached() bool { return r.detached }
 func (r *Replayer) Acquire(nd *hlrc.Node, op int32, lock int32) bool {
 	if op >= r.crashOp {
 		panic(fmt.Sprintf("recovery: replay reached acquire op %d beyond crash op %d", op, r.crashOp))
+	}
+	idx := r.acquireIdx
+	r.acquireIdx++
+	if r.tailActive(op) {
+		r.tailAcquire(nd, op, lock, idx)
+		nd.BumpOp()
+		return true
 	}
 	r.enterPhase(nd, op, true)
 	// The merged vector time equals the grant's knowledge horizon on
@@ -212,7 +301,16 @@ func (r *Replayer) Acquire(nd *hlrc.Node, op int32, lock int32) bool {
 func (r *Replayer) Release(nd *hlrc.Node, op int32, lock int32) bool {
 	nd.CloseIntervalLocal()
 	r.reportedSelf = nd.VT()[nd.ID()]
-	r.enterPhase(nd, op, false)
+	if r.tailActive(op) {
+		// A release receives nothing from the managers; the disk records
+		// this op lost were asynchronous home updates, which the tail
+		// acquires' notice-bounded re-fetches and the detach catch-up
+		// reconstruct (sync-ordered visibility is all a data-race-free
+		// replay can observe).
+		r.TailOps++
+	} else {
+		r.enterPhase(nd, op, false)
+	}
 	if op >= r.crashOp {
 		r.detach(nd)
 		// The failure struck after this op's local half: the release
@@ -228,13 +326,25 @@ func (r *Replayer) Release(nd *hlrc.Node, op int32, lock int32) bool {
 func (r *Replayer) Barrier(nd *hlrc.Node, op int32, barrier int32) bool {
 	nd.CloseIntervalLocal()
 	r.reportedSelf = nd.VT()[nd.ID()]
-	r.enterPhase(nd, op, false)
 	if op >= r.crashOp {
+		// The victim never checked in to this barrier before the crash
+		// (so the manager issued no release for it): no sender-log entry
+		// to consume. Replay whatever the disk still has and go live.
+		if !r.tailActive(op) {
+			r.enterPhase(nd, op, false)
+		}
 		r.detach(nd)
-		// Check in live: the manager never saw this arrival.
 		nd.FinishBarrierLive(op, barrier)
 		return true
 	}
+	if r.tailActive(op) {
+		r.tailBarrier(nd, op, r.barrierIdx)
+		r.barrierIdx++
+		nd.BumpOp()
+		return true
+	}
+	r.barrierIdx++
+	r.enterPhase(nd, op, false)
 	nd.SetLastBarrierVT(nd.VT())
 	nd.BumpOp()
 	return true
@@ -251,9 +361,16 @@ func (r *Replayer) Validate(nd *hlrc.Node, page memory.PageID) bool {
 		op := nd.OpIndex()
 		data := r.pagesByOp[op][page]
 		if data == nil {
+			if r.torn {
+				// The logged copy was in the torn tail: fall back to a
+				// versioned fetch from the live home (which needs the homes'
+				// undo histories, enabled for hardened ML runs).
+				r.fetchPages(nd, []memory.PageID{page})
+				return true
+			}
 			panic(fmt.Sprintf("recovery: ML replay diverged: no logged copy of page %d at op %d", page, op))
 		}
-		n := r.store.NoteRead(len(data) + 9)
+		n := r.store.NoteRead(stable.HeaderSize + 4 + len(data))
 		nd.Clock().Advance(r.model.DiskTime(n))
 		nd.InstallPage(page, data)
 		return true
@@ -266,8 +383,15 @@ func (r *Replayer) Validate(nd *hlrc.Node, page memory.PageID) bool {
 	return false
 }
 
-// detach ends replay: the node returns to live operation.
+// detach ends replay: the node returns to live operation. After a torn
+// tail, the lost asynchronous home updates that no replayed notice covered
+// are re-fetched first — unbounded, directly from every live writer's
+// own-diff log — so the victim's home copies are complete before the
+// service loop resumes and starts acknowledging fresh updates.
 func (r *Replayer) detach(nd *hlrc.Node) {
+	if r.torn {
+		r.catchUpHomePages(nd)
+	}
 	r.replayTime = nd.Clock().Now()
 	r.detached = true
 	nd.SetDelegate(nil)
@@ -317,7 +441,7 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 			}
 			events = append(events, evs...)
 		case wal.RecDiff:
-			writer, seq, d, err := wal.DecodeDiffRecord(rec.Data)
+			writer, seq, _, d, err := wal.DecodeDiffRecord(rec.Data)
 			if err != nil {
 				panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
 			}
@@ -450,4 +574,204 @@ func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
 		resp := m.Payload.(*hlrc.RecPageReply)
 		nd.InstallPage(pages[i], resp.Data)
 	}
+}
+
+// --- torn-tail (sender-log) replay -------------------------------------
+
+// tailAcquire replays an acquire whose disk records were lost to the torn
+// tail: the exact grant the manager issued before the crash is re-fetched
+// from its sender log and handled like the live protocol handled it.
+func (r *Replayer) tailAcquire(nd *hlrc.Node, op int32, lock int32, idx int) {
+	r.TailOps++
+	g := r.fetchLoggedGrant(nd, idx)
+	if nd.AnyDirty(g.Notices) {
+		// Mirror the live protocol's early close on the false-sharing path
+		// so the interval numbering stays aligned.
+		nd.CloseIntervalLocal()
+	}
+	r.reconstructHomeDiffs(nd, g.Notices)
+	r.applyTailNotices(nd, g.Notices, g.VT)
+	// The live acquire records the grant's own horizon, and here we hold
+	// the very grant the pre-crash acquire received.
+	nd.SetGrantVT(lock, g.VT)
+}
+
+// tailBarrier replays a barrier whose disk records were lost: the exact
+// release the manager issued is re-fetched from its sender log.
+func (r *Replayer) tailBarrier(nd *hlrc.Node, op int32, idx int) {
+	r.TailOps++
+	rel := r.fetchLoggedRelease(nd, idx)
+	r.reconstructHomeDiffs(nd, rel.Notices)
+	r.applyTailNotices(nd, rel.Notices, rel.VT)
+	nd.SetLastBarrierVT(rel.VT)
+}
+
+// applyTailNotices applies a re-fetched grant's or release's knowledge the
+// way enterPhase applies logged notices, then validates pages per scheme.
+func (r *Replayer) applyTailNotices(nd *hlrc.Node, notices []hlrc.Notice, vt vclock.VC) {
+	if len(notices) > 0 {
+		nd.Notices().AddAll(notices)
+	}
+	nd.MergeVT(vt)
+	switch r.kind {
+	case CCLRecovery:
+		r.fetchPages(nd, pagesToValidate(nd, notices))
+	case MLRecovery:
+		for _, n := range notices {
+			for _, p := range n.Pages {
+				nd.InvalidatePage(p)
+			}
+		}
+	}
+}
+
+// fetchLoggedGrant reads the idx-th grant issued to this node from the
+// lock manager's sender log.
+func (r *Replayer) fetchLoggedGrant(nd *hlrc.Node, idx int) *hlrc.LockGrant {
+	ep := nd.Endpoint()
+	req := &hlrc.RecSyncReq{Node: int32(nd.ID()), Idx: int32(idx)}
+	m := ep.CallAsync(r.lockMgr, hlrc.KindRecGrantReq, req.WireSize(), req).WaitDetached(nd.Clock())
+	g := m.Payload.(*hlrc.RecGrantReply).Grant
+	if g == nil {
+		panic(fmt.Sprintf("recovery: lock manager %d has no sender-logged grant %d for node %d",
+			r.lockMgr, idx, nd.ID()))
+	}
+	return g
+}
+
+// fetchLoggedRelease reads the idx-th barrier release issued to this node
+// from the barrier manager's sender log.
+func (r *Replayer) fetchLoggedRelease(nd *hlrc.Node, idx int) *hlrc.BarrierRelease {
+	ep := nd.Endpoint()
+	req := &hlrc.RecSyncReq{Node: int32(nd.ID()), Idx: int32(idx)}
+	m := ep.CallAsync(r.barrierMgr, hlrc.KindRecBarrierReq, req.WireSize(), req).WaitDetached(nd.Clock())
+	rel := m.Payload.(*hlrc.RecBarrierReply).Rel
+	if rel == nil {
+		panic(fmt.Sprintf("recovery: barrier manager %d has no sender-logged release %d for node %d",
+			r.barrierMgr, idx, nd.ID()))
+	}
+	return rel
+}
+
+// reconstructHomeDiffs re-fetches the asynchronous updates to the victim's
+// home pages whose event/diff records were lost with the torn tail. The
+// incoming notices bound which writer intervals the coming replay interval
+// may observe: for every notice naming one of the victim's home pages, the
+// writer's own-diff log is read for the intervals the home copy does not
+// yet carry. (Data-race-free programs cannot observe an asynchronous
+// update before a sync operation covers it, so applying at the sync
+// horizon reproduces every replayed read; updates never covered by any
+// notice are restored by the detach-time catch-up.)
+func (r *Replayer) reconstructHomeDiffs(nd *hlrc.Node, notices []hlrc.Notice) {
+	ep := nd.Endpoint()
+	var calls []diffFetch
+	for _, n := range notices {
+		if int(n.Proc) == nd.ID() {
+			continue // own intervals: the writes replay themselves
+		}
+		for _, p := range n.Pages {
+			if !nd.IsHome(p) {
+				continue
+			}
+			have := nd.HomeVersion(p)[n.Proc]
+			if n.Seq <= have {
+				continue
+			}
+			req := &hlrc.RecDiffsReq{Page: p, FromSeq: have, ToSeq: n.Seq}
+			calls = append(calls, diffFetch{
+				writer:  n.Proc,
+				pending: ep.CallAsync(int(n.Proc), hlrc.KindRecDiffsReq, req.WireSize(), req),
+			})
+		}
+	}
+	r.applyFetchedDiffs(nd, calls)
+}
+
+// catchUpHomePages restores every remaining lost home update before the
+// victim goes live: each live writer's own-diff log is read, unbounded,
+// for every page homed at the victim. Already-applied intervals are
+// skipped idempotently, and DiffUpdates still queued in the victim's inbox
+// re-apply as no-ops once the service loop drains them.
+func (r *Replayer) catchUpHomePages(nd *hlrc.Node) {
+	ep := nd.Endpoint()
+	var calls []diffFetch
+	for p := 0; p < nd.NumPages(); p++ {
+		pg := memory.PageID(p)
+		if !nd.IsHome(pg) {
+			continue
+		}
+		ver := nd.HomeVersion(pg)
+		for w := 0; w < nd.N(); w++ {
+			if w == nd.ID() {
+				continue
+			}
+			req := &hlrc.RecDiffsReq{Page: pg, FromSeq: ver[w], ToSeq: math.MaxInt32}
+			calls = append(calls, diffFetch{
+				writer:  int32(w),
+				pending: ep.CallAsync(w, hlrc.KindRecDiffsReq, req.WireSize(), req),
+			})
+		}
+	}
+	r.applyFetchedDiffs(nd, calls)
+}
+
+// diffFetch is one in-flight RecDiffsReq round trip.
+type diffFetch struct {
+	writer  int32
+	pending *transport.Pending
+}
+
+// applyFetchedDiffs collects overlapped RecDiffsReq round trips, applies
+// the returned diffs to the victim's home copies (idempotently, keyed by
+// writer interval), and charges the slowest writer's disk-read time (the
+// writers' disks work in parallel).
+//
+// Diffs from different writers may target the same bytes when their
+// intervals were lock-serialized (the home applied them in arrival order
+// pre-crash), so the batch is applied in ascending vector-time-sum order
+// — a linear extension of the intervals' causal order. Intervals the sum
+// cannot order are causally concurrent, and under a data-race-free
+// program concurrent diffs touch disjoint bytes, so their relative order
+// is immaterial (the writer/seq tiebreak just keeps replay
+// deterministic).
+func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) {
+	if len(calls) == 0 {
+		return
+	}
+	type fetched struct {
+		writer int32
+		seq    int32
+		vtSum  int64
+		diff   memory.Diff
+	}
+	var all []fetched
+	diskByWriter := make(map[int32]int)
+	for _, c := range calls {
+		m := c.pending.WaitDetached(nd.Clock())
+		resp := m.Payload.(*hlrc.RecDiffsReply)
+		diskByWriter[c.writer] += resp.DiskBytes
+		for i, d := range resp.Diffs {
+			all = append(all, fetched{c.writer, resp.Seqs[i], resp.VTSums[i], d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.vtSum != b.vtSum {
+			return a.vtSum < b.vtSum
+		}
+		if a.writer != b.writer {
+			return a.writer < b.writer
+		}
+		return a.seq < b.seq
+	})
+	for _, f := range all {
+		nd.ApplyDiffAsHome(f.diff, f.writer, f.seq)
+	}
+	var worst simtime.Duration
+	for _, bytes := range diskByWriter {
+		if d := r.model.DiskTime(bytes); d > worst {
+			worst = d
+		}
+	}
+	nd.Clock().Advance(worst)
 }

@@ -12,7 +12,9 @@
 package stable
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 )
 
@@ -27,14 +29,29 @@ type Record struct {
 	Kind RecordKind
 	Op   int32  // synchronization-operation index the record belongs to
 	Data []byte // serialized payload
+	// Sum is the CRC32 of (Kind, Op, Data), stamped by Flush. A crash in
+	// the middle of a flush leaves the torn record's checksum mismatched,
+	// which is how ValidPrefix finds the end of the intact log.
+	Sum uint32
 }
 
-// recordHeader is the accounted per-record on-disk header size: kind (1),
-// op (4), length (4).
-const recordHeader = 9
+// HeaderSize is the accounted per-record on-disk header size: kind (1),
+// op (4), length (4), crc (4).
+const HeaderSize = 13
 
 // WireSize is the accounted on-disk size of the record.
-func (r Record) WireSize() int { return recordHeader + len(r.Data) }
+func (r Record) WireSize() int { return HeaderSize + len(r.Data) }
+
+// checksum computes the integrity sum Flush stamps into each record.
+func checksum(kind RecordKind, op int32, data []byte) uint32 {
+	var hdr [5]byte
+	hdr[0] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(op))
+	h := crc32.NewIEEE()
+	h.Write(hdr[:])
+	h.Write(data)
+	return h.Sum32()
+}
 
 // Checkpoint is one saved process state. Pages always holds the complete
 // image for simplicity of restoration; Bytes holds the *accounted* size
@@ -51,6 +68,7 @@ type Checkpoint struct {
 type Store struct {
 	mu          sync.Mutex
 	log         []Record
+	lastFlush   int // records in the most recent non-empty flush
 	logBytes    int64
 	flushes     int64
 	reads       int64
@@ -72,11 +90,66 @@ func (s *Store) Flush(recs []Record) int {
 	n := 0
 	for _, r := range recs {
 		n += r.WireSize()
+		r.Sum = checksum(r.Kind, r.Op, r.Data)
+		s.log = append(s.log, r)
 	}
-	s.log = append(s.log, recs...)
+	if len(recs) > 0 {
+		s.lastFlush = len(recs)
+	}
 	s.logBytes += int64(n)
 	s.flushes++
 	return n
+}
+
+// TearTail simulates a torn write: the final (non-empty) flush was in
+// flight when the node crashed, so only a prefix of its records reached
+// the disk intact. r deterministically picks how many survive; the first
+// lost record stays in place with a corrupted payload (a torn sector) and
+// the rest vanish. At least one record of the final flush is destroyed.
+// Returns the number of records destroyed; a store that never flushed a
+// record is left untouched.
+func (s *Store) TearTail(r uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastFlush == 0 || len(s.log) < s.lastFlush {
+		return 0
+	}
+	keep := int(r % uint64(s.lastFlush)) // 0..lastFlush-1 intact records
+	start := len(s.log) - s.lastFlush
+	torn := s.log[start+keep]
+	// Corrupt a copy of the payload (the caller may share the slice), or
+	// the checksum itself when there is no payload to damage.
+	if len(torn.Data) > 0 {
+		d := make([]byte, len(torn.Data))
+		copy(d, torn.Data)
+		d[len(d)/2] ^= 0xff
+		torn.Data = d
+	} else {
+		torn.Sum ^= 0xdeadbeef
+	}
+	destroyed := s.lastFlush - keep
+	s.log = append(s.log[:start+keep], torn)
+	s.lastFlush = keep + 1
+	return destroyed
+}
+
+// ValidPrefix returns the longest log prefix whose records all pass their
+// integrity check, plus the number of trailing records discarded (the
+// torn tail). Recovery readers use this instead of Records whenever torn
+// writes are possible.
+func (s *Store) ValidPrefix() ([]Record, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	valid := len(s.log)
+	for i, r := range s.log {
+		if r.Sum != checksum(r.Kind, r.Op, r.Data) {
+			valid = i
+			break
+		}
+	}
+	out := make([]Record, valid)
+	copy(out, s.log[:valid])
+	return out, len(s.log) - valid
 }
 
 // Records returns the full log. The returned slice must be treated as
@@ -184,6 +257,7 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.log = nil
+	s.lastFlush = 0
 	s.logBytes = 0
 	s.flushes = 0
 	s.reads = 0

@@ -12,7 +12,7 @@ func TestFlushAccounting(t *testing.T) {
 		{Kind: 1, Op: 0, Data: make([]byte, 100)},
 		{Kind: 2, Op: 0, Data: make([]byte, 50)},
 	})
-	want := 2*9 + 150
+	want := 2*HeaderSize + 150
 	if n != want {
 		t.Fatalf("flush bytes = %d, want %d", n, want)
 	}
@@ -85,8 +85,8 @@ func TestDepot(t *testing.T) {
 	if d.Nodes() != 3 {
 		t.Fatal("Nodes")
 	}
-	d.Store(0).Flush([]Record{{Data: make([]byte, 91)}}) // 100 bytes
-	d.Store(2).Flush([]Record{{Data: make([]byte, 41)}}) // 50 bytes
+	d.Store(0).Flush([]Record{{Data: make([]byte, 100 - HeaderSize)}}) // 100 bytes
+	d.Store(2).Flush([]Record{{Data: make([]byte, 50 - HeaderSize)}})  // 50 bytes
 	d.Store(2).Flush(nil)
 	if d.TotalLoggedBytes() != 150 {
 		t.Fatalf("total bytes = %d", d.TotalLoggedBytes())
@@ -123,8 +123,111 @@ func TestConcurrentFlushes(t *testing.T) {
 	}
 	wg.Wait()
 	st := s.Stats()
-	if st.Flushes != 800 || st.LoggedBytes != 800*19 {
+	if st.Flushes != 800 || st.LoggedBytes != 800*(HeaderSize+10) {
 		t.Fatalf("concurrent stats = %+v", st)
+	}
+}
+
+func TestValidPrefixIntactLog(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Kind: 1, Op: 0, Data: []byte{1, 2}}, {Kind: 2, Op: 0, Data: []byte{3}}})
+	s.Flush([]Record{{Kind: 3, Op: 1, Data: []byte{4}}})
+	recs, dropped := s.ValidPrefix()
+	if dropped != 0 || len(recs) != 3 {
+		t.Fatalf("intact log: %d records, %d dropped", len(recs), dropped)
+	}
+	for i, r := range recs {
+		if r.Sum == 0 {
+			t.Fatalf("record %d has no checksum", i)
+		}
+	}
+}
+
+func TestTearTailDestroysOnlyFinalFlush(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Kind: 1, Op: 0, Data: []byte{1}}, {Kind: 1, Op: 0, Data: []byte{2}}})
+	payload := []byte{10, 11, 12}
+	s.Flush([]Record{
+		{Kind: 2, Op: 1, Data: []byte{3}},
+		{Kind: 2, Op: 1, Data: payload},
+		{Kind: 2, Op: 1, Data: []byte{5}},
+	})
+	// r % 3 == 1: one record of the final flush survives intact, the
+	// second is torn, the third vanishes.
+	destroyed := s.TearTail(7)
+	if destroyed != 2 {
+		t.Fatalf("destroyed = %d, want 2", destroyed)
+	}
+	recs, dropped := s.ValidPrefix()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the torn record)", dropped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("valid prefix has %d records, want 3", len(recs))
+	}
+	if recs[2].Kind != 2 || recs[2].Data[0] != 3 {
+		t.Fatalf("wrong surviving record: %+v", recs[2])
+	}
+	if payload[1] != 11 {
+		t.Fatal("TearTail corrupted the caller's payload slice")
+	}
+}
+
+func TestTearTailKeepZero(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Kind: 1, Op: 0, Data: []byte{1}}})
+	s.Flush([]Record{{Kind: 2, Op: 1, Data: []byte{2}}, {Kind: 2, Op: 1, Data: []byte{3}}})
+	// r % 2 == 0: the entire final flush is lost.
+	if destroyed := s.TearTail(4); destroyed != 2 {
+		t.Fatalf("destroyed = %d, want 2", destroyed)
+	}
+	recs, dropped := s.ValidPrefix()
+	if len(recs) != 1 || dropped != 1 {
+		t.Fatalf("got %d valid, %d dropped", len(recs), dropped)
+	}
+	if recs[0].Op != 0 {
+		t.Fatalf("survivor is %+v, want the first flush's record", recs[0])
+	}
+}
+
+func TestTearTailEmptyStore(t *testing.T) {
+	s := NewStore()
+	if s.TearTail(1) != 0 {
+		t.Fatal("tearing an empty store destroyed records")
+	}
+	s.Flush(nil) // empty flush (ML's empty sync-entry flush)
+	if s.TearTail(1) != 0 {
+		t.Fatal("tearing after an empty flush destroyed records")
+	}
+}
+
+func TestTearTailEmptyPayloadRecord(t *testing.T) {
+	s := NewStore()
+	s.Flush([]Record{{Kind: 1, Op: 0}})
+	if destroyed := s.TearTail(0); destroyed != 1 {
+		t.Fatalf("destroyed = %d, want 1", destroyed)
+	}
+	recs, dropped := s.ValidPrefix()
+	if len(recs) != 0 || dropped != 1 {
+		t.Fatalf("got %d valid, %d dropped", len(recs), dropped)
+	}
+}
+
+func TestTearTailDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		s.Flush([]Record{{Kind: 1, Data: []byte{1}}, {Kind: 1, Data: []byte{2}}, {Kind: 1, Data: []byte{3}}})
+		return s
+	}
+	for _, r := range []uint64{0, 1, 2, 12345} {
+		a, b := build(), build()
+		a.TearTail(r)
+		b.TearTail(r)
+		ra, da := a.ValidPrefix()
+		rb, db := b.ValidPrefix()
+		if len(ra) != len(rb) || da != db {
+			t.Fatalf("r=%d nondeterministic tear: %d/%d vs %d/%d", r, len(ra), da, len(rb), db)
+		}
 	}
 }
 

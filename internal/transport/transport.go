@@ -8,6 +8,19 @@
 // plus the message cost (Lamport rule), so virtual time respects causality
 // without a global event queue.
 //
+// Reliability: the wire may be lossy under a fault.Plan. Every copy put on
+// a link carries a per-link sequence number, and the fault plan decides —
+// as a pure function of (seed, link, sequence) — whether that copy is
+// dropped, duplicated, or delayed. Requests recover by sender
+// retransmission: Pending.Wait charges the retransmission timeout
+// (exponential backoff) to the virtual clock and resends until a reply
+// arrives or the attempt bound declares the peer unreachable. One-way
+// messages use background ARQ: the transport keeps retransmitting without
+// involving the caller, so a drop becomes extra delivery delay. Receivers
+// suppress wire-level duplicates by sequence number (Endpoint.WireDup);
+// retransmitted requests carry a stable per-link ReqID so protocol
+// handlers can recognize them.
+//
 // Crash model: a node crash stops its service loop and discards its
 // volatile state, but messages addressed to it keep queueing in its inbox
 // — exactly like TCP senders blocking on a dead peer — and are processed
@@ -19,6 +32,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"sdsm/internal/fault"
 	"sdsm/internal/simtime"
 )
 
@@ -33,7 +47,20 @@ type Message struct {
 	SentAt   simtime.Time // sender's virtual clock when the message left
 	Size     int          // wire size in bytes, for cost accounting
 	Payload  any
-	reply    chan Message // non-nil on requests that expect a reply
+
+	// Seq is the per-link wire sequence number of this copy. A
+	// fault-injected duplicate carries the same Seq as the original;
+	// a retransmission carries a fresh one.
+	Seq int64
+
+	// ReqID identifies the logical request on its link: it stays the same
+	// across retransmissions, so handlers with side effects can recognize
+	// a request they have already served.
+	ReqID int64
+
+	extraDelay simtime.Duration // fault-injected extra wire latency
+	dropReply  bool             // fault: the reply to this copy is lost
+	reply      chan Message     // non-nil on requests that expect a reply
 }
 
 // WantsReply reports whether the sender is waiting for a reply.
@@ -44,7 +71,10 @@ func (m Message) WantsReply() bool { return m.reply != nil }
 type Network struct {
 	n       int
 	model   simtime.CostModel
+	faults  fault.Plan
 	inboxes []chan Message
+	linkSeq []atomic.Int64 // wire sequence numbers, one counter per link
+	reqSeq  []atomic.Int64 // logical request ids, one counter per link
 
 	msgCount  atomic.Int64
 	byteCount atomic.Int64
@@ -61,12 +91,29 @@ func NewNetwork(n int, model simtime.CostModel) *Network {
 	if n <= 0 {
 		panic(fmt.Sprintf("transport: invalid node count %d", n))
 	}
-	nw := &Network{n: n, model: model, inboxes: make([]chan Message, n)}
+	nw := &Network{
+		n: n, model: model,
+		inboxes: make([]chan Message, n),
+		linkSeq: make([]atomic.Int64, n*n),
+		reqSeq:  make([]atomic.Int64, n*n),
+	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = make(chan Message, DefaultInboxCap)
 	}
 	return nw
 }
+
+// SetFaultPlan installs the fault-injection plan. Call it once, before
+// any traffic flows; it panics on an invalid plan.
+func (nw *Network) SetFaultPlan(p fault.Plan) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nw.faults = p
+}
+
+// FaultPlan returns the installed fault plan (zero when none).
+func (nw *Network) FaultPlan() fault.Plan { return nw.faults }
 
 // Nodes returns the number of nodes.
 func (nw *Network) Nodes() int { return nw.n }
@@ -74,19 +121,42 @@ func (nw *Network) Nodes() int { return nw.n }
 // Model returns the cost model.
 func (nw *Network) Model() simtime.CostModel { return nw.model }
 
-// MsgCount returns the total number of messages sent so far.
+// MsgCount returns the total number of message copies put on the wire so
+// far, including copies the fault plan lost or duplicated.
 func (nw *Network) MsgCount() int64 { return nw.msgCount.Load() }
 
-// ByteCount returns the total bytes sent so far.
+// ByteCount returns the total bytes put on the wire so far.
 func (nw *Network) ByteCount() int64 { return nw.byteCount.Load() }
+
+// nextSeq issues the next wire sequence number for the link from→to.
+// Link counters survive node crashes, so sequence numbers stay monotone
+// across incarnations.
+func (nw *Network) nextSeq(from, to int) int64 { return nw.linkSeq[from*nw.n+to].Add(1) }
+
+// nextReqID issues the next logical request id for the link from→to.
+func (nw *Network) nextReqID(from, to int) int64 { return nw.reqSeq[from*nw.n+to].Add(1) }
+
+// countWire accounts one copy put on the wire (delivered or not).
+func (nw *Network) countWire(size int) {
+	nw.msgCount.Add(1)
+	nw.byteCount.Add(int64(size))
+}
 
 func (nw *Network) deliver(m Message) {
 	if m.To < 0 || m.To >= nw.n {
 		panic(fmt.Sprintf("transport: send to invalid node %d", m.To))
 	}
-	nw.msgCount.Add(1)
-	nw.byteCount.Add(int64(m.Size))
-	nw.inboxes[m.To] <- m
+	nw.countWire(m.Size)
+	select {
+	case nw.inboxes[m.To] <- m:
+	default:
+		// A full inbox means a service loop is stuck (or the run leaks
+		// messages); blocking here would freeze the sender with no
+		// diagnostic, so fail loudly instead.
+		panic(fmt.Sprintf(
+			"transport: inbox overflow at node %d (%d messages queued, cap %d) delivering kind %d from node %d",
+			m.To, len(nw.inboxes[m.To]), cap(nw.inboxes[m.To]), m.Kind, m.From))
+	}
 }
 
 // Endpoint is one node's attachment to the network. The clock is the
@@ -96,6 +166,11 @@ type Endpoint struct {
 	id    int
 	nw    *Network
 	clock *simtime.Clock
+
+	// seen holds the highest wire sequence number received per sender,
+	// for duplicate suppression. Only the node's service goroutine
+	// touches it (via WireDup), so it needs no lock.
+	seen map[int]int64
 }
 
 // NewEndpoint attaches node id with its clock to the network.
@@ -103,7 +178,7 @@ func (nw *Network) NewEndpoint(id int, clock *simtime.Clock) *Endpoint {
 	if id < 0 || id >= nw.n {
 		panic(fmt.Sprintf("transport: invalid endpoint id %d", id))
 	}
-	return &Endpoint{id: id, nw: nw, clock: clock}
+	return &Endpoint{id: id, nw: nw, clock: clock, seen: make(map[int]int64)}
 }
 
 // ID returns the node id of the endpoint.
@@ -116,22 +191,80 @@ func (e *Endpoint) Clock() *simtime.Clock { return e.clock }
 // service loop.
 func (e *Endpoint) Inbox() <-chan Message { return e.nw.inboxes[e.id] }
 
-// Send delivers a one-way message.
+// WireDup reports whether m is a wire-level duplicate (a copy whose
+// sequence number was already received from that sender) and must be
+// discarded without dispatching. Service loops call it once per inbox
+// message. Per-link sends originate from a single goroutine, so sequence
+// numbers arrive monotonically and a lagging number is always a
+// fault-injected duplicate.
+func (e *Endpoint) WireDup(m Message) bool {
+	if m.From == e.id || m.Seq == 0 {
+		return false
+	}
+	if m.Seq <= e.seen[m.From] {
+		return true
+	}
+	e.seen[m.From] = m.Seq
+	return false
+}
+
+// Send delivers a one-way message. Under a fault plan, lost copies are
+// retransmitted in the background (sender-based ARQ): the surviving copy
+// arrives with the accumulated retransmission timeouts as extra delay,
+// and the sender's clock is not charged — exactly like a kernel-level
+// reliable datagram layer under the application.
 func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
-	e.nw.deliver(Message{
+	nw := e.nw
+	m := Message{
 		From: e.id, To: to, Kind: kind,
 		SentAt: e.clock.Now(), Size: size, Payload: payload,
-	})
+	}
+	f := nw.faults
+	if to == e.id || !f.Enabled() {
+		m.Seq = nw.nextSeq(e.id, to)
+		nw.deliver(m)
+		return
+	}
+	var extra simtime.Duration
+	for attempt := 1; ; attempt++ {
+		seq := nw.nextSeq(e.id, to)
+		if f.DropCopy(e.id, to, seq) {
+			nw.countWire(size)
+			if attempt >= f.Attempts() {
+				panic(fmt.Sprintf(
+					"transport: node %d: one-way kind %d to node %d lost %d times — peer unreachable",
+					e.id, kind, to, attempt))
+			}
+			extra += f.RTO(attempt)
+			continue
+		}
+		m.Seq = seq
+		m.extraDelay = extra + f.DelayCopy(e.id, to, seq)
+		nw.deliver(m)
+		if f.DuplicateCopy(e.id, to, seq) {
+			nw.deliver(m)
+		}
+		return
+	}
 }
 
 // Pending is an outstanding request; the reply arrives on a dedicated
-// buffered channel so replies never contend with the inbox.
+// buffered channel so replies never contend with the inbox. The channel
+// is shared by all retransmissions of the request, so exactly one live
+// reply lands in it no matter how many copies the fault plan spawned.
 type Pending struct {
+	ep      *Endpoint
+	to      int
+	kind    Kind
+	payload any
+	reqID   int64
 	ch      chan Message
-	sentAt  simtime.Time
+	sentAt  simtime.Time // when the latest attempt left
 	reqSize int
 	model   simtime.CostModel
 	local   bool // request to self: no wire cost, only handling
+	attempt int
+	live    bool // latest attempt's reply will arrive
 }
 
 // CallAsync sends a request and returns a handle to wait for the reply.
@@ -139,29 +272,82 @@ type Pending struct {
 // "send all updates, then collect all acks" pattern.
 func (e *Endpoint) CallAsync(to int, kind Kind, size int, payload any) *Pending {
 	p := &Pending{
+		ep: e, to: to, kind: kind, payload: payload,
+		reqID:   e.nw.nextReqID(e.id, to),
 		ch:      make(chan Message, 1),
 		sentAt:  e.clock.Now(),
 		reqSize: size,
 		model:   e.nw.Model(),
 		local:   to == e.id,
+		attempt: 1,
 	}
-	e.nw.deliver(Message{
-		From: e.id, To: to, Kind: kind,
-		SentAt: p.sentAt, Size: size, Payload: payload, reply: p.ch,
-	})
+	e.attemptSend(p)
 	return p
+}
+
+// attemptSend puts one copy of the request on the wire and records
+// whether its reply will ever arrive (the fault plan decides both the
+// request's and the reply's fate up front; the receiver-side effects of a
+// copy whose reply is lost still happen, which is why protocol handlers
+// must be idempotent).
+func (e *Endpoint) attemptSend(p *Pending) {
+	nw := e.nw
+	m := Message{
+		From: e.id, To: p.to, Kind: p.kind,
+		SentAt: p.sentAt, Size: p.reqSize, Payload: p.payload,
+		ReqID: p.reqID, reply: p.ch,
+	}
+	m.Seq = nw.nextSeq(e.id, p.to)
+	f := nw.faults
+	if p.local || !f.Enabled() {
+		p.live = true
+		nw.deliver(m)
+		return
+	}
+	if f.DropCopy(e.id, p.to, m.Seq) {
+		nw.countWire(m.Size)
+		p.live = false
+		return
+	}
+	m.extraDelay = f.DelayCopy(e.id, p.to, m.Seq)
+	m.dropReply = f.DropReply(e.id, p.to, m.Seq)
+	p.live = !m.dropReply
+	nw.deliver(m)
+	if f.DuplicateCopy(e.id, p.to, m.Seq) {
+		nw.deliver(m)
+	}
+}
+
+// await retransmits until an attempt's reply is due, charging each
+// retransmission timeout (exponential backoff) to the caller's clock,
+// then blocks for the reply.
+func (p *Pending) await(clock *simtime.Clock) Message {
+	for !p.live {
+		f := p.ep.nw.faults
+		clock.MergePlus(p.sentAt, f.RTO(p.attempt))
+		if p.attempt >= f.Attempts() {
+			panic(fmt.Sprintf(
+				"transport: node %d: no reply from node %d for kind %d after %d attempts — peer unreachable",
+				p.ep.id, p.to, p.kind, p.attempt))
+		}
+		p.attempt++
+		p.sentAt = clock.Now()
+		p.ep.attemptSend(p)
+	}
+	return <-p.ch
 }
 
 // Wait blocks for the reply and charges the caller's clock with the
 // Lamport receive rule: clock = max(clock, reply.SentAt + msgTime).
 // Replies to self-requests (a node acting as its own lock or barrier
-// manager) carry no wire cost, only the handling already charged.
+// manager) carry no wire cost, only the handling already charged. Lost
+// requests or replies cost the retransmission timeouts on top.
 func (p *Pending) Wait(clock *simtime.Clock) Message {
-	m := <-p.ch
+	m := p.await(clock)
 	if p.local {
 		clock.AdvanceTo(m.SentAt)
 	} else {
-		clock.MergePlus(m.SentAt, p.model.MsgTime(m.Size))
+		clock.MergePlus(m.SentAt, p.model.MsgTime(m.Size)+m.extraDelay)
 	}
 	return m
 }
@@ -173,11 +359,11 @@ func (p *Pending) Wait(clock *simtime.Clock) Message {
 // recovery-time measurement. The responder is idle, so the fixed
 // round-trip is the faithful cost.
 func (p *Pending) WaitDetached(clock *simtime.Clock) Message {
-	m := <-p.ch
+	m := p.await(clock)
 	if p.local {
 		clock.MergePlus(p.sentAt, 2*p.model.MsgHandling)
 	} else {
-		clock.MergePlus(p.sentAt, p.model.RoundTrip(p.reqSize, m.Size))
+		clock.MergePlus(p.sentAt, p.model.RoundTrip(p.reqSize, m.Size)+m.extraDelay)
 	}
 	return m
 }
@@ -196,7 +382,7 @@ func (e *Endpoint) Arrive(m Message) simtime.Time {
 	if m.From == e.id {
 		e.clock.AdvanceTo(m.SentAt)
 	} else {
-		e.clock.MergePlus(m.SentAt, model.MsgTime(m.Size))
+		e.clock.MergePlus(m.SentAt, model.MsgTime(m.Size)+m.extraDelay)
 	}
 	return e.clock.Advance(model.MsgHandling)
 }
@@ -210,28 +396,42 @@ func (e *Endpoint) Reply(m Message, kind Kind, size int, payload any) {
 
 // ArrivalOf returns the virtual time at which m became available at this
 // node: the sender's timestamp plus the wire cost (zero for
-// self-messages). It is a pure function of the message, so concurrent
-// request streams do not contaminate each other's timing.
+// self-messages) plus any fault-injected delay. It is a pure function of
+// the message, so concurrent request streams do not contaminate each
+// other's timing.
 func (e *Endpoint) ArrivalOf(m Message) simtime.Time {
 	if m.From == e.id {
 		return m.SentAt
 	}
-	return m.SentAt + simtime.Time(e.nw.Model().MsgTime(m.Size))
+	return m.SentAt + simtime.Time(e.nw.Model().MsgTime(m.Size)+m.extraDelay)
 }
 
 // ReplyAt answers a request with an explicit virtual timestamp, used by
 // protocol service handlers that run concurrently with application
 // compute (their replies are stamped from the request's arrival plus the
 // handling cost, like an interrupt handler, not from the application
-// clock).
+// clock). If the fault plan decided the reply to this request copy is
+// lost, the reply is charged to the wire and discarded; the requester
+// recovers by retransmitting.
 func (e *Endpoint) ReplyAt(at simtime.Time, m Message, kind Kind, size int, payload any) {
 	if m.reply == nil {
 		panic(fmt.Sprintf("transport: reply to one-way message kind %d from %d", m.Kind, m.From))
 	}
-	e.nw.msgCount.Add(1)
-	e.nw.byteCount.Add(int64(size))
-	m.reply <- Message{
+	r := Message{
 		From: e.id, To: m.From, Kind: kind,
 		SentAt: at, Size: size, Payload: payload,
 	}
+	if m.From != e.id && e.nw.faults.Enabled() {
+		if m.dropReply {
+			// The reply to this request copy is lost on the wire. Do not
+			// count it: how many doomed replies get *composed* depends on
+			// goroutine interleaving (a retransmission may be answered from
+			// a cached grant or coalesced in a queue), and wire statistics
+			// must stay schedule-independent. Only delivered replies count.
+			return
+		}
+		r.extraDelay = e.nw.faults.DelayReply(e.id, m.From, m.Seq)
+	}
+	e.nw.countWire(size)
+	m.reply <- r
 }

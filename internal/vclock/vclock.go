@@ -80,6 +80,19 @@ func (v VC) Tick(p int) int32 {
 	return v[p]
 }
 
+// Sum returns the total of all components. A causally later interval's
+// vector dominates an earlier one's pointwise and strictly exceeds it in
+// at least the successor's own component, so the sum strictly increases
+// along every causal chain: sorting intervals by Sum yields a linear
+// extension of the happened-before partial order.
+func (v VC) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
 // String renders the vector compactly, e.g. "<1 0 3>".
 func (v VC) String() string {
 	var b strings.Builder

@@ -16,12 +16,12 @@ func FuzzDecodeDiffRecord(f *testing.F) {
 	twin := make([]byte, 64)
 	cur := make([]byte, 64)
 	cur[0], cur[32] = 1, 2
-	f.Add(EncodeDiffRecord(3, 7, memory.MakeDiff(5, twin, cur)))
+	f.Add(EncodeDiffRecord(3, 7, 21, memory.MakeDiff(5, twin, cur)))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must not panic; errors are fine.
-		_, _, _, _ = DecodeDiffRecord(data)
+		_, _, _, _, _ = DecodeDiffRecord(data)
 	})
 }
 

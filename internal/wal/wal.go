@@ -73,11 +73,25 @@ const (
 // New returns the LogHooks implementation for protocol p writing to
 // store. ProtocolNone returns hlrc.NopHooks.
 func New(p Protocol, store *stable.Store) hlrc.LogHooks {
+	return build(p, store, false)
+}
+
+// NewHardened returns the protocol's hooks with the additions torn-tail
+// recovery needs. CCL is unchanged (it already logs its own diffs at every
+// release). ML additionally logs the diffs it creates at each release
+// (writer -1, like CCL's own-diff records), so that a peer whose torn disk
+// log lost the tail of its incoming-diff records can re-fetch the updates
+// to its home pages from the writers' logs.
+func NewHardened(p Protocol, store *stable.Store) hlrc.LogHooks {
+	return build(p, store, true)
+}
+
+func build(p Protocol, store *stable.Store, hardened bool) hlrc.LogHooks {
 	switch p {
 	case ProtocolNone:
 		return hlrc.NopHooks{}
 	case ProtocolML:
-		return &MLHooks{store: store}
+		return &MLHooks{store: store, logOwnDiffs: hardened}
 	case ProtocolCCL:
 		return &CCLHooks{store: store}
 	default:
@@ -87,26 +101,33 @@ func New(p Protocol, store *stable.Store) hlrc.LogHooks {
 
 // --- record payload encodings ------------------------------------------
 
-// EncodeDiffRecord packs (writer, seq, diff) into a RecDiff payload.
-func EncodeDiffRecord(writer, seq int32, d memory.Diff) []byte {
-	buf := make([]byte, 0, 8+d.WireSize())
+// EncodeDiffRecord packs (writer, seq, vtSum, diff) into a RecDiff
+// payload. For own-diff records (writer -1) vtSum carries the sum of the
+// closing interval's vector time; recovery sorts re-fetched diffs from
+// different writers by it to apply them in a linear extension of their
+// causal order. Incoming-diff records (ML) replay in log order and store
+// zero.
+func EncodeDiffRecord(writer, seq int32, vtSum int64, d memory.Diff) []byte {
+	buf := make([]byte, 0, 16+d.WireSize())
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(writer))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(vtSum))
 	return d.Encode(buf)
 }
 
 // DecodeDiffRecord unpacks a RecDiff payload.
-func DecodeDiffRecord(buf []byte) (writer, seq int32, d memory.Diff, err error) {
-	if len(buf) < 8 {
-		return 0, 0, d, fmt.Errorf("wal: short diff record")
+func DecodeDiffRecord(buf []byte) (writer, seq int32, vtSum int64, d memory.Diff, err error) {
+	if len(buf) < 16 {
+		return 0, 0, 0, d, fmt.Errorf("wal: short diff record")
 	}
 	writer = int32(binary.LittleEndian.Uint32(buf))
 	seq = int32(binary.LittleEndian.Uint32(buf[4:]))
-	d, rest, err := memory.DecodeDiff(buf[8:])
+	vtSum = int64(binary.LittleEndian.Uint64(buf[8:]))
+	d, rest, err := memory.DecodeDiff(buf[16:])
 	if err == nil && len(rest) != 0 {
 		err = fmt.Errorf("wal: %d trailing bytes in diff record", len(rest))
 	}
-	return writer, seq, d, err
+	return writer, seq, vtSum, d, err
 }
 
 // EncodeEventsRecord packs update-event triples into a RecEvents payload.
@@ -204,7 +225,7 @@ func (h *CCLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, _ []memo
 func (h *CCLHooks) AtSyncEntry(int32) int { return 0 }
 
 // AtRelease flushes the staged records plus this interval's own diffs.
-func (h *CCLHooks) AtRelease(op int32, seq int32, created []memory.Diff) int {
+func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int {
 	h.mu.Lock()
 	recs := h.staged
 	h.staged = nil
@@ -212,7 +233,7 @@ func (h *CCLHooks) AtRelease(op int32, seq int32, created []memory.Diff) int {
 	for _, d := range created {
 		recs = append(recs, stable.Record{
 			Kind: RecDiff, Op: op,
-			Data: EncodeDiffRecord(-1, seq, d), // writer -1: the log owner
+			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
 		})
 	}
 	if len(recs) == 0 {
@@ -230,6 +251,11 @@ type MLHooks struct {
 	mu       sync.Mutex
 	store    *stable.Store
 	volatile []stable.Record
+	// logOwnDiffs (hardened mode) additionally logs the diffs this node
+	// creates, flushed at the release, so live nodes can serve a torn-tail
+	// recovery's home-update re-fetches. Plain ML (the paper's protocol)
+	// keeps only incoming messages.
+	logOwnDiffs bool
 }
 
 // OnAcquireNotices logs the grant/release message's notice content.
@@ -260,7 +286,7 @@ func (h *MLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, diffs []m
 	for i, d := range diffs {
 		h.volatile = append(h.volatile, stable.Record{
 			Kind: RecDiff, Op: op,
-			Data: EncodeDiffRecord(events[i].Writer, events[i].Seq, d),
+			Data: EncodeDiffRecord(events[i].Writer, events[i].Seq, 0, d),
 		})
 	}
 	h.mu.Unlock()
@@ -278,6 +304,19 @@ func (h *MLHooks) AtSyncEntry(int32) int {
 	return h.store.Flush(recs)
 }
 
-// AtRelease flushes nothing extra: ML already flushed at the entry of
-// this synchronization operation.
-func (h *MLHooks) AtRelease(int32, int32, []memory.Diff) int { return 0 }
+// AtRelease flushes nothing extra under plain ML (it already flushed at
+// the entry of this synchronization operation). Hardened ML flushes the
+// interval's own diffs here, before they are sent to the homes.
+func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int {
+	if !h.logOwnDiffs || len(created) == 0 {
+		return 0
+	}
+	recs := make([]stable.Record, 0, len(created))
+	for _, d := range created {
+		recs = append(recs, stable.Record{
+			Kind: RecDiff, Op: op,
+			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
+		})
+	}
+	return h.store.Flush(recs)
+}

@@ -46,15 +46,15 @@ func TestNewFactory(t *testing.T) {
 
 func TestDiffRecordRoundTrip(t *testing.T) {
 	d := mkDiff(7, 1, 2, 3, 4)
-	buf := EncodeDiffRecord(3, 11, d)
-	w, s, got, err := DecodeDiffRecord(buf)
-	if err != nil || w != 3 || s != 11 || got.Page != 7 || len(got.Runs) != len(d.Runs) {
-		t.Fatalf("round trip: w=%d s=%d err=%v", w, s, err)
+	buf := EncodeDiffRecord(3, 11, 42, d)
+	w, s, vs, got, err := DecodeDiffRecord(buf)
+	if err != nil || w != 3 || s != 11 || vs != 42 || got.Page != 7 || len(got.Runs) != len(d.Runs) {
+		t.Fatalf("round trip: w=%d s=%d vtSum=%d err=%v", w, s, vs, err)
 	}
-	if _, _, _, err := DecodeDiffRecord(buf[:4]); err == nil {
+	if _, _, _, _, err := DecodeDiffRecord(buf[:4]); err == nil {
 		t.Fatal("short record must fail")
 	}
-	if _, _, _, err := DecodeDiffRecord(append(buf, 0)); err == nil {
+	if _, _, _, _, err := DecodeDiffRecord(append(buf, 0)); err == nil {
 		t.Fatal("trailing bytes must fail")
 	}
 }
@@ -111,7 +111,7 @@ func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
 	if h.AtSyncEntry(2) != 0 {
 		t.Fatal("CCL must not flush at sync entry")
 	}
-	n := h.AtRelease(2, 1, []memory.Diff{mkDiff(4, 9)})
+	n := h.AtRelease(2, 1, 1, []memory.Diff{mkDiff(4, 9)})
 	if n == 0 {
 		t.Fatal("release flush wrote nothing")
 	}
@@ -126,7 +126,7 @@ func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
 		}
 	}
 	// A release with nothing staged flushes nothing.
-	if h.AtRelease(3, 0, nil) != 0 || s.Stats().Flushes != 1 {
+	if h.AtRelease(3, 0, 1, nil) != 0 || s.Stats().Flushes != 1 {
 		t.Fatal("empty release must not flush")
 	}
 }
@@ -138,7 +138,7 @@ func TestMLFlushesAtSyncEntry(t *testing.T) {
 	h.OnPageFetched(0, 3, page)
 	h.OnAcquireNotices(0, []hlrc.Notice{{Proc: 1, Seq: 1, Pages: []memory.PageID{3}}})
 	h.OnIncomingDiffs(0, []hlrc.UpdateEvent{{Page: 0, Writer: 1, Seq: 1}}, []memory.Diff{mkDiff(0, 1)})
-	if h.AtRelease(1, 1, []memory.Diff{mkDiff(4, 9)}) != 0 {
+	if h.AtRelease(1, 1, 1, []memory.Diff{mkDiff(4, 9)}) != 0 {
 		t.Fatal("ML must not flush at release")
 	}
 	n := h.AtSyncEntry(1)
@@ -184,7 +184,7 @@ func TestCCLLogMuchSmallerThanML(t *testing.T) {
 				h.OnPageFetched(op, p, page)
 			}
 			h.OnIncomingDiffs(op, events, inDiffs)
-			h.AtRelease(op, op+1, own)
+			h.AtRelease(op, op+1, int64(op+1), own)
 		}
 	}
 	ml.AtSyncEntry(50) // final ML flush
@@ -212,10 +212,10 @@ func TestConcurrentHookCalls(t *testing.T) {
 		}
 	}()
 	for i := int32(0); i < 500; i++ {
-		h.AtRelease(i, i+1, []memory.Diff{mkDiff(2, byte(i))})
+		h.AtRelease(i, i+1, int64(i+1), []memory.Diff{mkDiff(2, byte(i))})
 	}
 	<-done
-	h.AtRelease(501, 501, nil)
+	h.AtRelease(501, 501, 501, nil)
 	// All 500 event batches and 500 diffs must be in the log.
 	var events, diffs int
 	for _, r := range s.Records() {

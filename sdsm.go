@@ -41,6 +41,7 @@ package sdsm
 
 import (
 	"sdsm/internal/core"
+	"sdsm/internal/fault"
 	"sdsm/internal/recovery"
 	"sdsm/internal/simtime"
 	"sdsm/internal/wal"
@@ -67,6 +68,12 @@ type RecoveryReport = core.RecoveryReport
 
 // CrashPlan injects a fail-stop crash and selects the recovery scheme.
 type CrashPlan = core.CrashPlan
+
+// FaultPlan is a seeded, deterministic fault-injection schedule
+// (Config.Faults): per-copy message loss, duplication and delay on the
+// transport, and torn log writes on crash. The zero value injects
+// nothing; the same seed always yields the same execution and report.
+type FaultPlan = fault.Plan
 
 // Protocol selects a logging protocol.
 type Protocol = wal.Protocol
