@@ -1,15 +1,19 @@
 # Verification tiers.
 #
-# tier1 is the gate every change must pass: full build + full test suite.
-# tier2 adds static analysis and the race detector; -short skips the
-# heavier fault-soak and crash sweeps so the race run stays fast.
+# tier1 is the gate every change must pass: full build + formatting +
+# static analysis + full test suite.
+# tier2 adds the race detector; -short skips the heavier fault-soak and
+# crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench-faults
+.PHONY: all tier1 tier2 bench-faults trace-smoke
 
 all: tier1 tier2
 
 tier1:
 	go build ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	go vet ./...
 	go test ./...
 
 tier2:
@@ -18,3 +22,10 @@ tier2:
 
 bench-faults:
 	go run ./cmd/sdsmbench -nodes 8 -faults
+
+# End-to-end check of the tracing pipeline: export a Chrome trace from a
+# real run and make sure it is loadable JSON.
+trace-smoke:
+	go run ./cmd/sdsmtrace -app 3d-fft -protocol ccl -trace-out /tmp/sdsm-trace-smoke.json -breakdown
+	python3 -m json.tool /tmp/sdsm-trace-smoke.json > /dev/null
+	@echo "trace-smoke: OK"

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults]
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults] [-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
+	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
 	flag.Parse()
 
 	if *nodes < 1 {
@@ -33,6 +35,22 @@ func main() {
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut != "" {
+		sweep, err := bench.RunSweepJSON(*nodes, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d runs)\n", *jsonOut, len(sweep.Runs))
+		return
 	}
 	if *faults {
 		out, err := bench.FormatFaultSweep(*nodes, bench.ScaleSmall)

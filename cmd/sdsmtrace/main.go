@@ -1,24 +1,33 @@
 // Command sdsmtrace runs one evaluation application under one logging
 // protocol and prints a detailed protocol trace: per-node virtual times,
-// fault/fetch/diff counters, log statistics and network totals.
+// fault/fetch/diff counters, log statistics, network totals, latency
+// histograms and the per-kind message breakdown.
 // With -crash it injects a fail-stop crash and reports the recovery.
+// With -trace-out it exports the run as Chrome trace-event JSON (load in
+// Perfetto / chrome://tracing); with -breakdown it walks the virtual-time
+// critical path and attributes the runtime to compute, coherence,
+// logging, faults and retries.
 //
 // Usage:
 //
 //	sdsmtrace [-app 3d-fft|mg|shallow|water] [-protocol none|ml|ccl]
 //	          [-nodes 8] [-scale small|medium|large]
 //	          [-crash] [-victim 7] [-recovery ml|ccl]
+//	          [-trace-out trace.json] [-breakdown]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"sdsm/internal/apps"
 	"sdsm/internal/bench"
 	"sdsm/internal/core"
+	"sdsm/internal/obsv"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
 )
@@ -31,6 +40,8 @@ func main() {
 	crash := flag.Bool("crash", false, "inject a fail-stop crash and recover")
 	victim := flag.Int("victim", -1, "crash victim (default: last node)")
 	recFlag := flag.String("recovery", "", "recovery scheme: ml|ccl (default: match protocol)")
+	traceOut := flag.String("trace-out", "", "write the run as Chrome trace-event JSON to this file")
+	breakdown := flag.Bool("breakdown", false, "print the critical-path runtime breakdown")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -60,6 +71,7 @@ func main() {
 
 	cfg := w.BaseConfig(*nodes)
 	cfg.Protocol = proto
+	cfg.Trace = obsv.NewCollector(*nodes)
 
 	var rep *core.Report
 	if !*crash {
@@ -110,10 +122,62 @@ func main() {
 			s.TwinsCreated, s.DiffsCreated, float64(s.DiffBytesSent)/1024,
 			rep.StoreStats[i].Flushes)
 	}
+	fmt.Printf("\n%-18s %10s %12s\n", "message kind", "msgs", "KB")
+	for _, kc := range rep.MsgKinds {
+		fmt.Printf("%-18s %10d %12.1f\n", kc.Name, kc.Msgs, float64(kc.Bytes)/1024)
+	}
+
+	fmt.Printf("\n%-18s %10s %12s %12s %12s\n", "latency", "count", "mean(us)", "p50(us)", "p99(us)")
+	for _, id := range []obsv.HistID{obsv.HistFetchLatency, obsv.HistLockStall, obsv.HistBarrierStall, obsv.HistFlushDisk} {
+		h := cfg.Trace.MergedHist(id)
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-18s %10d %12.1f %12.1f %12.1f\n", id.String(), h.Count,
+			h.Mean()/1e3, float64(h.Quantile(0.5))/1e3, float64(h.Quantile(0.99))/1e3)
+	}
+
 	if rep.Recovery != nil {
 		fmt.Printf("\ncrash: node %d at op %d; %v replay took %.3f virtual seconds\n",
 			rep.Recovery.Victim, rep.Recovery.CrashOp, rep.Recovery.Kind,
 			rep.Recovery.ReplayTime.Seconds())
 	}
+
+	if *breakdown {
+		pr, err := cfg.Trace.CriticalPath(rep.NodeTimes)
+		if err != nil {
+			fmt.Printf("\ncritical path: unavailable (%v)\n", err)
+		} else {
+			fmt.Printf("\ncritical path (%d hops), %.3f virtual seconds:\n", pr.Hops, pr.Total.Seconds())
+			for c := obsv.Cat(0); c < obsv.NumCats; c++ {
+				if pr.Dur[c] == 0 {
+					continue
+				}
+				fmt.Printf("  %-10s %10.3fs  %5.1f%%\n", c.String(), pr.Dur[c].Seconds(), pr.Share(c)*100)
+			}
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obsv.WriteChromeTrace(f, cfg.Trace); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		data, err := os.ReadFile(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !json.Valid(data) {
+			log.Fatalf("%s: exported trace is not valid JSON", *traceOut)
+		}
+		fmt.Printf("\nwrote %s (%d events, %d bytes)\n", *traceOut, cfg.Trace.EventCount(), len(data))
+	}
+
 	fmt.Println("\nresult validation: OK")
 }

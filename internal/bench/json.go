@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"sdsm/internal/core"
+	"sdsm/internal/obsv"
+)
+
+// CatShareJSON is one critical-path category's attribution.
+type CatShareJSON struct {
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// BreakdownJSON is the critical-path report of one run: virtual seconds
+// attributed per category, summing to TotalSec.
+type BreakdownJSON struct {
+	TotalSec   float64                 `json:"total_sec"`
+	Hops       int                     `json:"hops"`
+	Categories map[string]CatShareJSON `json:"categories"`
+}
+
+// NewBreakdownJSON converts an obsv critical-path report.
+func NewBreakdownJSON(pr *obsv.PathReport) *BreakdownJSON {
+	b := &BreakdownJSON{
+		TotalSec:   pr.Total.Seconds(),
+		Hops:       pr.Hops,
+		Categories: make(map[string]CatShareJSON, int(obsv.NumCats)),
+	}
+	for c := obsv.Cat(0); c < obsv.NumCats; c++ {
+		b.Categories[c.String()] = CatShareJSON{
+			Seconds: pr.Dur[c].Seconds(),
+			Share:   pr.Share(c),
+		}
+	}
+	return b
+}
+
+// RunJSON is one app × protocol cell of the machine-readable sweep.
+type RunJSONResult struct {
+	App            string                `json:"app"`
+	Protocol       string                `json:"protocol"`
+	ExecSec        float64               `json:"exec_sec"`
+	TotalLogBytes  int64                 `json:"total_log_bytes"`
+	TotalFlushes   int64                 `json:"total_flushes"`
+	MeanFlushBytes float64               `json:"mean_flush_bytes"`
+	NetMsgs        int64                 `json:"net_msgs"`
+	NetBytes       int64                 `json:"net_bytes"`
+	MsgKinds       []obsv.KindCount      `json:"msg_kinds"`
+	Counters       obsv.CountersSnapshot `json:"counters"`
+	Breakdown      *BreakdownJSON        `json:"breakdown,omitempty"`
+}
+
+// SweepJSON is the full machine-readable failure-free sweep (BENCH_PR2.json).
+type SweepJSON struct {
+	Nodes int             `json:"nodes"`
+	Scale string          `json:"scale"`
+	Runs  []RunJSONResult `json:"runs"`
+}
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// RunSweepJSON runs every application under every protocol failure-free
+// with tracing on and returns the machine-readable results, including the
+// critical-path breakdown of every run.
+func RunSweepJSON(nodes int, scale Scale) (*SweepJSON, error) {
+	out := &SweepJSON{Nodes: nodes, Scale: scale.String()}
+	for _, w := range Workloads(nodes, scale) {
+		for _, proto := range Protocols {
+			cfg := w.BaseConfig(nodes)
+			cfg.Protocol = proto
+			cfg.SkipInitialCheckpoint = true
+			cfg.Trace = obsv.NewCollector(nodes)
+			rep, err := core.Run(cfg, w.Prog)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v: %w", w.Name, proto, err)
+			}
+			if err := w.Check(rep.MemoryImage()); err != nil {
+				return nil, fmt.Errorf("bench: %s/%v: %w", w.Name, proto, err)
+			}
+			var agg obsv.CountersSnapshot
+			for i := range rep.Stats {
+				agg.Add(rep.Stats[i])
+			}
+			r := RunJSONResult{
+				App:            w.Name,
+				Protocol:       proto.String(),
+				ExecSec:        rep.ExecTime.Seconds(),
+				TotalLogBytes:  rep.TotalLogBytes,
+				TotalFlushes:   rep.TotalFlushes,
+				MeanFlushBytes: rep.MeanFlushBytes,
+				NetMsgs:        rep.NetMsgs,
+				NetBytes:       rep.NetBytes,
+				MsgKinds:       rep.MsgKinds,
+				Counters:       agg,
+			}
+			pr, err := cfg.Trace.CriticalPath(rep.NodeTimes)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v critical path: %w", w.Name, proto, err)
+			}
+			r.Breakdown = NewBreakdownJSON(pr)
+			out.Runs = append(out.Runs, r)
+		}
+	}
+	return out, nil
+}

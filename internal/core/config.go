@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"sdsm/internal/fault"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/wal"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// crash. The zero value injects nothing. The same seed always yields
 	// the same fault schedule, execution and report.
 	Faults fault.Plan
+	// Trace, when non-nil, collects per-node coherence events and latency
+	// histograms (see internal/obsv). It must be built with
+	// obsv.NewCollector(Nodes). Nil disables tracing at zero cost.
+	Trace *obsv.Collector
 }
 
 // withDefaults validates the config and fills defaults.
@@ -97,6 +102,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return c, fmt.Errorf("core: %w", err)
+	}
+	if c.Trace != nil && c.Trace.Nodes() != c.Nodes {
+		return c, fmt.Errorf("core: Trace collector sized for %d nodes, cluster has %d", c.Trace.Nodes(), c.Nodes)
 	}
 	return c, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sdsm/internal/checkpoint"
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/recovery"
 	"sdsm/internal/simtime"
 	"sdsm/internal/stable"
@@ -51,12 +52,14 @@ func buildCluster(cfg Config) (*cluster, error) {
 
 // newIncarnation builds a (fresh or recovered) node attached to slot id.
 func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock) *hlrc.Node {
-	hooks := wal.New(c.cfg.Protocol, c.depot.Store(id))
+	hooks := wal.New(c.cfg.Protocol, c.depot.Store(id), stats)
 	if c.cfg.Faults.TornWriteOnCrash {
 		// Torn-tail recovery needs the hardened log layout (ML logs its
 		// own diffs too) and manager sender logs to replay from.
-		hooks = wal.NewHardened(c.cfg.Protocol, c.depot.Store(id))
+		hooks = wal.NewHardened(c.cfg.Protocol, c.depot.Store(id), stats)
 	}
+	trc := c.cfg.Trace.Tracer(id)
+	c.depot.Store(id).ObserveFlushes(trc.Hist(obsv.HistFlushBytes))
 	nd := hlrc.NewNode(hlrc.Config{
 		ID: id, N: c.cfg.Nodes,
 		PageSize: c.cfg.PageSize, NumPages: c.cfg.NumPages,
@@ -68,6 +71,7 @@ func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock
 		NoFlushOverlap:     c.cfg.NoFlushOverlap,
 		DistributedLocks:   c.cfg.DistributedLocks,
 		SenderLogs:         c.cfg.Faults.TornWriteOnCrash,
+		Tracer:             trc,
 	}, c.nw, clock, hooks, stats)
 	recovery.InstallService(nd, c.depot.Store(id))
 	c.installCheckpointing(nd)
@@ -90,7 +94,8 @@ func (c *cluster) installCheckpointing(nd *hlrc.Node) {
 			return
 		}
 		bytes := checkpoint.Take(nd, store)
-		nd.Clock().Advance(c.cfg.Model.DiskTime(bytes))
+		t0, t1 := nd.Clock().AdvanceSpan(c.cfg.Model.DiskTime(bytes))
+		nd.Tracer().Seg(obsv.EvCheckpoint, obsv.CatLogging, t0, t1, int64(bytes), 0)
 	}
 }
 
@@ -130,6 +135,8 @@ type Report struct {
 	// NetMsgs and NetBytes count all protocol traffic.
 	NetMsgs  int64
 	NetBytes int64
+	// MsgKinds breaks the protocol traffic down per message kind.
+	MsgKinds []obsv.KindCount
 	// NodeOps holds each node's final synchronization-op count; crash
 	// planners use it to place late crash points.
 	NodeOps []int32
@@ -173,6 +180,7 @@ func (c *cluster) report() *Report {
 		TotalFlushes:  c.depot.TotalFlushes(),
 		NetMsgs:       c.nw.MsgCount(),
 		NetBytes:      c.nw.ByteCount(),
+		MsgKinds:      c.nw.KindCounts(),
 		NodeOps:       make([]int32, c.cfg.Nodes),
 	}
 	for i, nd := range c.nodes {

@@ -6,12 +6,14 @@ import (
 	"math"
 
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 )
 
 // Compute charges the node's virtual clock for application computation,
 // expressed in floating-point operations.
 func (nd *Node) Compute(flops float64) {
-	nd.clock.Advance(nd.cfg.Model.FlopsTime(flops))
+	t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.FlopsTime(flops))
+	nd.trc.Seg(obsv.EvCompute, obsv.CatCompute, t0, t1, int64(flops), 0)
 }
 
 // ensureReadable makes page p valid for reading, fetching the home copy
@@ -40,7 +42,8 @@ func (nd *Node) fetchPage(p memory.PageID) {
 		panic(fmt.Sprintf("hlrc: node %d: home page %d is invalid", nd.cfg.ID, p))
 	}
 	nd.stats.Faults.Add(1)
-	nd.clock.Advance(nd.cfg.Model.FaultCost)
+	t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.FaultCost)
+	nd.trc.Seg(obsv.EvPageFault, obsv.CatFault, t0, t1, int64(p), 0)
 	req := &PageReq{Page: p}
 	resp := nd.ep.Call(home, KindPageReq, req.WireSize(), req)
 	pr := resp.Payload.(*PageReply)
@@ -49,6 +52,9 @@ func (nd *Node) fetchPage(p memory.PageID) {
 	nd.hooks.OnPageFetched(nd.opIndex, p, pr.Data)
 	nd.mu.Unlock()
 	nd.stats.PageFetches.Add(1)
+	end := nd.clock.Now()
+	nd.trc.Span(obsv.EvPageFetch, t0, end, int64(p), int64(resp.Size))
+	nd.trc.Observe(obsv.HistFetchLatency, int64(end-t0))
 }
 
 // ensureWritable makes page p writable in the current interval: on the
@@ -84,7 +90,8 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 			if nd.cfg.HomeUndo && !inRecovery && !nd.pt.HasTwin(p) {
 				nd.pt.MakeTwin(p)
 				nd.mu.Unlock()
-				nd.clock.Advance(nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+				t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+				nd.trc.Seg(obsv.EvTwinCreate, obsv.CatCoherence, t0, t1, int64(p), int64(nd.cfg.PageSize))
 				nd.mu.Lock()
 			}
 		case inRecovery:
@@ -93,7 +100,8 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 			// twin copy.
 			nd.mu.Unlock()
 			nd.stats.Faults.Add(1)
-			nd.clock.Advance(nd.cfg.Model.FaultCost)
+			t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.FaultCost)
+			nd.trc.Seg(obsv.EvPageFault, obsv.CatFault, t0, t1, int64(p), 0)
 			nd.mu.Lock()
 			nd.pt.SetState(p, memory.Writable)
 		default:
@@ -104,7 +112,10 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 			nd.pt.SetState(p, memory.Writable)
 			nd.mu.Unlock()
 			nd.stats.Faults.Add(1)
-			nd.clock.Advance(nd.cfg.Model.FaultCost + nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+			t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.FaultCost)
+			nd.trc.Seg(obsv.EvPageFault, obsv.CatFault, t0, t1, int64(p), 0)
+			t0, t1 = nd.clock.AdvanceSpan(nd.cfg.Model.CopyTime(nd.cfg.PageSize))
+			nd.trc.Seg(obsv.EvTwinCreate, obsv.CatCoherence, t0, t1, int64(p), int64(nd.cfg.PageSize))
 			nd.mu.Lock()
 		}
 		nd.pt.MarkDirty(p)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/transport"
 	"sdsm/internal/vclock"
@@ -50,6 +51,9 @@ type Config struct {
 	// the managers' logs instead (sender-based message logging; managers
 	// are outside the failure model, so their volatile logs survive).
 	SenderLogs bool
+	// Tracer records the node's coherence events; nil disables tracing at
+	// zero cost.
+	Tracer *obsv.Tracer
 }
 
 // SyncDelegate intercepts synchronization operations and page validation
@@ -120,6 +124,7 @@ type Node struct {
 	clock *simtime.Clock
 	hooks LogHooks
 	stats *Stats
+	trc   *obsv.Tracer
 
 	mu      sync.Mutex
 	pt      *memory.PageTable
@@ -137,6 +142,13 @@ type Node struct {
 	// opIndex counts synchronization operations, used to tag log records
 	// and to place crash points.
 	opIndex int32
+	// lastSyncResume is the completion time of the node's most recent
+	// synchronization operation (application goroutine only). It is the
+	// arrival cutoff for deterministic release-flush composition: every
+	// handler-staged record that arrived by then is causally fenced (a
+	// barrier release implies all peers' earlier diff updates are out),
+	// so filtering by it is both deterministic and eventually complete.
+	lastSyncResume simtime.Time
 	// crashedAt records the op at which the injected crash fired (-1
 	// until then).
 	crashedAt int32
@@ -189,6 +201,7 @@ func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogH
 		clock:         clock,
 		hooks:         hooks,
 		stats:         stats,
+		trc:           cfg.Tracer,
 		pt:            memory.NewPageTable(cfg.NumPages, cfg.PageSize),
 		vt:            vclock.New(cfg.N),
 		notices:       NewNoticeStore(cfg.N),
@@ -210,6 +223,7 @@ func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogH
 			nd.ver[p] = vclock.New(cfg.N)
 		}
 	}
+	nd.ep.SetTracer(cfg.Tracer)
 	return nd
 }
 
@@ -230,6 +244,9 @@ func (nd *Node) Endpoint() *transport.Endpoint { return nd.ep }
 
 // Stats returns the node's protocol counters.
 func (nd *Node) Stats() *Stats { return nd.stats }
+
+// Tracer returns the node's event tracer (nil when tracing is off).
+func (nd *Node) Tracer() *obsv.Tracer { return nd.trc }
 
 // Hooks returns the logging hooks.
 func (nd *Node) Hooks() LogHooks { return nd.hooks }
@@ -310,9 +327,11 @@ func (nd *Node) serve(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		case m := <-nd.ep.Inbox():
 			if nd.ep.WireDup(m) {
+				nd.ep.MarkHandled()
 				continue // fault-injected duplicate copy
 			}
 			nd.handle(m)
+			nd.ep.MarkHandled()
 		}
 	}
 }
@@ -358,6 +377,9 @@ func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
 	ver := nd.ver[req.Page].Clone()
 	nd.mu.Unlock()
 	resp := &PageReply{Data: data, Ver: ver}
+	nd.trc.SvcSpan(obsv.EvPageServe, obsv.CatCoherence,
+		at-simtime.Time(nd.cfg.Model.MsgHandling), at, m.From, m.SentAt,
+		int64(req.Page), int64(resp.WireSize()))
 	nd.ep.ReplyAt(at, m, KindPageReply, resp.WireSize(), resp)
 }
 
@@ -383,13 +405,19 @@ func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
 		events = append(events, UpdateEvent{Page: d.Page, Writer: du.Writer, Seq: du.Seq})
 	}
 	if len(applied) > 0 {
-		nd.hooks.OnIncomingDiffs(nd.opIndex, events, applied)
+		nd.hooks.OnIncomingDiffs(nd.opIndex, at-simtime.Time(nd.cfg.Model.MsgHandling), events, applied)
 		nd.stats.DiffsApplied.Add(int64(len(applied)))
 	}
 	nd.mu.Unlock()
 	// The ack leaves after the diffs are applied; the copy cost is the
 	// handler's, not the application's.
+	arrival := at - simtime.Time(nd.cfg.Model.MsgHandling)
 	at += simtime.Time(nd.cfg.Model.CopyTime(copied))
+	nd.trc.SvcSpan(obsv.EvHomeUpdate, obsv.CatCoherence,
+		arrival, at, m.From, m.SentAt, int64(len(applied)), int64(copied))
+	for _, d := range applied {
+		nd.trc.SvcInstant(obsv.EvDiffApply, at, int64(d.Page), int64(d.DataBytes()))
+	}
 	nd.ep.ReplyAt(at, m, KindDiffAck, DiffAck{}.WireSize(), DiffAck{})
 }
 

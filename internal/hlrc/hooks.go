@@ -1,6 +1,9 @@
 package hlrc
 
-import "sdsm/internal/memory"
+import (
+	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
+)
 
 // UpdateEvent is the record of one incoming asynchronous update applied at
 // a home node: "interval number, page id of a home copy, and the writer
@@ -28,8 +31,9 @@ type LogHooks interface {
 	// OnPageFetched reports a page copy fetched from its home on a miss.
 	OnPageFetched(op int32, page memory.PageID, data []byte)
 	// OnIncomingDiffs reports diffs applied to home copies, together with
-	// the corresponding update-event records.
-	OnIncomingDiffs(op int32, events []UpdateEvent, diffs []memory.Diff)
+	// the corresponding update-event records and the virtual arrival time
+	// of the DiffUpdate message that carried them.
+	OnIncomingDiffs(op int32, arrival simtime.Time, events []UpdateEvent, diffs []memory.Diff)
 	// AtSyncEntry is called at the start of every synchronization
 	// operation before any communication; ML flushes its volatile log
 	// here. Returns the bytes flushed (0 when nothing was written); the
@@ -40,9 +44,19 @@ type LogHooks interface {
 	// vtSum is the sum of the closing interval's vector time, logged with
 	// the interval's own diffs so recovery can apply re-fetched diffs from
 	// different writers in a linear extension of their causal order.
+	// cutoff is the completion time of the node's previous synchronization
+	// operation: a protocol with DeterministicFlush composes this flush
+	// only from handler-staged records that arrived by then (the engine
+	// has fenced those arrivals), deferring later ones to the next flush.
 	// Returns bytes flushed; the engine overlaps the disk time with the
 	// diff/ack round trip.
-	AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int
+	AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Time, created []memory.Diff) int
+	// DeterministicFlush reports whether AtRelease filters staged records
+	// by the arrival cutoff. The engine then fences message arrivals up to
+	// the cutoff before composing, which makes flush sizes — and through
+	// disk time, the whole virtual timeline — independent of goroutine
+	// scheduling.
+	DeterministicFlush() bool
 }
 
 // NopHooks is the no-logging protocol: the unmodified home-based SDSM
@@ -56,10 +70,14 @@ func (NopHooks) OnAcquireNotices(int32, []Notice) {}
 func (NopHooks) OnPageFetched(int32, memory.PageID, []byte) {}
 
 // OnIncomingDiffs implements LogHooks.
-func (NopHooks) OnIncomingDiffs(int32, []UpdateEvent, []memory.Diff) {}
+func (NopHooks) OnIncomingDiffs(int32, simtime.Time, []UpdateEvent, []memory.Diff) {}
 
 // AtSyncEntry implements LogHooks.
 func (NopHooks) AtSyncEntry(int32) int { return 0 }
 
 // AtRelease implements LogHooks.
-func (NopHooks) AtRelease(int32, int32, int64, []memory.Diff) int { return 0 }
+func (NopHooks) AtRelease(int32, int32, int64, simtime.Time, []memory.Diff) int { return 0 }
+
+// DeterministicFlush implements LogHooks: nothing is flushed, so nothing
+// needs fencing.
+func (NopHooks) DeterministicFlush() bool { return false }

@@ -2,6 +2,7 @@ package hlrc
 
 import (
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/transport"
 	"sdsm/internal/vclock"
 )
@@ -31,6 +32,32 @@ const (
 	KindRecBarrierReq
 	KindRecBarrierReply
 )
+
+// Register display names for the per-kind wire counters and the trace
+// export.
+func init() {
+	for kind, name := range map[transport.Kind]string{
+		KindLockReq:         "lock-req",
+		KindLockGrant:       "lock-grant",
+		KindLockRelease:     "lock-release",
+		KindBarrierCheckin:  "barrier-checkin",
+		KindBarrierRelease:  "barrier-release",
+		KindDiffUpdate:      "diff-update",
+		KindDiffAck:         "diff-ack",
+		KindPageReq:         "page-req",
+		KindPageReply:       "page-reply",
+		KindRecPageReq:      "rec-page-req",
+		KindRecPageReply:    "rec-page-reply",
+		KindRecDiffsReq:     "rec-diffs-req",
+		KindRecDiffsReply:   "rec-diffs-reply",
+		KindRecGrantReq:     "rec-grant-req",
+		KindRecGrantReply:   "rec-grant-reply",
+		KindRecBarrierReq:   "rec-barrier-req",
+		KindRecBarrierReply: "rec-barrier-reply",
+	} {
+		obsv.RegisterKindName(uint8(kind), name)
+	}
+}
 
 // LockReq asks the lock manager for ownership of a lock. VT is the
 // acquirer's vector time so the grant can carry only the notices the

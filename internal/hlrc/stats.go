@@ -1,63 +1,13 @@
 package hlrc
 
-import "sync/atomic"
+import "sdsm/internal/obsv"
 
-// Stats counts protocol events on one node. All fields are updated
-// atomically; read them after the run (or accept slight skew during it).
-type Stats struct {
-	Faults        atomic.Int64 // software page faults taken
-	PageFetches   atomic.Int64 // pages fetched from homes
-	TwinsCreated  atomic.Int64 // twins created
-	DiffsCreated  atomic.Int64 // diffs created at releases
-	DiffBytesSent atomic.Int64 // diff payload bytes sent to homes
-	DiffsApplied  atomic.Int64 // diffs applied to home copies
-	LockAcquires  atomic.Int64
-	Barriers      atomic.Int64
-	Intervals     atomic.Int64 // non-empty intervals closed
-	EarlyCloses   atomic.Int64 // intervals force-closed at an acquire due to
-	// an invalidation hitting a locally dirty page (false-sharing path)
-}
+// Stats is the node's protocol counter set. It is an alias of the shared
+// obsv registry type so the HLRC engine, the logging layer and the
+// home-less ablation engine all account into one source of truth (the
+// per-engine counter structs this file used to define are gone).
+type Stats = obsv.Counters
 
-// Snapshot is a plain-value copy of the counters.
-type Snapshot struct {
-	Faults        int64
-	PageFetches   int64
-	TwinsCreated  int64
-	DiffsCreated  int64
-	DiffBytesSent int64
-	DiffsApplied  int64
-	LockAcquires  int64
-	Barriers      int64
-	Intervals     int64
-	EarlyCloses   int64
-}
-
-// Snapshot copies the counters into plain values.
-func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		Faults:        s.Faults.Load(),
-		PageFetches:   s.PageFetches.Load(),
-		TwinsCreated:  s.TwinsCreated.Load(),
-		DiffsCreated:  s.DiffsCreated.Load(),
-		DiffBytesSent: s.DiffBytesSent.Load(),
-		DiffsApplied:  s.DiffsApplied.Load(),
-		LockAcquires:  s.LockAcquires.Load(),
-		Barriers:      s.Barriers.Load(),
-		Intervals:     s.Intervals.Load(),
-		EarlyCloses:   s.EarlyCloses.Load(),
-	}
-}
-
-// Add accumulates another snapshot into this one.
-func (s *Snapshot) Add(o Snapshot) {
-	s.Faults += o.Faults
-	s.PageFetches += o.PageFetches
-	s.TwinsCreated += o.TwinsCreated
-	s.DiffsCreated += o.DiffsCreated
-	s.DiffBytesSent += o.DiffBytesSent
-	s.DiffsApplied += o.DiffsApplied
-	s.LockAcquires += o.LockAcquires
-	s.Barriers += o.Barriers
-	s.Intervals += o.Intervals
-	s.EarlyCloses += o.EarlyCloses
-}
+// Snapshot is the plain-value copy of Stats, suitable for summing and
+// printing after a run.
+type Snapshot = obsv.CountersSnapshot

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/transport"
 	"sdsm/internal/vclock"
@@ -18,11 +19,18 @@ func (nd *Node) AcquireLock(lock int) {
 	if d := nd.delegate; d != nil && d.Acquire(nd, op, l) {
 		return
 	}
+	t0 := nd.clock.Now()
 	nd.syncEntryFlush(op)
 	nd.mu.Lock()
 	req := &LockReq{Lock: l, VT: nd.vt.Clone()}
 	nd.mu.Unlock()
+	// The sync-wait mark lets peers' arrival fences skip this node while
+	// it blocks for the grant (see transport.Endpoint.FenceArrivalsBefore);
+	// no DiffUpdate is sent between here and the wake-up, so skipping is
+	// safe for flush composition.
+	nd.ep.BeginSyncWait()
 	resp := nd.ep.Call(nd.lockManagerFor(l), KindLockReq, req.WireSize(), req)
+	nd.ep.EndSyncWait()
 	g := resp.Payload.(*LockGrant)
 
 	nd.mu.Lock()
@@ -44,6 +52,10 @@ func (nd *Node) AcquireLock(lock int) {
 	nd.opIndex++
 	nd.mu.Unlock()
 	nd.stats.LockAcquires.Add(1)
+	end := nd.clock.Now()
+	nd.lastSyncResume = end
+	nd.trc.Span(obsv.EvLockAcquire, t0, end, int64(l), int64(op))
+	nd.trc.Observe(obsv.HistLockStall, int64(end-t0))
 }
 
 // ReleaseLock ends the current interval: diffs of dirty remote pages are
@@ -60,12 +72,14 @@ func (nd *Node) ReleaseLock(lock int) {
 	if crashing {
 		nd.StopService()
 	}
+	t0 := nd.clock.Now()
 	nd.syncEntryFlush(op)
 	nd.closeAndPropagate(op)
 	if crashing {
 		nd.failStop(op)
 	}
 	nd.FinishReleaseLive(op, l)
+	nd.trc.Span(obsv.EvLockRelease, t0, nd.clock.Now(), int64(l), int64(op))
 }
 
 // FinishReleaseLive performs the post-crash-point part of a release: the
@@ -84,6 +98,7 @@ func (nd *Node) FinishReleaseLive(op int32, l int32) {
 	nd.opIndex++
 	nd.mu.Unlock()
 	nd.ep.Send(nd.lockManagerFor(l), KindLockRelease, rel.WireSize(), rel)
+	nd.lastSyncResume = nd.clock.Now()
 }
 
 // lockManagerFor returns the node managing a lock: a fixed node by
@@ -109,12 +124,16 @@ func (nd *Node) Barrier(barrier int) {
 	if crashing {
 		nd.StopService()
 	}
+	t0 := nd.clock.Now()
 	nd.syncEntryFlush(op)
 	nd.closeAndPropagate(op)
 	if crashing {
 		nd.failStop(op)
 	}
 	nd.FinishBarrierLive(op, b)
+	end := nd.clock.Now()
+	nd.trc.Span(obsv.EvBarrierWait, t0, end, int64(b), int64(op))
+	nd.trc.Observe(obsv.HistBarrierStall, int64(end-t0))
 }
 
 // FinishBarrierLive performs the post-crash-point part of a barrier:
@@ -123,7 +142,11 @@ func (nd *Node) FinishBarrierLive(op int32, b int32) {
 	nd.mu.Lock()
 	ci := &BarrierCheckin{Barrier: b, VT: nd.vt.Clone(), Notices: nd.notices.Delta(nd.lastBarrierVT)}
 	nd.mu.Unlock()
+	// Sync-wait mark: peers' arrival fences skip a node parked at the
+	// barrier (anything it sends after the release is past their cutoffs).
+	nd.ep.BeginSyncWait()
 	resp := nd.ep.Call(nd.cfg.BarrierManagerNode, KindBarrierCheckin, ci.WireSize(), ci)
+	nd.ep.EndSyncWait()
 	rel := resp.Payload.(*BarrierRelease)
 	nd.mu.Lock()
 	nd.hooks.OnAcquireNotices(op, rel.Notices)
@@ -136,6 +159,7 @@ func (nd *Node) FinishBarrierLive(op int32, b int32) {
 	if nd.PostBarrier != nil {
 		nd.PostBarrier(op)
 	}
+	nd.lastSyncResume = nd.clock.Now()
 }
 
 // failStop records the crash op and unwinds the application goroutine.
@@ -168,7 +192,10 @@ func (nd *Node) crashingAt(op int32) bool {
 // flush opportunity (ML). The disk time lands fully on the critical path.
 func (nd *Node) syncEntryFlush(op int32) {
 	if n := nd.hooks.AtSyncEntry(op); n > 0 {
-		nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+		d := nd.cfg.Model.DiskTime(n)
+		t0, t1 := nd.clock.AdvanceSpan(d)
+		nd.trc.Seg(obsv.EvLogFlush, obsv.CatLogging, t0, t1, int64(n), 0)
+		nd.trc.Observe(obsv.HistFlushDisk, int64(d))
 	}
 }
 
@@ -218,13 +245,27 @@ func (nd *Node) applyNoticesLocked(ns []Notice) {
 // protocol still gets its flush opportunity (staged acquire notices and
 // update-event records under CCL).
 func (nd *Node) closeAndPropagate(op int32) {
+	// With a deterministic-flush protocol (CCL) the release flush is
+	// composed from handler-staged records that arrived by the previous
+	// synchronization point. Fence those arrivals first — a real-time-only
+	// wait — so the composition cannot depend on goroutine scheduling.
+	// Skipped while the service loop is down (the fail-stop crash path
+	// closes the interval after StopService: the inbox is frozen) and
+	// during recovery replay.
+	cutoff := nd.lastSyncResume
+	if nd.hooks.DeterministicFlush() && nd.stopSvc != nil && nd.delegate == nil {
+		nd.ep.FenceArrivalsBefore(cutoff)
+	}
 	nd.mu.Lock()
 	dirty := nd.pt.DirtyPages()
 	if len(dirty) == 0 {
 		vtSum := nd.vt.Sum()
 		nd.mu.Unlock()
-		if n := nd.hooks.AtRelease(op, 0, vtSum, nil); n > 0 {
-			nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+		if n := nd.hooks.AtRelease(op, 0, vtSum, cutoff, nil); n > 0 {
+			d := nd.cfg.Model.DiskTime(n)
+			t0, t1 := nd.clock.AdvanceSpan(d)
+			nd.trc.Seg(obsv.EvLogFlush, obsv.CatLogging, t0, t1, int64(n), 0)
+			nd.trc.Observe(obsv.HistFlushDisk, int64(d))
 		}
 		return
 	}
@@ -270,7 +311,8 @@ func (nd *Node) closeAndPropagate(op int32) {
 
 	nd.stats.Intervals.Add(1)
 	nd.stats.DiffsCreated.Add(int64(len(created)))
-	nd.clock.Advance(nd.cfg.Model.CopyTime(compareBytes))
+	t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.CopyTime(compareBytes))
+	nd.trc.Seg(obsv.EvDiffMake, obsv.CatCoherence, t0, t1, int64(compareBytes), int64(len(created)))
 
 	// The log flush executes before any diff leaves, so a diff a home has
 	// applied is always already durable in its writer's log (torn-tail
@@ -281,11 +323,17 @@ func (nd *Node) closeAndPropagate(op int32) {
 	// flush-after-send overlap. With NoFlushOverlap (ablation) the flush
 	// lands fully on the critical path instead.
 	var flushDone simtime.Time
-	if n := nd.hooks.AtRelease(op, seq, vtSum, created); n > 0 {
+	var flushBytes int64
+	if n := nd.hooks.AtRelease(op, seq, vtSum, cutoff, created); n > 0 {
+		d := nd.cfg.Model.DiskTime(n)
+		nd.trc.Observe(obsv.HistFlushDisk, int64(d))
+		flushBytes = int64(n)
 		if nd.cfg.NoFlushOverlap {
-			nd.clock.Advance(nd.cfg.Model.DiskTime(n))
+			ft0, ft1 := nd.clock.AdvanceSpan(d)
+			nd.trc.Seg(obsv.EvLogFlush, obsv.CatLogging, ft0, ft1, flushBytes, 0)
 		} else {
-			flushDone = nd.clock.Now() + simtime.Time(nd.cfg.Model.DiskTime(n))
+			flushDone = nd.clock.Now() + simtime.Time(d)
+			nd.trc.DiskSpan(obsv.EvLogFlush, flushDone-simtime.Time(d), flushDone, flushBytes, 0)
 		}
 	}
 	homes := make([]int, 0, len(perHome))
@@ -308,7 +356,8 @@ func (nd *Node) closeAndPropagate(op int32) {
 	}
 	// Only the disk time not hidden behind the ack round trips remains on
 	// the critical path.
-	nd.clock.AdvanceTo(flushDone)
+	wt0, wt1 := nd.clock.MergePlusSpan(flushDone, 0)
+	nd.trc.Seg(obsv.EvFlushWait, obsv.CatLogging, wt0, wt1, flushBytes, 0)
 }
 
 // Manager-side handlers ------------------------------------------------
@@ -369,6 +418,9 @@ func (nd *Node) handleLockReq(m transport.Message, at simtime.Time) {
 	g := nd.grantLocked(req.VT)
 	nd.issueGrantLocked(ls, m.From, m.ReqID, g, at)
 	nd.mu.Unlock()
+	nd.trc.SvcSpan(obsv.EvLockGrant, obsv.CatCoherence,
+		at-simtime.Time(nd.cfg.Model.MsgHandling), at, m.From, m.SentAt,
+		int64(req.Lock), 0)
 	nd.ep.ReplyAt(at, m, KindLockGrant, g.WireSize(), g)
 }
 
@@ -402,6 +454,16 @@ func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
 	}
 	nd.mu.Unlock()
 	if granted {
+		// The handoff span's edge points at whichever message opened the
+		// grant: the queued request if the handoff waited for it to
+		// arrive, otherwise the release itself.
+		edgeFrom, edgeSentAt := m.From, m.SentAt
+		if next.arrival > at {
+			edgeFrom, edgeSentAt = next.m.From, next.m.SentAt
+		}
+		nd.trc.SvcSpan(obsv.EvLockGrant, obsv.CatCoherence,
+			at-simtime.Time(nd.cfg.Model.MsgHandling), grantAt, edgeFrom, edgeSentAt,
+			int64(rel.Lock), 0)
 		nd.ep.ReplyAt(grantAt, next.m, KindLockGrant, g.WireSize(), g)
 	}
 }
@@ -450,11 +512,18 @@ func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 	}
 	waiting := bs.waiting
 	bs.waiting = nil
-	// The barrier opens when the last check-in has arrived.
+	// The barrier opens when the last check-in has arrived. The last
+	// arriver (ties broken by lowest node id, so the choice is
+	// deterministic) is the release span's edge: it is the message the
+	// critical path runs through.
 	var releaseAt simtime.Time
+	last := waiting[0]
 	for _, w := range waiting {
 		if w.arrival > releaseAt {
 			releaseAt = w.arrival
+		}
+		if w.arrival > last.arrival || (w.arrival == last.arrival && w.m.From < last.m.From) {
+			last = w
 		}
 	}
 	type out struct {
@@ -475,6 +544,9 @@ func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 		outs = append(outs, out{m: w.m, rel: rel})
 	}
 	nd.mu.Unlock()
+	nd.trc.SvcSpan(obsv.EvBarrierRelease, obsv.CatCoherence,
+		releaseAt-simtime.Time(nd.cfg.Model.MsgHandling), releaseAt,
+		last.m.From, last.m.SentAt, int64(ci.Barrier), int64(len(waiting)))
 	for _, o := range outs {
 		nd.ep.ReplyAt(releaseAt, o.m, KindBarrierRelease, o.rel.WireSize(), o.rel)
 	}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/transport"
 	"sdsm/internal/vclock"
@@ -153,14 +154,11 @@ type diffsReq struct {
 
 type diffsReply struct{ Diffs []memory.Diff }
 
-// Stats counts the protocol events the ablation compares against the
-// home-based engine.
-type Stats struct {
-	Faults        int64
-	FetchRounds   int64 // round trips issued for misses (≥1 per writer per miss)
-	DiffsFetched  int64
-	BytesRetained int64 // writer-side diff bytes retained (never GC'd)
-}
+// Stats is the aggregated counter snapshot the ablation compares against
+// the home-based engine. The live counters are the shared obsv registry
+// (Faults, plus the homeless-only FetchRounds, DiffsFetched and
+// BytesRetained fields).
+type Stats = obsv.CountersSnapshot
 
 // Node is one process of the home-less SDSM.
 type Node struct {
@@ -186,7 +184,7 @@ type Node struct {
 	locks    map[int32]*lockState
 	barriers map[int32]*barrierState
 
-	stats   Stats
+	stats   obsv.Counters
 	stopSvc chan struct{}
 	svcDone chan struct{}
 }
@@ -274,12 +272,7 @@ func (c *Cluster) ExecTime() simtime.Time {
 func (c *Cluster) TotalStats() Stats {
 	var s Stats
 	for _, nd := range c.Nodes {
-		nd.mu.Lock()
-		s.Faults += nd.stats.Faults
-		s.FetchRounds += nd.stats.FetchRounds
-		s.DiffsFetched += nd.stats.DiffsFetched
-		s.BytesRetained += nd.stats.BytesRetained
-		nd.mu.Unlock()
+		s.Add(nd.stats.Snapshot())
 	}
 	return s
 }
@@ -465,7 +458,7 @@ func (nd *Node) closeInterval() {
 			nd.retained[p] = make(map[int32]memory.Diff)
 		}
 		nd.retained[p][seq] = d
-		nd.stats.BytesRetained += int64(d.WireSize())
+		nd.stats.BytesRetained.Add(int64(d.WireSize()))
 		nd.applied[p][nd.id] = seq
 		pages = append(pages, p)
 	}
@@ -594,7 +587,7 @@ func (nd *Node) validate(p memory.PageID) {
 			perWriter[int32(w)] = append(perWriter[int32(w)], seq)
 		}
 	}
-	nd.stats.Faults++
+	nd.stats.Faults.Add(1)
 	nd.mu.Unlock()
 	nd.clock.Advance(nd.model.FaultCost)
 
@@ -610,7 +603,7 @@ func (nd *Node) validate(p memory.PageID) {
 		req := &diffsReq{Page: p, Seqs: perWriter[w]}
 		pendings = append(pendings, nd.ep.CallAsync(int(w), kindDiffsReq, 12+4*len(req.Seqs), req))
 		nd.mu.Lock()
-		nd.stats.FetchRounds++
+		nd.stats.FetchRounds.Add(1)
 		nd.mu.Unlock()
 	}
 	for i, pd := range pendings {
@@ -646,7 +639,7 @@ func (nd *Node) validate(p memory.PageID) {
 			nd.applied[p][ms.proc] = ms.seq
 		}
 		applied += d.DataBytes()
-		nd.stats.DiffsFetched++
+		nd.stats.DiffsFetched.Add(1)
 	}
 	nd.pt.SetState(p, memory.ReadOnly)
 	nd.mu.Unlock()

@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// sortCanonical orders events into the export/walk order: by start time,
+// then longest-first (so enclosing spans precede their children), then by
+// the remaining fields for a total order. Service-side events are
+// appended in goroutine order, so this sort is what makes the trace
+// byte-identical across same-seed runs.
+func sortCanonical(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.T0 != b.T0 {
+			return a.T0 < b.T0
+		}
+		if a.T1 != b.T1 {
+			return a.T1 > b.T1
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Arg1 != b.Arg1 {
+			return a.Arg1 < b.Arg1
+		}
+		if a.Arg2 != b.Arg2 {
+			return a.Arg2 < b.Arg2
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.SentAt < b.SentAt
+	})
+}
+
+var tidNames = [3]string{"app", "service", "disk"}
+
+// micros renders a virtual timestamp/duration as microseconds with
+// nanosecond precision, the unit Chrome's trace viewer expects.
+func micros(t int64) string {
+	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
+}
+
+// WriteChromeTrace writes the collector's events as Chrome trace-event
+// JSON (the format chrome://tracing and Perfetto load): one process per
+// node, with app/service/disk threads. The output is deterministic:
+// events are emitted in canonical per-node order and floats are
+// formatted with fixed precision.
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		sep()
+		bw.WriteString("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":")
+		bw.WriteString(strconv.Itoa(node))
+		bw.WriteString(",\"args\":{\"name\":\"node ")
+		bw.WriteString(strconv.Itoa(node))
+		bw.WriteString("\"}}")
+		for tid, tn := range tidNames {
+			sep()
+			bw.WriteString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":")
+			bw.WriteString(strconv.Itoa(node))
+			bw.WriteString(",\"tid\":")
+			bw.WriteString(strconv.Itoa(tid))
+			bw.WriteString(",\"args\":{\"name\":\"")
+			bw.WriteString(tn)
+			bw.WriteString("\"}}")
+		}
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		for _, ev := range c.Tracer(node).Events() {
+			sep()
+			writeChromeEvent(bw, node, ev)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeChromeEvent(bw *bufio.Writer, node int, ev Event) {
+	name := ev.Kind.String()
+	if ev.Kind == EvRecv || ev.Kind == EvRecvDetached {
+		name = "recv-" + KindName(uint8(ev.Arg1))
+	}
+	bw.WriteString("{\"name\":\"")
+	bw.WriteString(name)
+	bw.WriteString("\",\"cat\":\"")
+	bw.WriteString(ev.Cat.String())
+	if ev.T1 > ev.T0 {
+		bw.WriteString("\",\"ph\":\"X\",\"ts\":")
+		bw.WriteString(micros(int64(ev.T0)))
+		bw.WriteString(",\"dur\":")
+		bw.WriteString(micros(int64(ev.T1 - ev.T0)))
+	} else {
+		bw.WriteString("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":")
+		bw.WriteString(micros(int64(ev.T0)))
+	}
+	bw.WriteString(",\"pid\":")
+	bw.WriteString(strconv.Itoa(node))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(strconv.Itoa(int(ev.Tid)))
+	bw.WriteString(",\"args\":{")
+	argSep := ""
+	writeArg := func(key string, val string) {
+		bw.WriteString(argSep)
+		bw.WriteString("\"")
+		bw.WriteString(key)
+		bw.WriteString("\":")
+		bw.WriteString(val)
+		argSep = ","
+	}
+	names := argNames[ev.Kind]
+	if names[0] != "" {
+		writeArg(names[0], strconv.FormatInt(ev.Arg1, 10))
+	}
+	if names[1] != "" {
+		writeArg(names[1], strconv.FormatInt(ev.Arg2, 10))
+	}
+	if ev.From >= 0 {
+		writeArg("from", strconv.Itoa(int(ev.From)))
+		writeArg("sent_us", micros(int64(ev.SentAt)))
+	}
+	bw.WriteString("}}")
+}

@@ -1,0 +1,86 @@
+package obsv
+
+import "sync/atomic"
+
+// Counters is the shared per-node counter registry — the one source of
+// truth for protocol bookkeeping that used to be split between the
+// home-based engine's stats and the home-less ablation engine. All
+// fields are atomics so any goroutine of the node may bump them.
+type Counters struct {
+	// Home-based (HLRC) protocol counters.
+	Faults        atomic.Int64 // access faults taken
+	PageFetches   atomic.Int64 // pages fetched from homes
+	TwinsCreated  atomic.Int64 // twins created on first write
+	DiffsCreated  atomic.Int64 // diffs produced at releases
+	DiffBytesSent atomic.Int64 // diff bytes shipped to homes
+	DiffsApplied  atomic.Int64 // diffs applied at this home
+	LockAcquires  atomic.Int64 // lock acquires completed
+	Barriers      atomic.Int64 // barriers completed
+	Intervals     atomic.Int64 // intervals (vector-time ticks)
+	EarlyCloses   atomic.Int64 // early interval closes at acquires
+
+	// Logging-layer counters.
+	LogAppends atomic.Int64 // records staged into the protocol's log
+
+	// Home-less (TreadMarks-style) ablation engine counters.
+	FetchRounds   atomic.Int64 // multi-writer diff fetch rounds
+	DiffsFetched  atomic.Int64 // diffs fetched during those rounds
+	BytesRetained atomic.Int64 // diff bytes retained for later fetches
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Faults:        c.Faults.Load(),
+		PageFetches:   c.PageFetches.Load(),
+		TwinsCreated:  c.TwinsCreated.Load(),
+		DiffsCreated:  c.DiffsCreated.Load(),
+		DiffBytesSent: c.DiffBytesSent.Load(),
+		DiffsApplied:  c.DiffsApplied.Load(),
+		LockAcquires:  c.LockAcquires.Load(),
+		Barriers:      c.Barriers.Load(),
+		Intervals:     c.Intervals.Load(),
+		EarlyCloses:   c.EarlyCloses.Load(),
+		LogAppends:    c.LogAppends.Load(),
+		FetchRounds:   c.FetchRounds.Load(),
+		DiffsFetched:  c.DiffsFetched.Load(),
+		BytesRetained: c.BytesRetained.Load(),
+	}
+}
+
+// CountersSnapshot is the plain-value form of Counters, suitable for
+// summing, printing and JSON export.
+type CountersSnapshot struct {
+	Faults        int64 `json:"faults"`
+	PageFetches   int64 `json:"page_fetches"`
+	TwinsCreated  int64 `json:"twins_created"`
+	DiffsCreated  int64 `json:"diffs_created"`
+	DiffBytesSent int64 `json:"diff_bytes_sent"`
+	DiffsApplied  int64 `json:"diffs_applied"`
+	LockAcquires  int64 `json:"lock_acquires"`
+	Barriers      int64 `json:"barriers"`
+	Intervals     int64 `json:"intervals"`
+	EarlyCloses   int64 `json:"early_closes"`
+	LogAppends    int64 `json:"log_appends"`
+	FetchRounds   int64 `json:"fetch_rounds,omitempty"`
+	DiffsFetched  int64 `json:"diffs_fetched,omitempty"`
+	BytesRetained int64 `json:"bytes_retained,omitempty"`
+}
+
+// Add accumulates o into s.
+func (s *CountersSnapshot) Add(o CountersSnapshot) {
+	s.Faults += o.Faults
+	s.PageFetches += o.PageFetches
+	s.TwinsCreated += o.TwinsCreated
+	s.DiffsCreated += o.DiffsCreated
+	s.DiffBytesSent += o.DiffBytesSent
+	s.DiffsApplied += o.DiffsApplied
+	s.LockAcquires += o.LockAcquires
+	s.Barriers += o.Barriers
+	s.Intervals += o.Intervals
+	s.EarlyCloses += o.EarlyCloses
+	s.LogAppends += o.LogAppends
+	s.FetchRounds += o.FetchRounds
+	s.DiffsFetched += o.DiffsFetched
+	s.BytesRetained += o.BytesRetained
+}

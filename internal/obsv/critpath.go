@@ -1,0 +1,212 @@
+package obsv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdsm/internal/simtime"
+)
+
+// PathReport attributes the end-to-end virtual runtime to overhead
+// categories by walking the critical path backward from the slowest
+// node's final clock. The per-category durations partition [0, Total]
+// exactly: every step of the walk attributes one interval and continues
+// from that interval's left edge.
+type PathReport struct {
+	Total     simtime.Time              // end-to-end virtual runtime
+	Dur       [NumCats]simtime.Duration // per-category attribution
+	Hops      int                       // walk steps taken
+	Truncated bool                      // hop guard tripped (never in practice)
+}
+
+// Sum returns the total attributed duration (equals Total by
+// construction unless the walk was truncated).
+func (r *PathReport) Sum() simtime.Duration {
+	var s simtime.Duration
+	for _, d := range r.Dur {
+		s += d
+	}
+	return s
+}
+
+// Share returns category c's fraction of the total runtime.
+func (r *PathReport) Share(c Cat) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Dur[c]) / float64(r.Total)
+}
+
+// svcRef tracks one service span during the walk; spans are consumed so
+// a degenerate self-edge cannot revisit the same span forever.
+type svcRef struct {
+	ev   Event
+	used bool
+}
+
+// CriticalPath walks the Lamport send/receive edges backward from the
+// slowest node's final clock (times[i] is node i's end-of-run clock).
+//
+// The walk is sound because only the application goroutine advances a
+// node's clock, so one node's FlagSeg events are non-overlapping and
+// tile its timeline. Standing at (node, t) the walk takes the segment
+// ending at t: a local segment attributes its duration to its category
+// and continues at its start; a receive segment attributes the wire
+// portion to coherence and jumps to the sender at the send stamp, where
+// the service span ending at that stamp (the handler that produced the
+// reply) is consumed and followed through its own request edge back to
+// an application timeline. Gaps between segments go to CatOther.
+//
+// Crash runs reset the victim's clock, so their timelines are not
+// monotone; CriticalPath detects this and returns an error.
+func (c *Collector) CriticalPath(times []simtime.Time) (*PathReport, error) {
+	if c == nil {
+		return nil, errors.New("obsv: no collector (tracing disabled)")
+	}
+	n := c.Nodes()
+	if len(times) != n {
+		return nil, fmt.Errorf("obsv: %d node times for %d tracers", len(times), n)
+	}
+	apps := make([][]Event, n)
+	cursors := make([]int, n)
+	svc := make([]map[simtime.Time][]*svcRef, n)
+	for i := 0; i < n; i++ {
+		svc[i] = map[simtime.Time][]*svcRef{}
+		for _, ev := range c.Tracer(i).Events() {
+			switch {
+			case ev.Flags&FlagSeg != 0:
+				apps[i] = append(apps[i], ev)
+			case ev.Flags&FlagSvc != 0:
+				svc[i][ev.T1] = append(svc[i][ev.T1], &svcRef{ev: ev})
+			}
+		}
+		segs := apps[i]
+		sort.SliceStable(segs, func(a, b int) bool {
+			if segs[a].T1 != segs[b].T1 {
+				return segs[a].T1 < segs[b].T1
+			}
+			return segs[a].T0 < segs[b].T0
+		})
+		for j := 1; j < len(segs); j++ {
+			if segs[j].T0 < segs[j-1].T1 {
+				return nil, fmt.Errorf("obsv: node %d app timeline overlaps at %v (crash run?)", i, segs[j].T0)
+			}
+		}
+		cursors[i] = len(segs) - 1
+	}
+
+	// peek returns the latest app segment of node ending at or before t,
+	// discarding segments that end after t (their windows were already
+	// covered while walking other nodes).
+	peek := func(node int, t simtime.Time) *Event {
+		for cursors[node] >= 0 && apps[node][cursors[node]].T1 > t {
+			cursors[node]--
+		}
+		if cursors[node] < 0 {
+			return nil
+		}
+		return &apps[node][cursors[node]]
+	}
+	// takeSvc consumes the service span of node ending exactly at t,
+	// preferring the one whose request came from pref (the node the walk
+	// jumped here from).
+	takeSvc := func(node int, t simtime.Time, pref int) *Event {
+		var pick *svcRef
+		for _, e := range svc[node][t] {
+			if !e.used && e.ev.From == int32(pref) {
+				pick = e
+				break
+			}
+		}
+		if pick == nil {
+			for _, e := range svc[node][t] {
+				if !e.used {
+					pick = e
+					break
+				}
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		pick.used = true
+		return &pick.ev
+	}
+
+	node := 0
+	for i := 1; i < n; i++ {
+		if times[i] > times[node] {
+			node = i
+		}
+	}
+	t := times[node]
+	rep := &PathReport{Total: t}
+	maxHops := 4*c.EventCount() + 16
+	fromJump := false
+	jumpFrom := -1
+	for t > 0 {
+		rep.Hops++
+		if rep.Hops > maxHops {
+			rep.Truncated = true
+			rep.Dur[CatOther] += simtime.Duration(t)
+			break
+		}
+		if fromJump {
+			fromJump = false
+			if sp := takeSvc(node, t, jumpFrom); sp != nil {
+				t0 := sp.T0
+				if t0 > t {
+					t0 = t
+				}
+				rep.Dur[sp.Cat] += simtime.Duration(t - t0)
+				s := sp.SentAt
+				if s > t0 {
+					s = t0
+				}
+				rep.Dur[CatCoherence] += simtime.Duration(t0 - s)
+				if sp.From >= 0 && s > 0 {
+					jumpFrom = node
+					node = int(sp.From)
+					t = s
+					fromJump = true
+					continue
+				}
+				t = s
+				continue
+			}
+			// No handler span at this stamp (shouldn't happen on live
+			// paths); fall through to the node's app timeline.
+		}
+		seg := peek(node, t)
+		if seg == nil {
+			rep.Dur[CatOther] += simtime.Duration(t)
+			break
+		}
+		if seg.T1 < t {
+			rep.Dur[CatOther] += simtime.Duration(t - seg.T1)
+			t = seg.T1
+		}
+		cursors[node]--
+		if seg.Kind == EvRecv && seg.From >= 0 {
+			s := seg.SentAt
+			ws := s
+			if ws < seg.T0 {
+				ws = seg.T0
+			}
+			rep.Dur[seg.Cat] += simtime.Duration(t - ws)
+			if s > seg.T0 && s <= t {
+				jumpFrom = node
+				node = int(seg.From)
+				t = s
+				fromJump = true
+				continue
+			}
+			t = seg.T0
+			continue
+		}
+		rep.Dur[seg.Cat] += simtime.Duration(t - seg.T0)
+		t = seg.T0
+	}
+	return rep, nil
+}

@@ -30,6 +30,7 @@ import (
 
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/stable"
 	"sdsm/internal/transport"
@@ -371,7 +372,8 @@ func (r *Replayer) Validate(nd *hlrc.Node, page memory.PageID) bool {
 			panic(fmt.Sprintf("recovery: ML replay diverged: no logged copy of page %d at op %d", page, op))
 		}
 		n := r.store.NoteRead(stable.HeaderSize + 4 + len(data))
-		nd.Clock().Advance(r.model.DiskTime(n))
+		t0, t1 := nd.Clock().AdvanceSpan(r.model.DiskTime(n))
+		nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, int64(page), int64(n))
 		nd.InstallPage(page, data)
 		return true
 	case CCLRecovery:
@@ -421,7 +423,8 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 			cost -= r.model.DiskSeek
 		}
 		r.seeked = true
-		nd.Clock().Advance(cost)
+		t0, t1 := nd.Clock().AdvanceSpan(cost)
+		nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, int64(op), int64(batch))
 	}
 
 	var notices []hlrc.Notice
@@ -520,6 +523,7 @@ func (r *Replayer) fetchEvents(nd *hlrc.Node, events []hlrc.UpdateEvent) {
 		return
 	}
 	ep := nd.Endpoint()
+	start := nd.Clock().Now()
 	type call struct {
 		ev      hlrc.UpdateEvent
 		pending *transport.Pending
@@ -548,12 +552,16 @@ func (r *Replayer) fetchEvents(nd *hlrc.Node, events []hlrc.UpdateEvent) {
 	// The writers' disk reads are on the recovery critical path, but the
 	// writers' disks work in parallel: charge the slowest one.
 	var worst simtime.Duration
+	worstBytes := 0
 	for _, bytes := range diskByWriter {
 		if d := r.model.DiskTime(bytes); d > worst {
 			worst = d
+			worstBytes = bytes
 		}
 	}
-	nd.Clock().Advance(worst)
+	t0, t1 := nd.Clock().AdvanceSpan(worst)
+	nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, -1, int64(worstBytes))
+	nd.Tracer().Span(obsv.EvPrefetch, start, nd.Clock().Now(), int64(len(calls)), 0)
 }
 
 // fetchPages prefetches remote pages at exactly the replay's current
@@ -563,6 +571,7 @@ func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
 		return
 	}
 	ep := nd.Endpoint()
+	start := nd.Clock().Now()
 	need := nd.VT()
 	pendings := make([]*transport.Pending, 0, len(pages))
 	for _, p := range pages {
@@ -574,6 +583,7 @@ func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
 		resp := m.Payload.(*hlrc.RecPageReply)
 		nd.InstallPage(pages[i], resp.Data)
 	}
+	nd.Tracer().Span(obsv.EvPrefetch, start, nd.Clock().Now(), int64(len(pages)), 0)
 }
 
 // --- torn-tail (sender-log) replay -------------------------------------
@@ -768,10 +778,13 @@ func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) {
 		nd.ApplyDiffAsHome(f.diff, f.writer, f.seq)
 	}
 	var worst simtime.Duration
+	worstBytes := 0
 	for _, bytes := range diskByWriter {
 		if d := r.model.DiskTime(bytes); d > worst {
 			worst = d
+			worstBytes = bytes
 		}
 	}
-	nd.Clock().Advance(worst)
+	t0, t1 := nd.Clock().AdvanceSpan(worst)
+	nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, -1, int64(worstBytes))
 }

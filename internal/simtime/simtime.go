@@ -58,6 +58,19 @@ func (c *Clock) Advance(d Duration) Time {
 	return c.now
 }
 
+// AdvanceSpan is Advance returning the (before, after) pair under one
+// lock acquisition — the instrumentation-friendly form used to record a
+// trace segment for the charge just applied.
+func (c *Clock) AdvanceSpan(d Duration) (Time, Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t0 := c.now
+	if d > 0 {
+		c.now += Time(d)
+	}
+	return t0, c.now
+}
+
 // MergePlus applies the Lamport receive rule: the clock becomes
 // max(now, t+d). It returns the new time.
 func (c *Clock) MergePlus(t Time, d Duration) Time {
@@ -67,6 +80,18 @@ func (c *Clock) MergePlus(t Time, d Duration) Time {
 		c.now = nt
 	}
 	return c.now
+}
+
+// MergePlusSpan is MergePlus returning the (before, after) pair under
+// one lock acquisition, for recording the wait as a trace segment.
+func (c *Clock) MergePlusSpan(t Time, d Duration) (Time, Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t0 := c.now
+	if nt := t + Time(d); nt > c.now {
+		c.now = nt
+	}
+	return t0, c.now
 }
 
 // AdvanceTo moves the clock to t if t is later than now, and returns the

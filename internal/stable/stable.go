@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+
+	"sdsm/internal/obsv"
 )
 
 // RecordKind tags the protocol meaning of a log record. Values are
@@ -74,6 +76,16 @@ type Store struct {
 	reads       int64
 	readBytes   int64
 	checkpoints []Checkpoint
+	flushHist   *obsv.Hist // per-flush byte sizes; nil when metrics are off
+}
+
+// ObserveFlushes registers h to receive the byte size of every
+// subsequent log flush (the obsv registry's flush-size histogram). A nil
+// h disables the observation.
+func (s *Store) ObserveFlushes(h *obsv.Hist) {
+	s.mu.Lock()
+	s.flushHist = h
+	s.mu.Unlock()
 }
 
 // NewStore returns an empty store.
@@ -98,6 +110,7 @@ func (s *Store) Flush(recs []Record) int {
 	}
 	s.logBytes += int64(n)
 	s.flushes++
+	s.flushHist.Observe(int64(n))
 	return n
 }
 

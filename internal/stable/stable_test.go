@@ -85,8 +85,8 @@ func TestDepot(t *testing.T) {
 	if d.Nodes() != 3 {
 		t.Fatal("Nodes")
 	}
-	d.Store(0).Flush([]Record{{Data: make([]byte, 100 - HeaderSize)}}) // 100 bytes
-	d.Store(2).Flush([]Record{{Data: make([]byte, 50 - HeaderSize)}})  // 50 bytes
+	d.Store(0).Flush([]Record{{Data: make([]byte, 100-HeaderSize)}}) // 100 bytes
+	d.Store(2).Flush([]Record{{Data: make([]byte, 50-HeaderSize)}})  // 50 bytes
 	d.Store(2).Flush(nil)
 	if d.TotalLoggedBytes() != 150 {
 		t.Fatalf("total bytes = %d", d.TotalLoggedBytes())

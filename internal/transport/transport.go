@@ -30,9 +30,11 @@ package transport
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"sdsm/internal/fault"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 )
 
@@ -78,6 +80,17 @@ type Network struct {
 
 	msgCount  atomic.Int64
 	byteCount atomic.Int64
+	kindMsgs  [256]atomic.Int64 // per-kind copies on the wire
+	kindBytes [256]atomic.Int64 // per-kind bytes on the wire
+
+	// Arrival-fence state (see Endpoint.FenceArrivalsBefore): the nodes'
+	// virtual clocks as registered by NewEndpoint, per-inbox delivery and
+	// handling counters, and a per-node flag marking an application
+	// goroutine blocked inside a synchronization reply wait.
+	clocks    []atomic.Pointer[simtime.Clock]
+	delivered []atomic.Int64 // messages enqueued into each inbox
+	handled   []atomic.Int64 // inbox messages the service loop finished
+	syncWait  []atomic.Bool
 }
 
 // DefaultInboxCap is the per-node inbox buffer. It is sized far above any
@@ -93,9 +106,13 @@ func NewNetwork(n int, model simtime.CostModel) *Network {
 	}
 	nw := &Network{
 		n: n, model: model,
-		inboxes: make([]chan Message, n),
-		linkSeq: make([]atomic.Int64, n*n),
-		reqSeq:  make([]atomic.Int64, n*n),
+		inboxes:   make([]chan Message, n),
+		linkSeq:   make([]atomic.Int64, n*n),
+		reqSeq:    make([]atomic.Int64, n*n),
+		clocks:    make([]atomic.Pointer[simtime.Clock], n),
+		delivered: make([]atomic.Int64, n),
+		handled:   make([]atomic.Int64, n),
+		syncWait:  make([]atomic.Bool, n),
 	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = make(chan Message, DefaultInboxCap)
@@ -128,6 +145,25 @@ func (nw *Network) MsgCount() int64 { return nw.msgCount.Load() }
 // ByteCount returns the total bytes put on the wire so far.
 func (nw *Network) ByteCount() int64 { return nw.byteCount.Load() }
 
+// KindCounts returns the wire traffic per message kind (kinds with no
+// traffic are omitted), sorted by kind byte.
+func (nw *Network) KindCounts() []obsv.KindCount {
+	var out []obsv.KindCount
+	for k := range nw.kindMsgs {
+		msgs := nw.kindMsgs[k].Load()
+		if msgs == 0 {
+			continue
+		}
+		out = append(out, obsv.KindCount{
+			Kind:  uint8(k),
+			Name:  obsv.KindName(uint8(k)),
+			Msgs:  msgs,
+			Bytes: nw.kindBytes[k].Load(),
+		})
+	}
+	return out
+}
+
 // nextSeq issues the next wire sequence number for the link from→to.
 // Link counters survive node crashes, so sequence numbers stay monotone
 // across incarnations.
@@ -137,18 +173,21 @@ func (nw *Network) nextSeq(from, to int) int64 { return nw.linkSeq[from*nw.n+to]
 func (nw *Network) nextReqID(from, to int) int64 { return nw.reqSeq[from*nw.n+to].Add(1) }
 
 // countWire accounts one copy put on the wire (delivered or not).
-func (nw *Network) countWire(size int) {
+func (nw *Network) countWire(kind Kind, size int) {
 	nw.msgCount.Add(1)
 	nw.byteCount.Add(int64(size))
+	nw.kindMsgs[kind].Add(1)
+	nw.kindBytes[kind].Add(int64(size))
 }
 
 func (nw *Network) deliver(m Message) {
 	if m.To < 0 || m.To >= nw.n {
 		panic(fmt.Sprintf("transport: send to invalid node %d", m.To))
 	}
-	nw.countWire(m.Size)
+	nw.countWire(m.Kind, m.Size)
 	select {
 	case nw.inboxes[m.To] <- m:
+		nw.delivered[m.To].Add(1)
 	default:
 		// A full inbox means a service loop is stuck (or the run leaks
 		// messages); blocking here would freeze the sender with no
@@ -166,6 +205,7 @@ type Endpoint struct {
 	id    int
 	nw    *Network
 	clock *simtime.Clock
+	trc   *obsv.Tracer // nil when tracing is disabled
 
 	// seen holds the highest wire sequence number received per sender,
 	// for duplicate suppression. Only the node's service goroutine
@@ -178,8 +218,14 @@ func (nw *Network) NewEndpoint(id int, clock *simtime.Clock) *Endpoint {
 	if id < 0 || id >= nw.n {
 		panic(fmt.Sprintf("transport: invalid endpoint id %d", id))
 	}
+	nw.clocks[id].Store(clock)
 	return &Endpoint{id: id, nw: nw, clock: clock, seen: make(map[int]int64)}
 }
+
+// SetTracer installs the node's event tracer; waits and retransmission
+// stalls charged to the clock are then recorded as trace segments. A nil
+// tracer disables recording.
+func (e *Endpoint) SetTracer(t *obsv.Tracer) { e.trc = t }
 
 // ID returns the node id of the endpoint.
 func (e *Endpoint) ID() int { return e.id }
@@ -208,6 +254,67 @@ func (e *Endpoint) WireDup(m Message) bool {
 	return false
 }
 
+// MarkHandled records that the service loop finished with one inbox
+// message (including wire-duplicate discards). The counter pairs with the
+// delivery counter to let FenceArrivalsBefore detect a drained inbox; it
+// lives in the network, so it survives a node's crash and reincarnation.
+func (e *Endpoint) MarkHandled() { e.nw.handled[e.id].Add(1) }
+
+// BeginSyncWait marks this node's application goroutine as blocked in a
+// synchronization reply wait (lock grant, barrier release). Peers' arrival
+// fences skip such a node: anything it sends after waking is causally
+// ordered behind the reply that wakes it, hence far past their cutoffs.
+func (e *Endpoint) BeginSyncWait() { e.nw.syncWait[e.id].Store(true) }
+
+// EndSyncWait clears the BeginSyncWait mark.
+func (e *Endpoint) EndSyncWait() { e.nw.syncWait[e.id].Store(false) }
+
+// FenceArrivalsBefore blocks (in real time only — no virtual cost) until
+// every message whose virtual arrival at this node is <= cutoff has been
+// handled by this node's service loop. It makes any state derived from
+// incoming messages a deterministic function of virtual time: CCL's
+// release flush composes its record set from arrivals up to a cutoff, and
+// without the fence the set would depend on goroutine scheduling.
+//
+// Two phases. First, for every peer, spin until its clock is close enough
+// to the cutoff that any *future* send must arrive after it (clocks are
+// monotone and a message needs at least the wire latency), or until the
+// peer is parked in a synchronization reply wait (see BeginSyncWait).
+// Sends happen in program order before the sender's clock advances past
+// them, so once a peer's clock is observed past cutoff minus the minimum
+// transit, all its <=cutoff messages are already in the inbox. Second,
+// spin until the inbox is drained (handled catches up with delivered).
+//
+// Termination: among nodes spinning here concurrently, the one with the
+// smallest clock cannot be waiting on any peer (a spinning peer's clock
+// is at least its own cutoff, and the predicate requires that peer to be
+// more than the wire latency *below* this node's cutoff, which does not
+// exceed this node's own clock) — so it completes, and inductively all
+// do. Blocked non-spinning peers either carry the sync-wait mark or are
+// woken by service loops, which never fence.
+func (e *Endpoint) FenceArrivalsBefore(cutoff simtime.Time) {
+	nw := e.nw
+	minTransit := simtime.Time(nw.model.NetLatency)
+	for i := 0; i < nw.n; i++ {
+		if i == e.id {
+			continue
+		}
+		for {
+			if nw.syncWait[i].Load() {
+				break
+			}
+			c := nw.clocks[i].Load()
+			if c == nil || c.Now()+minTransit > cutoff {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	for nw.handled[e.id].Load() < nw.delivered[e.id].Load() {
+		runtime.Gosched()
+	}
+}
+
 // Send delivers a one-way message. Under a fault plan, lost copies are
 // retransmitted in the background (sender-based ARQ): the surviving copy
 // arrives with the accumulated retransmission timeouts as extra delay,
@@ -229,7 +336,7 @@ func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
 	for attempt := 1; ; attempt++ {
 		seq := nw.nextSeq(e.id, to)
 		if f.DropCopy(e.id, to, seq) {
-			nw.countWire(size)
+			nw.countWire(kind, size)
 			if attempt >= f.Attempts() {
 				panic(fmt.Sprintf(
 					"transport: node %d: one-way kind %d to node %d lost %d times — peer unreachable",
@@ -305,7 +412,7 @@ func (e *Endpoint) attemptSend(p *Pending) {
 		return
 	}
 	if f.DropCopy(e.id, p.to, m.Seq) {
-		nw.countWire(m.Size)
+		nw.countWire(m.Kind, m.Size)
 		p.live = false
 		return
 	}
@@ -324,7 +431,8 @@ func (e *Endpoint) attemptSend(p *Pending) {
 func (p *Pending) await(clock *simtime.Clock) Message {
 	for !p.live {
 		f := p.ep.nw.faults
-		clock.MergePlus(p.sentAt, f.RTO(p.attempt))
+		t0, t1 := clock.MergePlusSpan(p.sentAt, f.RTO(p.attempt))
+		p.ep.trc.Seg(obsv.EvArqRetry, obsv.CatRetry, t0, t1, int64(p.kind), int64(p.attempt))
 		if p.attempt >= f.Attempts() {
 			panic(fmt.Sprintf(
 				"transport: node %d: no reply from node %d for kind %d after %d attempts — peer unreachable",
@@ -344,11 +452,13 @@ func (p *Pending) await(clock *simtime.Clock) Message {
 // requests or replies cost the retransmission timeouts on top.
 func (p *Pending) Wait(clock *simtime.Clock) Message {
 	m := p.await(clock)
+	var t0, t1 simtime.Time
 	if p.local {
-		clock.AdvanceTo(m.SentAt)
+		t0, t1 = clock.MergePlusSpan(m.SentAt, 0)
 	} else {
-		clock.MergePlus(m.SentAt, p.model.MsgTime(m.Size)+m.extraDelay)
+		t0, t1 = clock.MergePlusSpan(m.SentAt, p.model.MsgTime(m.Size)+m.extraDelay)
 	}
+	p.ep.trc.Recv(t0, t1, m.From, m.SentAt, uint8(m.Kind), m.Size)
 	return m
 }
 
@@ -360,11 +470,13 @@ func (p *Pending) Wait(clock *simtime.Clock) Message {
 // round-trip is the faithful cost.
 func (p *Pending) WaitDetached(clock *simtime.Clock) Message {
 	m := p.await(clock)
+	var t0, t1 simtime.Time
 	if p.local {
-		clock.MergePlus(p.sentAt, 2*p.model.MsgHandling)
+		t0, t1 = clock.MergePlusSpan(p.sentAt, 2*p.model.MsgHandling)
 	} else {
-		clock.MergePlus(p.sentAt, p.model.RoundTrip(p.reqSize, m.Size)+m.extraDelay)
+		t0, t1 = clock.MergePlusSpan(p.sentAt, p.model.RoundTrip(p.reqSize, m.Size)+m.extraDelay)
 	}
+	p.ep.trc.RecvDetached(t0, t1, m.From, m.SentAt, uint8(m.Kind), m.Size)
 	return m
 }
 
@@ -432,6 +544,6 @@ func (e *Endpoint) ReplyAt(at simtime.Time, m Message, kind Kind, size int, payl
 		}
 		r.extraDelay = e.nw.faults.DelayReply(e.id, m.From, m.Seq)
 	}
-	e.nw.countWire(size)
+	e.nw.countWire(kind, size)
 	m.reply <- r
 }

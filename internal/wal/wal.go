@@ -23,6 +23,8 @@ import (
 
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
+	"sdsm/internal/simtime"
 	"sdsm/internal/stable"
 )
 
@@ -71,9 +73,10 @@ const (
 )
 
 // New returns the LogHooks implementation for protocol p writing to
-// store. ProtocolNone returns hlrc.NopHooks.
-func New(p Protocol, store *stable.Store) hlrc.LogHooks {
-	return build(p, store, false)
+// store. ProtocolNone returns hlrc.NopHooks. ctrs (optional) receives a
+// LogAppends bump for every record staged into the protocol's log.
+func New(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogHooks {
+	return build(p, store, ctrs, false)
 }
 
 // NewHardened returns the protocol's hooks with the additions torn-tail
@@ -82,20 +85,28 @@ func New(p Protocol, store *stable.Store) hlrc.LogHooks {
 // (writer -1, like CCL's own-diff records), so that a peer whose torn disk
 // log lost the tail of its incoming-diff records can re-fetch the updates
 // to its home pages from the writers' logs.
-func NewHardened(p Protocol, store *stable.Store) hlrc.LogHooks {
-	return build(p, store, true)
+func NewHardened(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogHooks {
+	return build(p, store, ctrs, true)
 }
 
-func build(p Protocol, store *stable.Store, hardened bool) hlrc.LogHooks {
+func build(p Protocol, store *stable.Store, ctrs *obsv.Counters, hardened bool) hlrc.LogHooks {
 	switch p {
 	case ProtocolNone:
 		return hlrc.NopHooks{}
 	case ProtocolML:
-		return &MLHooks{store: store, logOwnDiffs: hardened}
+		return &MLHooks{store: store, ctrs: ctrs, logOwnDiffs: hardened}
 	case ProtocolCCL:
-		return &CCLHooks{store: store}
+		return &CCLHooks{store: store, ctrs: ctrs}
 	default:
 		panic(fmt.Sprintf("wal: unknown protocol %d", int(p)))
+	}
+}
+
+// countAppends bumps the shared LogAppends counter, tolerating a nil
+// counter set (runs that do not collect metrics).
+func countAppends(ctrs *obsv.Counters, n int) {
+	if ctrs != nil && n > 0 {
+		ctrs.LogAppends.Add(int64(n))
 	}
 }
 
@@ -181,13 +192,30 @@ func DecodePageRecord(buf []byte) (memory.PageID, []byte, error) {
 
 // --- CCL ------------------------------------------------------------------
 
+// ownRec marks a staged record produced on the node's own application
+// goroutine (acquire notices): it belongs to the very next release flush
+// regardless of the arrival cutoff.
+const ownRec = simtime.Time(-1)
+
+// stagedRec is one record waiting for a release flush, stamped with the
+// virtual arrival of the message that produced it (ownRec for records the
+// application goroutine itself staged).
+type stagedRec struct {
+	rec     stable.Record
+	arrival simtime.Time
+}
+
 // CCLHooks implements coherence-centric logging. Staged state accumulates
 // between releases; AtRelease turns it into one flush overlapped with the
-// coherence traffic.
+// coherence traffic. Handler-staged records carry their message's virtual
+// arrival, and each flush takes exactly those that arrived by the release
+// cutoff — so the flush composition (and its disk time) is a function of
+// virtual time, not of which goroutine ran first.
 type CCLHooks struct {
 	mu     sync.Mutex
 	store  *stable.Store
-	staged []stable.Record
+	ctrs   *obsv.Counters
+	staged []stagedRec
 }
 
 // OnAcquireNotices stages the received write-invalidation notices for the
@@ -197,10 +225,12 @@ func (h *CCLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 		return
 	}
 	h.mu.Lock()
-	h.staged = append(h.staged, stable.Record{
-		Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil),
+	h.staged = append(h.staged, stagedRec{
+		rec:     stable.Record{Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil)},
+		arrival: ownRec,
 	})
 	h.mu.Unlock()
+	countAppends(h.ctrs, 1)
 }
 
 // OnPageFetched logs nothing: "CCL does not keep a received copy of a
@@ -210,25 +240,38 @@ func (h *CCLHooks) OnPageFetched(int32, memory.PageID, []byte) {}
 
 // OnIncomingDiffs stages only the content-free event records; the diff
 // contents are discarded with the message (the writer logged them).
-func (h *CCLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, _ []memory.Diff) {
+func (h *CCLHooks) OnIncomingDiffs(op int32, arrival simtime.Time, events []hlrc.UpdateEvent, _ []memory.Diff) {
 	if len(events) == 0 {
 		return
 	}
 	h.mu.Lock()
-	h.staged = append(h.staged, stable.Record{
-		Kind: RecEvents, Op: op, Data: EncodeEventsRecord(events),
+	h.staged = append(h.staged, stagedRec{
+		rec:     stable.Record{Kind: RecEvents, Op: op, Data: EncodeEventsRecord(events)},
+		arrival: arrival,
 	})
 	h.mu.Unlock()
+	countAppends(h.ctrs, 1)
 }
 
 // AtSyncEntry flushes nothing: CCL's only flush point is the release.
 func (h *CCLHooks) AtSyncEntry(int32) int { return 0 }
 
-// AtRelease flushes the staged records plus this interval's own diffs.
-func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int {
+// AtRelease flushes the staged records that arrived by the cutoff plus
+// this interval's own diffs. Later-staged records stay for the next flush:
+// their messages raced past the previous synchronization point, so no
+// deterministic rule could put them in this one.
+func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Time, created []memory.Diff) int {
 	h.mu.Lock()
-	recs := h.staged
-	h.staged = nil
+	var recs []stable.Record
+	kept := h.staged[:0]
+	for _, s := range h.staged {
+		if s.arrival == ownRec || s.arrival <= cutoff {
+			recs = append(recs, s.rec)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	h.staged = kept
 	h.mu.Unlock()
 	for _, d := range created {
 		recs = append(recs, stable.Record{
@@ -236,11 +279,16 @@ func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.
 			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
 		})
 	}
+	countAppends(h.ctrs, len(created))
 	if len(recs) == 0 {
 		return 0
 	}
 	return h.store.Flush(recs)
 }
+
+// DeterministicFlush implements LogHooks: the engine must fence arrivals
+// up to the cutoff before AtRelease composes the flush.
+func (h *CCLHooks) DeterministicFlush() bool { return true }
 
 // --- ML ---------------------------------------------------------------------
 
@@ -250,6 +298,7 @@ func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.
 type MLHooks struct {
 	mu       sync.Mutex
 	store    *stable.Store
+	ctrs     *obsv.Counters
 	volatile []stable.Record
 	// logOwnDiffs (hardened mode) additionally logs the diffs this node
 	// creates, flushed at the release, so live nodes can serve a torn-tail
@@ -268,6 +317,7 @@ func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 		Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil),
 	})
 	h.mu.Unlock()
+	countAppends(h.ctrs, 1)
 }
 
 // OnPageFetched logs the full content of the fetched page — the dominant
@@ -278,10 +328,11 @@ func (h *MLHooks) OnPageFetched(op int32, page memory.PageID, data []byte) {
 		Kind: RecPage, Op: op, Data: EncodePageRecord(page, data),
 	})
 	h.mu.Unlock()
+	countAppends(h.ctrs, 1)
 }
 
 // OnIncomingDiffs logs the received DiffUpdate contents.
-func (h *MLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, diffs []memory.Diff) {
+func (h *MLHooks) OnIncomingDiffs(op int32, _ simtime.Time, events []hlrc.UpdateEvent, diffs []memory.Diff) {
 	h.mu.Lock()
 	for i, d := range diffs {
 		h.volatile = append(h.volatile, stable.Record{
@@ -290,6 +341,7 @@ func (h *MLHooks) OnIncomingDiffs(op int32, events []hlrc.UpdateEvent, diffs []m
 		})
 	}
 	h.mu.Unlock()
+	countAppends(h.ctrs, len(diffs))
 }
 
 // AtSyncEntry flushes the volatile log on the critical path.
@@ -307,7 +359,7 @@ func (h *MLHooks) AtSyncEntry(int32) int {
 // AtRelease flushes nothing extra under plain ML (it already flushed at
 // the entry of this synchronization operation). Hardened ML flushes the
 // interval's own diffs here, before they are sent to the homes.
-func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.Diff) int {
+func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, _ simtime.Time, created []memory.Diff) int {
 	if !h.logOwnDiffs || len(created) == 0 {
 		return 0
 	}
@@ -318,5 +370,12 @@ func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, created []memory.D
 			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
 		})
 	}
+	countAppends(h.ctrs, len(recs))
 	return h.store.Flush(recs)
 }
+
+// DeterministicFlush implements LogHooks: ML flushes everything staged at
+// every synchronization entry, so there is no composition to pin down —
+// and its recovery replay depends on flush-at-entry record availability,
+// which an arrival filter would change.
+func (h *MLHooks) DeterministicFlush() bool { return false }

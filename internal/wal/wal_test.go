@@ -6,6 +6,7 @@ import (
 
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
+	"sdsm/internal/simtime"
 	"sdsm/internal/stable"
 )
 
@@ -27,13 +28,13 @@ func TestProtocolString(t *testing.T) {
 
 func TestNewFactory(t *testing.T) {
 	s := stable.NewStore()
-	if _, ok := New(ProtocolNone, s).(hlrc.NopHooks); !ok {
+	if _, ok := New(ProtocolNone, s, nil).(hlrc.NopHooks); !ok {
 		t.Fatal("None must be NopHooks")
 	}
-	if _, ok := New(ProtocolML, s).(*MLHooks); !ok {
+	if _, ok := New(ProtocolML, s, nil).(*MLHooks); !ok {
 		t.Fatal("ML factory")
 	}
-	if _, ok := New(ProtocolCCL, s).(*CCLHooks); !ok {
+	if _, ok := New(ProtocolCCL, s, nil).(*CCLHooks); !ok {
 		t.Fatal("CCL factory")
 	}
 	defer func() {
@@ -41,7 +42,7 @@ func TestNewFactory(t *testing.T) {
 			t.Fatal("unknown protocol must panic")
 		}
 	}()
-	New(Protocol(42), s)
+	New(Protocol(42), s, nil)
 }
 
 func TestDiffRecordRoundTrip(t *testing.T) {
@@ -101,9 +102,9 @@ func TestPageRecordRoundTrip(t *testing.T) {
 
 func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
 	s := stable.NewStore()
-	h := New(ProtocolCCL, s)
+	h := New(ProtocolCCL, s, nil)
 	h.OnAcquireNotices(1, []hlrc.Notice{{Proc: 0, Seq: 1, Pages: []memory.PageID{2}}})
-	h.OnIncomingDiffs(1, []hlrc.UpdateEvent{{Page: 2, Writer: 0, Seq: 1}}, []memory.Diff{mkDiff(2, 5)})
+	h.OnIncomingDiffs(1, 10, []hlrc.UpdateEvent{{Page: 2, Writer: 0, Seq: 1}}, []memory.Diff{mkDiff(2, 5)})
 	h.OnPageFetched(1, 3, make([]byte, 64)) // must be ignored
 	if s.Stats().Flushes != 0 {
 		t.Fatal("CCL flushed before release")
@@ -111,7 +112,7 @@ func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
 	if h.AtSyncEntry(2) != 0 {
 		t.Fatal("CCL must not flush at sync entry")
 	}
-	n := h.AtRelease(2, 1, 1, []memory.Diff{mkDiff(4, 9)})
+	n := h.AtRelease(2, 1, 1, 100, []memory.Diff{mkDiff(4, 9)})
 	if n == 0 {
 		t.Fatal("release flush wrote nothing")
 	}
@@ -126,19 +127,49 @@ func TestCCLStagesAndFlushesAtRelease(t *testing.T) {
 		}
 	}
 	// A release with nothing staged flushes nothing.
-	if h.AtRelease(3, 0, 1, nil) != 0 || s.Stats().Flushes != 1 {
+	if h.AtRelease(3, 0, 1, 100, nil) != 0 || s.Stats().Flushes != 1 {
 		t.Fatal("empty release must not flush")
+	}
+}
+
+// A handler-staged record that arrived after the release cutoff must be
+// deferred to the next flush whose cutoff covers it; own-goroutine records
+// (acquire notices) always ride the next flush. This is the deterministic
+// composition rule behind byte-identical traces.
+func TestCCLReleaseCutoffDefersLateArrivals(t *testing.T) {
+	s := stable.NewStore()
+	h := New(ProtocolCCL, s, nil).(*CCLHooks)
+	if !h.DeterministicFlush() {
+		t.Fatal("CCL must request arrival fencing")
+	}
+	if New(ProtocolML, s, nil).DeterministicFlush() || New(ProtocolNone, s, nil).DeterministicFlush() {
+		t.Fatal("only CCL composes deterministically")
+	}
+	h.OnIncomingDiffs(1, 50, []hlrc.UpdateEvent{{Page: 2, Writer: 0, Seq: 1}}, nil)
+	h.OnIncomingDiffs(1, 200, []hlrc.UpdateEvent{{Page: 3, Writer: 1, Seq: 1}}, nil)
+	h.OnAcquireNotices(1, []hlrc.Notice{{Proc: 0, Seq: 1, Pages: []memory.PageID{2}}})
+	if h.AtRelease(1, 0, 1, 100, nil) == 0 {
+		t.Fatal("first flush wrote nothing")
+	}
+	if st := s.Stats(); st.Flushes != 1 || st.Records != 2 {
+		t.Fatalf("stats = %+v (want the <=cutoff event record and the notices only)", st)
+	}
+	if h.AtRelease(2, 0, 1, 250, nil) == 0 {
+		t.Fatal("deferred record never flushed")
+	}
+	if st := s.Stats(); st.Flushes != 2 || st.Records != 3 {
+		t.Fatalf("stats = %+v (want the deferred event record in flush 2)", st)
 	}
 }
 
 func TestMLFlushesAtSyncEntry(t *testing.T) {
 	s := stable.NewStore()
-	h := New(ProtocolML, s)
+	h := New(ProtocolML, s, nil)
 	page := make([]byte, 64)
 	h.OnPageFetched(0, 3, page)
 	h.OnAcquireNotices(0, []hlrc.Notice{{Proc: 1, Seq: 1, Pages: []memory.PageID{3}}})
-	h.OnIncomingDiffs(0, []hlrc.UpdateEvent{{Page: 0, Writer: 1, Seq: 1}}, []memory.Diff{mkDiff(0, 1)})
-	if h.AtRelease(1, 1, 1, []memory.Diff{mkDiff(4, 9)}) != 0 {
+	h.OnIncomingDiffs(0, 5, []hlrc.UpdateEvent{{Page: 0, Writer: 1, Seq: 1}}, []memory.Diff{mkDiff(0, 1)})
+	if h.AtRelease(1, 1, 1, 0, []memory.Diff{mkDiff(4, 9)}) != 0 {
 		t.Fatal("ML must not flush at release")
 	}
 	n := h.AtSyncEntry(1)
@@ -162,8 +193,8 @@ func TestMLFlushesAtSyncEntry(t *testing.T) {
 func TestCCLLogMuchSmallerThanML(t *testing.T) {
 	const pageSize = 4096
 	mlStore, cclStore := stable.NewStore(), stable.NewStore()
-	ml := New(ProtocolML, mlStore)
-	ccl := New(ProtocolCCL, cclStore)
+	ml := New(ProtocolML, mlStore, nil)
+	ccl := New(ProtocolCCL, cclStore, nil)
 
 	page := make([]byte, pageSize)
 	for i := range page {
@@ -183,8 +214,8 @@ func TestCCLLogMuchSmallerThanML(t *testing.T) {
 			for p := memory.PageID(0); p < 4; p++ {
 				h.OnPageFetched(op, p, page)
 			}
-			h.OnIncomingDiffs(op, events, inDiffs)
-			h.AtRelease(op, op+1, int64(op+1), own)
+			h.OnIncomingDiffs(op, simtime.Time(op), events, inDiffs)
+			h.AtRelease(op, op+1, int64(op+1), simtime.Time(op), own)
 		}
 	}
 	ml.AtSyncEntry(50) // final ML flush
@@ -203,19 +234,19 @@ func TestConcurrentHookCalls(t *testing.T) {
 	// Service goroutine (OnIncomingDiffs) races the app goroutine
 	// (AtRelease); the hooks must be internally synchronized.
 	s := stable.NewStore()
-	h := New(ProtocolCCL, s)
+	h := New(ProtocolCCL, s, nil)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := int32(0); i < 500; i++ {
-			h.OnIncomingDiffs(i, []hlrc.UpdateEvent{{Page: 1, Writer: 0, Seq: i + 1}}, nil)
+			h.OnIncomingDiffs(i, simtime.Time(i), []hlrc.UpdateEvent{{Page: 1, Writer: 0, Seq: i + 1}}, nil)
 		}
 	}()
 	for i := int32(0); i < 500; i++ {
-		h.AtRelease(i, i+1, int64(i+1), []memory.Diff{mkDiff(2, byte(i))})
+		h.AtRelease(i, i+1, int64(i+1), simtime.Time(i+1), []memory.Diff{mkDiff(2, byte(i))})
 	}
 	<-done
-	h.AtRelease(501, 501, 501, nil)
+	h.AtRelease(501, 501, 501, 1<<40, nil)
 	// All 500 event batches and 500 diffs must be in the log.
 	var events, diffs int
 	for _, r := range s.Records() {
