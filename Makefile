@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench-faults trace-smoke
+.PHONY: all tier1 tier2 bench-faults trace-smoke inspect-volume
 
 all: tier1 tier2
 
@@ -24,8 +24,14 @@ bench-faults:
 	go run ./cmd/sdsmbench -nodes 8 -faults
 
 # End-to-end check of the tracing pipeline: export a Chrome trace from a
-# real run and make sure it is loadable JSON.
+# real run and make sure it is loadable JSON (validated by sdsminspect,
+# so the check needs nothing beyond the Go toolchain).
 trace-smoke:
 	go run ./cmd/sdsmtrace -app 3d-fft -protocol ccl -trace-out /tmp/sdsm-trace-smoke.json -breakdown
-	python3 -m json.tool /tmp/sdsm-trace-smoke.json > /dev/null
+	go run ./cmd/sdsminspect -mode checkjson -in /tmp/sdsm-trace-smoke.json
 	@echo "trace-smoke: OK"
+
+# Reproduce the paper's log-volume comparison from the stable logs of
+# fresh runs (dissected per kind, reconciled against the flush charges).
+inspect-volume:
+	go run ./cmd/sdsminspect -mode volume -nodes 8 -scale small

@@ -1,0 +1,322 @@
+// Command sdsminspect dissects and audits the stable logs the logging
+// protocols write: the introspection side of the paper's log-volume and
+// recovery-time evaluation.
+//
+// Modes:
+//
+//	volume    run each selected app under ML and CCL and print the
+//	          per-kind log-volume comparison (the paper's ML-vs-CCL
+//	          log-size table), with byte totals reconciled exactly
+//	          against the stable layer's own flush accounting
+//	dump      run one app under one protocol and print every log
+//	          record dissected into typed form
+//	audit     run one app (optionally with -crash) and run the
+//	          post-run consistency auditor over the depot
+//	recovery  crash one app and print the recovery-phase breakdown
+//	          (log-read / diff-fetch / page-fetch / tail-sync /
+//	          home-rebuild / catch-up / replay)
+//	print     pretty-print the log-volume tables of a committed
+//	          machine-readable sweep (-in BENCH_PR3.json)
+//	checkjson validate that -in is well-formed JSON (used by the
+//	          Makefile's trace smoke test)
+//
+// Usage:
+//
+//	sdsminspect [-mode volume|dump|audit|recovery|print|checkjson]
+//	            [-app all|3d-fft|mg|shallow|water] [-protocol ml|ccl]
+//	            [-nodes 8] [-scale small|medium|large]
+//	            [-crash] [-victim N] [-node N] [-max N] [-in file.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sdsm/internal/apps"
+	"sdsm/internal/bench"
+	"sdsm/internal/core"
+	"sdsm/internal/logview"
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+type options struct {
+	nodes  int
+	scale  bench.Scale
+	proto  wal.Protocol
+	crash  bool
+	victim int
+	node   int
+	max    int
+}
+
+func main() {
+	mode := flag.String("mode", "volume", "volume|dump|audit|recovery|print|checkjson")
+	appFlag := flag.String("app", "all", "application: all|3d-fft|mg|shallow|water")
+	protoFlag := flag.String("protocol", "ccl", "logging protocol for dump/audit/recovery: ml|ccl")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	scaleFlag := flag.String("scale", "small", "problem scale: small|medium|large")
+	crash := flag.Bool("crash", false, "audit mode: inject a fail-stop crash before auditing")
+	victim := flag.Int("victim", -1, "crash victim (default: last node)")
+	nodeFlag := flag.Int("node", -1, "dump mode: only this node's log")
+	max := flag.Int("max", 0, "dump mode: print at most this many records per node (0 = all)")
+	in := flag.String("in", "", "input file for print/checkjson modes")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var proto wal.Protocol
+	switch strings.ToLower(*protoFlag) {
+	case "ml":
+		proto = wal.ProtocolML
+	case "ccl":
+		proto = wal.ProtocolCCL
+	default:
+		log.Fatalf("unknown -protocol %q (dissection needs a logging protocol)", *protoFlag)
+	}
+	opts := options{nodes: *nodes, scale: scale, proto: proto,
+		crash: *crash, victim: *victim, node: *nodeFlag, max: *max}
+
+	switch *mode {
+	case "volume":
+		err = volumeMode(selectApps(*appFlag, opts), opts)
+	case "dump":
+		err = dumpMode(oneApp(*appFlag, opts), opts)
+	case "audit":
+		err = auditMode(oneApp(*appFlag, opts), opts)
+	case "recovery":
+		err = recoveryMode(oneApp(*appFlag, opts), opts)
+	case "print":
+		err = printMode(*in)
+	case "checkjson":
+		err = checkJSON(*in)
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func selectApps(name string, opts options) []*apps.Workload {
+	all := bench.Workloads(opts.nodes, opts.scale)
+	var ws []*apps.Workload
+	for _, w := range all {
+		if name == "all" || strings.EqualFold(w.Name, name) {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		log.Fatalf("unknown -app %q", name)
+	}
+	return ws
+}
+
+// oneApp picks the single workload the record-level modes run ("all"
+// falls back to the first app).
+func oneApp(name string, opts options) *apps.Workload {
+	return selectApps(name, opts)[0]
+}
+
+// run executes one workload and returns its report; with crash set it
+// injects a fail-stop crash at the workload's canonical crash op.
+func run(w *apps.Workload, proto wal.Protocol, opts options) (*core.Report, error) {
+	cfg := w.BaseConfig(opts.nodes)
+	cfg.Protocol = proto
+	if !opts.crash {
+		cfg.SkipInitialCheckpoint = true
+		rep, err := core.Run(cfg, w.Prog)
+		if err != nil {
+			return nil, err
+		}
+		return rep, w.Check(rep.MemoryImage())
+	}
+	kind := recovery.CCLRecovery
+	if proto == wal.ProtocolML {
+		kind = recovery.MLRecovery
+	}
+	v := opts.victim
+	if v < 0 {
+		v = opts.nodes - 1
+	}
+	rep, err := core.RunWithCrash(cfg, w.Prog, core.CrashPlan{
+		Victim: v, AtOp: w.CrashOp, Recovery: kind,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, w.Check(rep.MemoryImage())
+}
+
+// volumeMode reproduces the paper's log-volume comparison: per app, the
+// dissected per-kind byte accounting under ML and CCL side by side. It
+// fails if any dissection does not reconcile exactly with the stable
+// layer's flush charges, or if CCL's total is not strictly below ML's.
+func volumeMode(ws []*apps.Workload, opts options) error {
+	bad := false
+	for _, w := range ws {
+		vols := make([]*logview.Volume, 0, 2)
+		for _, proto := range []wal.Protocol{wal.ProtocolML, wal.ProtocolCCL} {
+			rep, err := run(w, proto, opts)
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", w.Name, proto, err)
+			}
+			vol, err := logview.DissectDepot(rep.Depot)
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", w.Name, proto, err)
+			}
+			if err := vol.Reconcile(rep.Depot); err != nil {
+				return fmt.Errorf("%s/%v: %w", w.Name, proto, err)
+			}
+			vols = append(vols, vol)
+		}
+		fmt.Printf("%s on %d nodes (%s):\n", w.Name, opts.nodes, w.DataSet)
+		fmt.Print(logview.FormatVolumeComparison([]string{"ML", "CCL"}, vols))
+		if vols[1].Bytes >= vols[0].Bytes {
+			fmt.Printf("!! CCL total %d bytes is not below ML's %d\n", vols[1].Bytes, vols[0].Bytes)
+			bad = true
+		}
+		fmt.Println()
+	}
+	if bad {
+		return fmt.Errorf("sdsminspect: CCL did not log less than ML on every app")
+	}
+	return nil
+}
+
+func dumpMode(w *apps.Workload, opts options) error {
+	rep, err := run(w, opts.proto, opts)
+	if err != nil {
+		return err
+	}
+	for node := 0; node < rep.Depot.Nodes(); node++ {
+		if opts.node >= 0 && node != opts.node {
+			continue
+		}
+		prefix, dropped := rep.Depot.Store(node).ValidPrefix()
+		fmt.Printf("node %d: %d records (%d torn)\n", node, len(prefix), dropped)
+		for i, r := range prefix {
+			if opts.max > 0 && i >= opts.max {
+				fmt.Printf("  ... %d more\n", len(prefix)-i)
+				break
+			}
+			d, err := wal.DissectRecord(r)
+			if err != nil {
+				return fmt.Errorf("node %d record %d: %w", node, i, err)
+			}
+			fmt.Printf("  %4d  op %-5d %-8s %6dB  %s\n",
+				i, d.Op, wal.KindName(d.Kind), d.Wire, d.Summary())
+		}
+	}
+	return nil
+}
+
+func auditMode(w *apps.Workload, opts options) error {
+	rep, err := run(w, opts.proto, opts)
+	if err != nil {
+		return err
+	}
+	torn := rep.Recovery != nil && rep.Recovery.TornTail
+	audit, err := logview.Audit(rep.Depot, logview.AuditOptions{AllowTorn: torn})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit OK: %d nodes, %d records, %d own-diff intervals, %d torn\n",
+		audit.Nodes, audit.Records, audit.OwnDiffs, audit.TornRecs)
+	vol, err := logview.DissectDepot(rep.Depot)
+	if err != nil {
+		return err
+	}
+	fmt.Print(logview.FormatVolume(vol))
+	return nil
+}
+
+func recoveryMode(w *apps.Workload, opts options) error {
+	opts.crash = true
+	rep, err := run(w, opts.proto, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %v: node %d crashed at op %d; %v replay took %.3f virtual seconds\n",
+		w.Name, opts.proto, rep.Recovery.Victim, rep.Recovery.CrashOp,
+		rep.Recovery.Kind, rep.Recovery.ReplayTime.Seconds())
+	if rep.Recovery.TornTail {
+		fmt.Println("the crash tore the victim's final log flush")
+	}
+	fmt.Print(logview.FormatRecoveryBreakdown(&rep.Recovery.Phases))
+	return nil
+}
+
+// printMode renders the log-volume tables of a committed sweep artifact
+// (sdsmbench -json output, e.g. BENCH_PR3.json).
+func printMode(path string) error {
+	if path == "" {
+		return fmt.Errorf("sdsminspect: -mode print needs -in file.json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sweep bench.SweepJSON
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if sweep.SchemaVersion != bench.SchemaVersion {
+		return fmt.Errorf("%s: schema_version %d, this build reads %d",
+			path, sweep.SchemaVersion, bench.SchemaVersion)
+	}
+	fmt.Printf("%s: %d nodes, %s scale, %d runs\n\n", path, sweep.Nodes, sweep.Scale, len(sweep.Runs))
+	byApp := map[string]map[string]*bench.RunJSONResult{}
+	var order []string
+	for i := range sweep.Runs {
+		r := &sweep.Runs[i]
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[string]*bench.RunJSONResult{}
+			order = append(order, r.App)
+		}
+		byApp[r.App][r.Protocol] = r
+	}
+	bad := false
+	for _, app := range order {
+		ml, ccl := byApp[app]["ML"], byApp[app]["CCL"]
+		if ml == nil || ccl == nil || ml.LogVolume == nil || ccl.LogVolume == nil {
+			continue
+		}
+		fmt.Printf("%s:\n", app)
+		fmt.Print(logview.FormatVolumeComparison([]string{"ML", "CCL"},
+			[]*logview.Volume{ml.LogVolume, ccl.LogVolume}))
+		if ccl.LogVolume.Bytes >= ml.LogVolume.Bytes {
+			fmt.Printf("!! CCL total %d bytes is not below ML's %d\n",
+				ccl.LogVolume.Bytes, ml.LogVolume.Bytes)
+			bad = true
+		}
+		fmt.Println()
+	}
+	if bad {
+		return fmt.Errorf("sdsminspect: CCL did not log less than ML on every app in %s", path)
+	}
+	return nil
+}
+
+// checkJSON validates that the file is well-formed JSON. The Makefile's
+// trace smoke test uses it in place of an external JSON tool.
+func checkJSON(path string) error {
+	if path == "" {
+		return fmt.Errorf("sdsminspect: -mode checkjson needs -in file.json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("%s: not valid JSON", path)
+	}
+	fmt.Printf("%s: valid JSON (%d bytes)\n", path, len(data))
+	return nil
+}

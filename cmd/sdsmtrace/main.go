@@ -27,6 +27,7 @@ import (
 	"sdsm/internal/apps"
 	"sdsm/internal/bench"
 	"sdsm/internal/core"
+	"sdsm/internal/logview"
 	"sdsm/internal/obsv"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
@@ -141,6 +142,7 @@ func main() {
 		fmt.Printf("\ncrash: node %d at op %d; %v replay took %.3f virtual seconds\n",
 			rep.Recovery.Victim, rep.Recovery.CrashOp, rep.Recovery.Kind,
 			rep.Recovery.ReplayTime.Seconds())
+		fmt.Print(logview.FormatRecoveryBreakdown(&rep.Recovery.Phases))
 	}
 
 	if *breakdown {

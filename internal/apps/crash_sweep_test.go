@@ -6,6 +6,7 @@ import (
 
 	"sdsm/internal/apps/shallow"
 	"sdsm/internal/core"
+	"sdsm/internal/logview"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
 )
@@ -37,6 +38,11 @@ func TestShallowCrashSweep(t *testing.T) {
 			t.Fatalf("crash at op %d: image mismatch", at)
 		}
 		if err := w.Check(rep.MemoryImage()); err != nil {
+			t.Fatalf("crash at op %d: %v", at, err)
+		}
+		// No torn writes are planned, so every crashed run's log must
+		// still pass the strict consistency audit.
+		if _, err := logview.Audit(rep.Depot, logview.AuditOptions{}); err != nil {
 			t.Fatalf("crash at op %d: %v", at, err)
 		}
 	}

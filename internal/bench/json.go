@@ -4,8 +4,15 @@ import (
 	"fmt"
 
 	"sdsm/internal/core"
+	"sdsm/internal/logview"
 	"sdsm/internal/obsv"
 )
+
+// SchemaVersion identifies the JSON layout of SweepJSON. Bump it on any
+// change that breaks consumers of the committed BENCH_*.json artifacts.
+// Version 3 added schema_version itself and the per-run dissected
+// log_volume accounting.
+const SchemaVersion = 3
 
 // CatShareJSON is one critical-path category's attribution.
 type CatShareJSON struct {
@@ -50,13 +57,18 @@ type RunJSONResult struct {
 	MsgKinds       []obsv.KindCount      `json:"msg_kinds"`
 	Counters       obsv.CountersSnapshot `json:"counters"`
 	Breakdown      *BreakdownJSON        `json:"breakdown,omitempty"`
+	// LogVolume is the dissected per-kind/per-node log accounting
+	// (reconciled exactly against the depot's flush charges before
+	// export). Omitted when the protocol logged nothing.
+	LogVolume *logview.Volume `json:"log_volume,omitempty"`
 }
 
 // SweepJSON is the full machine-readable failure-free sweep (BENCH_PR2.json).
 type SweepJSON struct {
-	Nodes int             `json:"nodes"`
-	Scale string          `json:"scale"`
-	Runs  []RunJSONResult `json:"runs"`
+	SchemaVersion int             `json:"schema_version"`
+	Nodes         int             `json:"nodes"`
+	Scale         string          `json:"scale"`
+	Runs          []RunJSONResult `json:"runs"`
 }
 
 func (s Scale) String() string {
@@ -74,7 +86,7 @@ func (s Scale) String() string {
 // with tracing on and returns the machine-readable results, including the
 // critical-path breakdown of every run.
 func RunSweepJSON(nodes int, scale Scale) (*SweepJSON, error) {
-	out := &SweepJSON{Nodes: nodes, Scale: scale.String()}
+	out := &SweepJSON{SchemaVersion: SchemaVersion, Nodes: nodes, Scale: scale.String()}
 	for _, w := range Workloads(nodes, scale) {
 		for _, proto := range Protocols {
 			cfg := w.BaseConfig(nodes)
@@ -109,6 +121,20 @@ func RunSweepJSON(nodes int, scale Scale) (*SweepJSON, error) {
 				return nil, fmt.Errorf("bench: %s/%v critical path: %w", w.Name, proto, err)
 			}
 			r.Breakdown = NewBreakdownJSON(pr)
+			if rep.TotalLogBytes > 0 {
+				vol, err := logview.DissectDepot(rep.Depot)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s/%v dissect: %w", w.Name, proto, err)
+				}
+				if err := vol.Reconcile(rep.Depot); err != nil {
+					return nil, fmt.Errorf("bench: %s/%v: %w", w.Name, proto, err)
+				}
+				if vol.Bytes != rep.TotalLogBytes {
+					return nil, fmt.Errorf("bench: %s/%v: dissected %d bytes, report says %d",
+						w.Name, proto, vol.Bytes, rep.TotalLogBytes)
+				}
+				r.LogVolume = vol
+			}
 			out.Runs = append(out.Runs, r)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sdsm/internal/fault"
+	"sdsm/internal/logview"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
 )
@@ -14,6 +15,21 @@ import (
 // log writes on crash — every protocol must still produce the exact
 // memory image of the fault-free golden run, and the same seed must
 // reproduce the same virtual-time report.
+
+// auditDepot runs the post-run consistency auditor over the run's
+// stable logs: whatever faults the transport injected, the on-disk log
+// must still decode cleanly and honor the ordering and byte-accounting
+// invariants recovery depends on. allowTorn must mirror the fault
+// plan's TornWriteOnCrash.
+func auditDepot(t *testing.T, rep *Report, allowTorn bool) {
+	t.Helper()
+	if rep.Depot == nil {
+		t.Fatal("report carries no depot")
+	}
+	if _, err := logview.Audit(rep.Depot, logview.AuditOptions{AllowTorn: allowTorn}); err != nil {
+		t.Errorf("log audit: %v", err)
+	}
+}
 
 // soakPlan is the issue's reference fault load.
 func soakPlan(seed int64) fault.Plan {
@@ -51,6 +67,7 @@ func TestFaultSoakFailureFree(t *testing.T) {
 				t.Errorf("seed %d proto %v: faulted image differs from fault-free golden", seed, proto)
 			}
 			checkFuzzImage(t, rep.MemoryImage(), phases)
+			auditDepot(t, rep, false)
 		}
 	}
 }
@@ -78,6 +95,7 @@ func TestFaultSoakHeavyLoss(t *testing.T) {
 		t.Errorf("10%% loss/dup/delay: image differs from golden")
 	}
 	checkFuzzImage(t, rep.MemoryImage(), phases)
+	auditDepot(t, rep, false)
 }
 
 // within reports whether a and b agree within frac relative tolerance.
@@ -173,6 +191,7 @@ func TestFaultSoakCrashTornTail(t *testing.T) {
 					seed, tc.proto, rep.Recovery.TornTail, rep.Recovery.TailOps)
 			}
 			checkFuzzImage(t, rep.MemoryImage(), phases)
+			auditDepot(t, rep, true)
 		}
 	}
 	if !tornSeen {

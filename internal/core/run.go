@@ -145,6 +145,10 @@ type Report struct {
 	CheckpointBytes int64
 	// Recovery is set by RunWithCrash.
 	Recovery *RecoveryReport
+	// Depot exposes the run's stable stores for post-run introspection
+	// (log dissection and auditing — see internal/logview). Treat the
+	// stores as read-only.
+	Depot *stable.Depot
 
 	mem []byte // assembled authoritative memory image
 }
@@ -163,6 +167,9 @@ type RecoveryReport struct {
 	// instead of the (lost) disk records.
 	TornTail bool
 	TailOps  int
+	// Phases is the recovery-time breakdown: per-phase virtual durations
+	// that partition ReplayTime exactly (see recovery.PhaseReport).
+	Phases recovery.PhaseReport
 }
 
 // MemoryImage returns the authoritative final shared-memory image,
@@ -182,6 +189,7 @@ func (c *cluster) report() *Report {
 		NetBytes:      c.nw.ByteCount(),
 		MsgKinds:      c.nw.KindCounts(),
 		NodeOps:       make([]int32, c.cfg.Nodes),
+		Depot:         c.depot,
 	}
 	for i, nd := range c.nodes {
 		rep.CheckpointBytes += c.depot.Store(i).CheckpointBytes()
@@ -400,5 +408,6 @@ func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryRepor
 	out.ReplayTime = rep.ReplayTime()
 	out.TornTail = rep.Torn()
 	out.TailOps = rep.TailOps
+	out.Phases = rep.Phases()
 	return nil
 }

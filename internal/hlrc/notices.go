@@ -76,7 +76,14 @@ func DecodeNotices(buf []byte) ([]Notice, []byte, error) {
 	}
 	cnt := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[4:]
-	ns := make([]Notice, 0, cnt)
+	// Cap the preallocation by what the buffer could possibly hold (12
+	// bytes per notice minimum): a corrupted count must produce a decode
+	// error, not a gigantic allocation.
+	capHint := cnt
+	if max := len(buf) / 12; capHint > max {
+		capHint = max
+	}
+	ns := make([]Notice, 0, capHint)
 	for i := 0; i < cnt; i++ {
 		n, rest, err := DecodeNotice(buf)
 		if err != nil {

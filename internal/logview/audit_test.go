@@ -1,0 +1,122 @@
+package logview_test
+
+import (
+	"errors"
+	"testing"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/logview"
+	"sdsm/internal/memory"
+	"sdsm/internal/stable"
+	"sdsm/internal/wal"
+)
+
+func noticesData() []byte {
+	return hlrc.EncodeNotices([]hlrc.Notice{{Proc: 1, Seq: 1, Pages: []memory.PageID{2}}}, nil)
+}
+
+func ownDiffData(seq int32, vtSum int64) []byte {
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	cur[0] = byte(seq)
+	return wal.EncodeDiffRecord(-1, seq, vtSum, memory.MakeDiff(1, twin, cur))
+}
+
+// The auditor must fail loudly, with the right typed error, on each
+// class of log damage — including a record whose checksum is fine but
+// whose payload no longer decodes (the "intentionally corrupted log"
+// negative case).
+func TestAuditNegativeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(s *stable.Store)
+		opts  logview.AuditOptions
+		want  error
+	}{
+		{"corrupt-payload-valid-crc", func(s *stable.Store) {
+			s.Flush([]stable.Record{{Kind: wal.RecDiff, Op: 1, Data: []byte{0xde, 0xad}}})
+		}, logview.AuditOptions{}, wal.ErrCorruptPayload},
+		{"unknown-kind", func(s *stable.Store) {
+			s.Flush([]stable.Record{{Kind: 9, Op: 1, Data: []byte{1}}})
+		}, logview.AuditOptions{}, wal.ErrUnknownKind},
+		{"op-regression", func(s *stable.Store) {
+			s.Flush([]stable.Record{
+				{Kind: wal.RecNotices, Op: 5, Data: noticesData()},
+				{Kind: wal.RecNotices, Op: 3, Data: noticesData()},
+			})
+		}, logview.AuditOptions{}, logview.ErrOpRegression},
+		{"seq-regression", func(s *stable.Store) {
+			s.Flush([]stable.Record{
+				{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(3, 10)},
+				{Kind: wal.RecDiff, Op: 2, Data: ownDiffData(2, 11)},
+			})
+		}, logview.AuditOptions{}, logview.ErrVTRegression},
+		{"vtsum-stalled", func(s *stable.Store) {
+			s.Flush([]stable.Record{
+				{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(2, 10)},
+				{Kind: wal.RecDiff, Op: 2, Data: ownDiffData(3, 10)},
+			})
+		}, logview.AuditOptions{}, logview.ErrVTRegression},
+		{"vtsum-rewritten", func(s *stable.Store) {
+			s.Flush([]stable.Record{
+				{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(2, 10)},
+				{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(2, 12)},
+			})
+		}, logview.AuditOptions{}, logview.ErrVTRegression},
+		{"torn-not-allowed", func(s *stable.Store) {
+			s.Flush([]stable.Record{{Kind: wal.RecNotices, Op: 1, Data: noticesData()}})
+			s.TearTail(0)
+		}, logview.AuditOptions{}, logview.ErrTornLog},
+	}
+	for _, tc := range cases {
+		depot := stable.NewDepot(2)
+		tc.build(depot.Store(1))
+		_, err := logview.Audit(depot, tc.opts)
+		if err == nil {
+			t.Errorf("%s: audit passed on damaged log", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v is not %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Legitimate logs must pass: same-seq own diffs share a vtsum (two
+// diffs in one release), ML incoming diffs are exempt from interval
+// ordering, and a torn tail passes exactly when the options allow it.
+func TestAuditPositiveCases(t *testing.T) {
+	depot := stable.NewDepot(2)
+	s := depot.Store(0)
+	s.Flush([]stable.Record{
+		{Kind: wal.RecNotices, Op: 1, Data: noticesData()},
+		{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(2, 10)},
+		{Kind: wal.RecDiff, Op: 1, Data: ownDiffData(2, 10)},
+		{Kind: wal.RecDiff, Op: 2, Data: ownDiffData(3, 14)},
+	})
+	// ML-style incoming diffs from writer 1, out of writer order.
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	cur[1] = 7
+	d := memory.MakeDiff(4, twin, cur)
+	depot.Store(1).Flush([]stable.Record{
+		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(1, 5, 0, d)},
+		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(1, 4, 0, d)},
+	})
+	rep, err := logview.Audit(depot, logview.AuditOptions{})
+	if err != nil {
+		t.Fatalf("audit failed on a clean log: %v", err)
+	}
+	if rep.OwnDiffs != 3 || rep.Records != 6 {
+		t.Errorf("coverage: %+v", rep)
+	}
+
+	s.Flush([]stable.Record{{Kind: wal.RecNotices, Op: 3, Data: noticesData()}})
+	s.TearTail(0)
+	if _, err := logview.Audit(depot, logview.AuditOptions{AllowTorn: true}); err != nil {
+		t.Fatalf("audit rejected an allowed torn tail: %v", err)
+	}
+	if _, err := logview.Audit(depot, logview.AuditOptions{}); !errors.Is(err, logview.ErrTornLog) {
+		t.Fatalf("audit accepted a torn tail without AllowTorn: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package logview_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdsm/internal/apps/shallow"
+	"sdsm/internal/core"
+	"sdsm/internal/logview"
+	"sdsm/internal/wal"
+)
+
+func runShallow(t *testing.T, proto wal.Protocol) *core.Report {
+	t.Helper()
+	const nodes = 4
+	w := shallow.New(16, 16, 3, nodes, 4096)
+	cfg := w.BaseConfig(nodes)
+	cfg.Protocol = proto
+	rep, err := core.Run(cfg, w.Prog)
+	if err != nil {
+		t.Fatalf("%v: %v", proto, err)
+	}
+	if err := w.Check(rep.MemoryImage()); err != nil {
+		t.Fatalf("%v: %v", proto, err)
+	}
+	return rep
+}
+
+// The dissected volume must reconcile exactly with the depot's flush
+// accounting, per node and in total, and the audit must pass on every
+// failure-free run. The paper's headline — CCL logs less than ML —
+// must show in the dissected totals too.
+func TestVolumeReconcilesAndAuditPasses(t *testing.T) {
+	totals := map[wal.Protocol]int64{}
+	for _, proto := range []wal.Protocol{wal.ProtocolML, wal.ProtocolCCL} {
+		rep := runShallow(t, proto)
+		if rep.Depot == nil {
+			t.Fatalf("%v: report carries no depot", proto)
+		}
+		vol, err := logview.DissectDepot(rep.Depot)
+		if err != nil {
+			t.Fatalf("%v: dissect: %v", proto, err)
+		}
+		if err := vol.Reconcile(rep.Depot); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if vol.Bytes != rep.TotalLogBytes {
+			t.Fatalf("%v: dissected %d bytes, report says %d", proto, vol.Bytes, rep.TotalLogBytes)
+		}
+		var kindSum, nodeSum int64
+		for _, kv := range vol.Kinds {
+			kindSum += kv.Bytes
+		}
+		for _, nv := range vol.PerNode {
+			nodeSum += nv.Bytes
+		}
+		if kindSum != vol.Bytes || nodeSum != vol.Bytes {
+			t.Fatalf("%v: kind sum %d / node sum %d != total %d", proto, kindSum, nodeSum, vol.Bytes)
+		}
+		if vol.TornRecs != 0 || vol.TornBytes != 0 {
+			t.Fatalf("%v: torn records on a failure-free run: %+v", proto, vol)
+		}
+		audit, err := logview.Audit(rep.Depot, logview.AuditOptions{})
+		if err != nil {
+			t.Fatalf("%v: audit: %v", proto, err)
+		}
+		if audit.Records != vol.Records {
+			t.Fatalf("%v: audit covered %d records, volume has %d", proto, audit.Records, vol.Records)
+		}
+		totals[proto] = vol.Bytes
+	}
+	if totals[wal.ProtocolCCL] >= totals[wal.ProtocolML] {
+		t.Errorf("CCL logged %d bytes, not below ML's %d", totals[wal.ProtocolCCL], totals[wal.ProtocolML])
+	}
+}
+
+// Protocol sanity on the dissected kinds: ML logs incoming diffs and
+// fetched pages and never update-event records; CCL logs notices, own
+// diffs and update events and never page copies.
+func TestVolumeKindsMatchProtocol(t *testing.T) {
+	mlVol, err := logview.DissectDepot(runShallow(t, wal.ProtocolML).Depot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cclVol, err := logview.DissectDepot(runShallow(t, wal.ProtocolCCL).Depot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlVol.KindBytes("events") != 0 {
+		t.Errorf("ML logged update-event records: %+v", mlVol.Kinds)
+	}
+	if mlVol.KindBytes("diff") == 0 {
+		t.Errorf("ML logged no diffs: %+v", mlVol.Kinds)
+	}
+	if cclVol.KindBytes("page") != 0 {
+		t.Errorf("CCL logged page copies: %+v", cclVol.Kinds)
+	}
+	if cclVol.KindBytes("notices") == 0 || cclVol.KindBytes("events") == 0 {
+		t.Errorf("CCL missing notices/events: %+v", cclVol.Kinds)
+	}
+	out := logview.FormatVolume(cclVol)
+	for _, want := range []string{"notices", "total", "per node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatVolume missing %q:\n%s", want, out)
+		}
+	}
+	cmp := logview.FormatVolumeComparison([]string{"ml", "ccl"}, []*logview.Volume{mlVol, cclVol})
+	for _, want := range []string{"ml", "ccl", "ratio"} {
+		if !strings.Contains(cmp, want) {
+			t.Errorf("FormatVolumeComparison missing %q:\n%s", want, cmp)
+		}
+	}
+}

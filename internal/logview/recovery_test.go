@@ -1,0 +1,101 @@
+package logview_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdsm/internal/apps/shallow"
+	"sdsm/internal/core"
+	"sdsm/internal/logview"
+	"sdsm/internal/obsv"
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+// Acceptance: on a crash run the recovery spans show up in the exported
+// Chrome trace, and the replayer's phase report partitions the replay
+// time (within 1%; exactly, by construction).
+func TestRecoveryBreakdownPartitionsAndTraces(t *testing.T) {
+	const nodes = 4
+	cases := []struct {
+		proto wal.Protocol
+		rec   recovery.Kind
+		spans []string // event names that must appear in the trace
+	}{
+		{wal.ProtocolML, recovery.MLRecovery, []string{"replay-op"}},
+		{wal.ProtocolCCL, recovery.CCLRecovery, []string{"replay-op", "prefetch"}},
+	}
+	for _, tc := range cases {
+		w := shallow.New(16, 16, 3, nodes, 4096)
+		cfg := w.BaseConfig(nodes)
+		cfg.Protocol = tc.proto
+		cfg.Trace = obsv.NewCollector(nodes)
+		golden, err := core.Run(w.BaseConfig(nodes), w.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := golden.NodeOps[1] / 2
+		if at < 1 {
+			at = 1
+		}
+		rep, err := core.RunWithCrash(cfg, w.Prog, core.CrashPlan{
+			Victim: 1, AtOp: at, Recovery: tc.rec,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.proto, err)
+		}
+		if err := w.Check(rep.MemoryImage()); err != nil {
+			t.Fatalf("%v: %v", tc.proto, err)
+		}
+
+		ph := rep.Recovery.Phases
+		total := rep.Recovery.ReplayTime
+		if ph.Total != total {
+			t.Errorf("%v: phase report total %v != replay time %v", tc.proto, ph.Total, total)
+		}
+		sum := int64(ph.Sum())
+		if diff := sum - int64(total); diff > int64(total)/100 || diff < -int64(total)/100 {
+			t.Errorf("%v: phases sum to %d of %d (off by more than 1%%)", tc.proto, sum, total)
+		}
+		if ph.Dur[recovery.PhaseLogRead] <= 0 {
+			t.Errorf("%v: no log-read time attributed: %+v", tc.proto, ph)
+		}
+		if ph.Dur[recovery.PhaseReplay] <= 0 {
+			t.Errorf("%v: no replay remainder attributed: %+v", tc.proto, ph)
+		}
+
+		var buf bytes.Buffer
+		if err := obsv.WriteChromeTrace(&buf, cfg.Trace); err != nil {
+			t.Fatalf("%v: %v", tc.proto, err)
+		}
+		trace := buf.String()
+		for _, span := range tc.spans {
+			if !strings.Contains(trace, `"`+span+`"`) {
+				t.Errorf("%v: recovery span %q missing from Chrome trace", tc.proto, span)
+			}
+		}
+
+		out := logview.FormatRecoveryBreakdown(&ph)
+		for _, want := range []string{"log-read", "replay", "total"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: breakdown missing %q:\n%s", tc.proto, want, out)
+			}
+		}
+
+		// The crashed run's log must still audit: CCL tears nothing
+		// here, and the dissected volume must reconcile from below or
+		// exactly per the torn state.
+		torn := rep.Recovery.TornTail
+		if _, err := logview.Audit(rep.Depot, logview.AuditOptions{AllowTorn: torn}); err != nil {
+			t.Errorf("%v: post-crash audit: %v", tc.proto, err)
+		}
+		vol, err := logview.DissectDepot(rep.Depot)
+		if err != nil {
+			t.Fatalf("%v: dissect: %v", tc.proto, err)
+		}
+		if err := vol.Reconcile(rep.Depot); err != nil {
+			t.Errorf("%v: %v", tc.proto, err)
+		}
+	}
+}

@@ -138,7 +138,14 @@ func DecodeDiff(buf []byte) (Diff, []byte, error) {
 	d.Page = PageID(binary.LittleEndian.Uint32(buf))
 	n := int(binary.LittleEndian.Uint32(buf[4:]))
 	buf = buf[8:]
-	d.Runs = make([]Run, 0, n)
+	// Cap the preallocation by what the buffer could possibly hold (8
+	// bytes per run minimum): a corrupted run count must produce a decode
+	// error, not a gigantic allocation.
+	capHint := n
+	if max := len(buf) / 8; capHint > max {
+		capHint = max
+	}
+	d.Runs = make([]Run, 0, capHint)
 	for i := 0; i < n; i++ {
 		if len(buf) < 8 {
 			return d, buf, fmt.Errorf("memory: short run header (run %d)", i)

@@ -62,7 +62,11 @@ const (
 	EvRecv                            // app seg: wait for a message/reply
 	EvRecvDetached                    // app seg: detached (recovery) wait
 	EvReplayOp                        // app seg: recovery log read / replay charge
-	EvPrefetch                        // decorative: recovery fetch round
+	EvPrefetch                        // decorative: recovery page-prefetch round
+	EvDiffFetch                       // decorative: recovery logged-diff fetch round
+	EvTailFetch                       // decorative: recovery sender-log grant/release fetch
+	EvHomeRebuild                     // decorative: torn-tail home-update reconstruction
+	EvCatchUp                         // decorative: detach-time home-page catch-up
 	numEventKinds
 )
 
@@ -71,7 +75,8 @@ var eventNames = [numEventKinds]string{
 	"diff-apply", "home-update", "page-serve", "lock-acquire",
 	"lock-release", "lock-grant", "barrier-wait", "barrier-release",
 	"log-flush", "flush-wait", "checkpoint", "arq-retry", "recv",
-	"recv-detached", "replay-op", "prefetch",
+	"recv-detached", "replay-op", "prefetch", "diff-fetch", "tail-fetch",
+	"home-rebuild", "catch-up",
 }
 
 // argNames labels Arg1/Arg2 per kind in the Chrome export ("" = omit).
@@ -97,6 +102,10 @@ var argNames = [numEventKinds][2]string{
 	EvRecvDetached:   {"kind", "bytes"},
 	EvReplayOp:       {"op", "bytes"},
 	EvPrefetch:       {"count", ""},
+	EvDiffFetch:      {"count", "bytes"},
+	EvTailFetch:      {"idx", ""},
+	EvHomeRebuild:    {"fetches", "bytes"},
+	EvCatchUp:        {"fetches", "bytes"},
 }
 
 // String returns the event kind's stable display name.

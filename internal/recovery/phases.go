@@ -1,0 +1,116 @@
+package recovery
+
+import (
+	"fmt"
+
+	"sdsm/internal/simtime"
+)
+
+// Phase identifies one recovery critical-path phase. The Replayer
+// accounts every virtual-time interval of the victim's replay clock to
+// exactly one phase; whatever no phase claims is the replayed program's
+// own work (PhaseReplay), so the phases partition the replay time
+// exactly — the recovery-side analogue of the critical-path breakdown.
+type Phase int
+
+// The recovery phases.
+const (
+	// PhaseLogRead is time spent reading the victim's own disk log: the
+	// per-interval batch reads both schemes pay, plus ML's per-miss
+	// logged-page reads (the paper's "memory miss idle time").
+	PhaseLogRead Phase = iota
+	// PhaseDiffFetch is CCL's logged-diff fetch: retrieving the update
+	// events' diffs from the writers' logs and applying them to the
+	// victim's home copies.
+	PhaseDiffFetch
+	// PhasePageFetch is CCL's versioned page prefetch from the live
+	// homes (and ML's torn-tail fallback fetches).
+	PhasePageFetch
+	// PhaseTailSync is torn-tail replay of lost sync ops: re-fetching
+	// the exact grants and barrier releases from the managers' sender
+	// logs.
+	PhaseTailSync
+	// PhaseHomeRebuild is torn-tail reconstruction of lost asynchronous
+	// home updates, bounded by the replayed notices.
+	PhaseHomeRebuild
+	// PhaseCatchUp is the detach-time unbounded catch-up that completes
+	// the victim's home copies before it goes live.
+	PhaseCatchUp
+	// PhaseReplay is the remainder: the replayed program's own work
+	// (modeled compute, twin creation, diffing, local protocol actions).
+	PhaseReplay
+	// NumPhases is the number of phases, for iteration.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"log-read", "diff-fetch", "page-fetch", "tail-sync", "home-rebuild",
+	"catch-up", "replay",
+}
+
+// String returns the phase's stable display name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase-%d", int(p))
+}
+
+// PhaseReport is the recovery-time breakdown of one replay: per-phase
+// virtual durations that partition [0, Total] exactly, plus the disk and
+// wire byte volumes attributed to each phase where known.
+type PhaseReport struct {
+	// Total is the replay time (the victim's clock at detach).
+	Total simtime.Time
+	// Dur attributes the replay time per phase; the entries sum to
+	// Total by construction.
+	Dur [NumPhases]simtime.Duration
+	// Bytes counts the disk bytes each phase moved (zero for phases
+	// that are pure waiting or compute).
+	Bytes [NumPhases]int64
+	// Ops counts how many times each phase ran.
+	Ops [NumPhases]int64
+}
+
+// Sum returns the total attributed duration (equals Total by
+// construction).
+func (r *PhaseReport) Sum() simtime.Duration {
+	var s simtime.Duration
+	for _, d := range r.Dur {
+		s += d
+	}
+	return s
+}
+
+// Share returns phase p's fraction of the replay time.
+func (r *PhaseReport) Share(p Phase) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Dur[p]) / float64(r.Total)
+}
+
+// note accounts [t0, t1) of the replay clock to phase p.
+func (r *PhaseReport) note(p Phase, t0, t1 simtime.Time, bytes int64) {
+	if t1 < t0 {
+		return
+	}
+	r.Dur[p] += simtime.Duration(t1 - t0)
+	r.Bytes[p] += bytes
+	r.Ops[p]++
+}
+
+// close seals the report at detach: the replay time not claimed by any
+// instrumented phase is the replayed program's own work.
+func (r *PhaseReport) close(total simtime.Time) {
+	r.Total = total
+	rest := simtime.Duration(total)
+	for p := Phase(0); p < PhaseReplay; p++ {
+		rest -= r.Dur[p]
+	}
+	if rest < 0 {
+		rest = 0
+	}
+	r.Dur[PhaseReplay] = rest
+	r.Ops[PhaseReplay] = 1
+}

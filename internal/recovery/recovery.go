@@ -180,6 +180,10 @@ type Replayer struct {
 	// TailOps counts sync ops that replayed from sender logs instead of
 	// the disk log (observability for tests and reports).
 	TailOps int
+
+	// phases accounts the replay clock per recovery phase; sealed at
+	// detach and exposed via Phases.
+	phases PhaseReport
 }
 
 // NewReplayer indexes the victim's log for replay up to crashOp. Only the
@@ -269,6 +273,10 @@ func (r *Replayer) tailActive(op int32) bool {
 // ReplayTime reports the virtual time the replay consumed (valid after
 // detach).
 func (r *Replayer) ReplayTime() simtime.Time { return r.replayTime }
+
+// Phases reports the recovery-time breakdown (valid after detach): the
+// per-phase durations partition ReplayTime exactly.
+func (r *Replayer) Phases() PhaseReport { return r.phases }
 
 // Detached reports whether replay has completed.
 func (r *Replayer) Detached() bool { return r.detached }
@@ -374,6 +382,7 @@ func (r *Replayer) Validate(nd *hlrc.Node, page memory.PageID) bool {
 		n := r.store.NoteRead(stable.HeaderSize + 4 + len(data))
 		t0, t1 := nd.Clock().AdvanceSpan(r.model.DiskTime(n))
 		nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, int64(page), int64(n))
+		r.phases.note(PhaseLogRead, t0, t1, int64(n))
 		nd.InstallPage(page, data)
 		return true
 	case CCLRecovery:
@@ -395,6 +404,7 @@ func (r *Replayer) detach(nd *hlrc.Node) {
 		r.catchUpHomePages(nd)
 	}
 	r.replayTime = nd.Clock().Now()
+	r.phases.close(r.replayTime)
 	r.detached = true
 	nd.SetDelegate(nil)
 	if r.OnDetach != nil {
@@ -425,6 +435,7 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 		r.seeked = true
 		t0, t1 := nd.Clock().AdvanceSpan(cost)
 		nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, int64(op), int64(batch))
+		r.phases.note(PhaseLogRead, t0, t1, int64(batch))
 	}
 
 	var notices []hlrc.Notice
@@ -552,8 +563,9 @@ func (r *Replayer) fetchEvents(nd *hlrc.Node, events []hlrc.UpdateEvent) {
 	// The writers' disk reads are on the recovery critical path, but the
 	// writers' disks work in parallel: charge the slowest one.
 	var worst simtime.Duration
-	worstBytes := 0
+	worstBytes, totalBytes := 0, 0
 	for _, bytes := range diskByWriter {
+		totalBytes += bytes
 		if d := r.model.DiskTime(bytes); d > worst {
 			worst = d
 			worstBytes = bytes
@@ -561,7 +573,9 @@ func (r *Replayer) fetchEvents(nd *hlrc.Node, events []hlrc.UpdateEvent) {
 	}
 	t0, t1 := nd.Clock().AdvanceSpan(worst)
 	nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, -1, int64(worstBytes))
-	nd.Tracer().Span(obsv.EvPrefetch, start, nd.Clock().Now(), int64(len(calls)), 0)
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvDiffFetch, start, end, int64(len(calls)), int64(totalBytes))
+	r.phases.note(PhaseDiffFetch, start, end, int64(totalBytes))
 }
 
 // fetchPages prefetches remote pages at exactly the replay's current
@@ -583,7 +597,9 @@ func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
 		resp := m.Payload.(*hlrc.RecPageReply)
 		nd.InstallPage(pages[i], resp.Data)
 	}
-	nd.Tracer().Span(obsv.EvPrefetch, start, nd.Clock().Now(), int64(len(pages)), 0)
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvPrefetch, start, end, int64(len(pages)), 0)
+	r.phases.note(PhasePageFetch, start, end, 0)
 }
 
 // --- torn-tail (sender-log) replay -------------------------------------
@@ -639,6 +655,7 @@ func (r *Replayer) applyTailNotices(nd *hlrc.Node, notices []hlrc.Notice, vt vcl
 // lock manager's sender log.
 func (r *Replayer) fetchLoggedGrant(nd *hlrc.Node, idx int) *hlrc.LockGrant {
 	ep := nd.Endpoint()
+	start := nd.Clock().Now()
 	req := &hlrc.RecSyncReq{Node: int32(nd.ID()), Idx: int32(idx)}
 	m := ep.CallAsync(r.lockMgr, hlrc.KindRecGrantReq, req.WireSize(), req).WaitDetached(nd.Clock())
 	g := m.Payload.(*hlrc.RecGrantReply).Grant
@@ -646,6 +663,9 @@ func (r *Replayer) fetchLoggedGrant(nd *hlrc.Node, idx int) *hlrc.LockGrant {
 		panic(fmt.Sprintf("recovery: lock manager %d has no sender-logged grant %d for node %d",
 			r.lockMgr, idx, nd.ID()))
 	}
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvTailFetch, start, end, int64(idx), 0)
+	r.phases.note(PhaseTailSync, start, end, 0)
 	return g
 }
 
@@ -653,6 +673,7 @@ func (r *Replayer) fetchLoggedGrant(nd *hlrc.Node, idx int) *hlrc.LockGrant {
 // from the barrier manager's sender log.
 func (r *Replayer) fetchLoggedRelease(nd *hlrc.Node, idx int) *hlrc.BarrierRelease {
 	ep := nd.Endpoint()
+	start := nd.Clock().Now()
 	req := &hlrc.RecSyncReq{Node: int32(nd.ID()), Idx: int32(idx)}
 	m := ep.CallAsync(r.barrierMgr, hlrc.KindRecBarrierReq, req.WireSize(), req).WaitDetached(nd.Clock())
 	rel := m.Payload.(*hlrc.RecBarrierReply).Rel
@@ -660,6 +681,9 @@ func (r *Replayer) fetchLoggedRelease(nd *hlrc.Node, idx int) *hlrc.BarrierRelea
 		panic(fmt.Sprintf("recovery: barrier manager %d has no sender-logged release %d for node %d",
 			r.barrierMgr, idx, nd.ID()))
 	}
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvTailFetch, start, end, int64(idx), 0)
+	r.phases.note(PhaseTailSync, start, end, 0)
 	return rel
 }
 
@@ -694,7 +718,14 @@ func (r *Replayer) reconstructHomeDiffs(nd *hlrc.Node, notices []hlrc.Notice) {
 			})
 		}
 	}
-	r.applyFetchedDiffs(nd, calls)
+	if len(calls) == 0 {
+		return
+	}
+	start := nd.Clock().Now()
+	bytes := r.applyFetchedDiffs(nd, calls)
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvHomeRebuild, start, end, int64(len(calls)), int64(bytes))
+	r.phases.note(PhaseHomeRebuild, start, end, int64(bytes))
 }
 
 // catchUpHomePages restores every remaining lost home update before the
@@ -722,7 +753,14 @@ func (r *Replayer) catchUpHomePages(nd *hlrc.Node) {
 			})
 		}
 	}
-	r.applyFetchedDiffs(nd, calls)
+	if len(calls) == 0 {
+		return
+	}
+	start := nd.Clock().Now()
+	bytes := r.applyFetchedDiffs(nd, calls)
+	end := nd.Clock().Now()
+	nd.Tracer().Span(obsv.EvCatchUp, start, end, int64(len(calls)), int64(bytes))
+	r.phases.note(PhaseCatchUp, start, end, int64(bytes))
 }
 
 // diffFetch is one in-flight RecDiffsReq round trip.
@@ -733,8 +771,9 @@ type diffFetch struct {
 
 // applyFetchedDiffs collects overlapped RecDiffsReq round trips, applies
 // the returned diffs to the victim's home copies (idempotently, keyed by
-// writer interval), and charges the slowest writer's disk-read time (the
-// writers' disks work in parallel).
+// writer interval), charges the slowest writer's disk-read time (the
+// writers' disks work in parallel), and returns the total disk bytes the
+// writers read.
 //
 // Diffs from different writers may target the same bytes when their
 // intervals were lock-serialized (the home applied them in arrival order
@@ -744,9 +783,9 @@ type diffFetch struct {
 // program concurrent diffs touch disjoint bytes, so their relative order
 // is immaterial (the writer/seq tiebreak just keeps replay
 // deterministic).
-func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) {
+func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) int {
 	if len(calls) == 0 {
-		return
+		return 0
 	}
 	type fetched struct {
 		writer int32
@@ -778,8 +817,9 @@ func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) {
 		nd.ApplyDiffAsHome(f.diff, f.writer, f.seq)
 	}
 	var worst simtime.Duration
-	worstBytes := 0
+	worstBytes, totalBytes := 0, 0
 	for _, bytes := range diskByWriter {
+		totalBytes += bytes
 		if d := r.model.DiskTime(bytes); d > worst {
 			worst = d
 			worstBytes = bytes
@@ -787,4 +827,5 @@ func (r *Replayer) applyFetchedDiffs(nd *hlrc.Node, calls []diffFetch) {
 	}
 	t0, t1 := nd.Clock().AdvanceSpan(worst)
 	nd.Tracer().Seg(obsv.EvReplayOp, obsv.CatRecovery, t0, t1, -1, int64(worstBytes))
+	return totalBytes
 }

@@ -44,6 +44,12 @@ const HeaderSize = 13
 // WireSize is the accounted on-disk size of the record.
 func (r Record) WireSize() int { return HeaderSize + len(r.Data) }
 
+// Verify reports whether the record's stamped checksum matches its
+// contents. Records that never went through Flush (Sum zero) fail unless
+// their contents happen to sum to zero, which is what readers want: an
+// unstamped record is as untrustworthy as a torn one.
+func (r Record) Verify() bool { return r.Sum == checksum(r.Kind, r.Op, r.Data) }
+
 // checksum computes the integrity sum Flush stamps into each record.
 func checksum(kind RecordKind, op int32, data []byte) uint32 {
 	var hdr [5]byte
@@ -155,7 +161,7 @@ func (s *Store) ValidPrefix() ([]Record, int) {
 	defer s.mu.Unlock()
 	valid := len(s.log)
 	for i, r := range s.log {
-		if r.Sum != checksum(r.Kind, r.Op, r.Data) {
+		if !r.Verify() {
 			valid = i
 			break
 		}

@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"sdsm/internal/hlrc"
+	"sdsm/internal/memory"
+	"sdsm/internal/stable"
+)
+
+// The dissector turns raw stable.Records back into typed protocol
+// objects. Recovery replays records it wrote itself and may panic on
+// damage it cannot explain, but the introspection tools (internal/logview,
+// cmd/sdsminspect) read logs that crashes, torn writes or plain bugs may
+// have mangled, so every failure here is a typed error, never a panic.
+
+// Typed dissection errors. Callers branch with errors.Is.
+var (
+	// ErrUnknownKind marks a record whose kind byte names no protocol
+	// record (a corrupted kind byte, or a log written by a newer layout).
+	ErrUnknownKind = errors.New("wal: unknown record kind")
+	// ErrCorruptPayload marks a record whose payload does not decode as
+	// its kind demands (truncated, trailing garbage, or bit-flipped).
+	ErrCorruptPayload = errors.New("wal: corrupt record payload")
+)
+
+// NumKinds is the number of defined record kinds (kind bytes are
+// 1..NumKinds; 0 is never written).
+const NumKinds = int(RecPage)
+
+// KindName names a record kind as the introspection tables print it.
+func KindName(k stable.RecordKind) string {
+	switch k {
+	case RecNotices:
+		return "notices"
+	case RecDiff:
+		return "diff"
+	case RecEvents:
+		return "events"
+	case RecPage:
+		return "page"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+// DiffPayload is the typed form of a RecDiff record.
+type DiffPayload struct {
+	Writer int32 // -1: the log owner's own diff
+	Seq    int32 // writer interval the diff closes
+	VTSum  int64 // closing interval's vector-time sum (own diffs only)
+	Diff   memory.Diff
+}
+
+// PagePayload is the typed form of a RecPage record.
+type PagePayload struct {
+	Page memory.PageID
+	Data []byte
+}
+
+// Dissected is one log record decoded into typed form. Exactly one of
+// the payload fields is set, selected by Kind.
+type Dissected struct {
+	Kind stable.RecordKind
+	Op   int32 // synchronization-operation index the record belongs to
+	Wire int   // accounted on-disk size
+
+	Notices []hlrc.Notice      // RecNotices
+	Diff    *DiffPayload       // RecDiff
+	Events  []hlrc.UpdateEvent // RecEvents
+	Page    *PagePayload       // RecPage
+}
+
+// DissectRecord decodes one record by its kind byte. It does not check
+// the record's checksum (use stable.Record.Verify for that): a torn
+// record usually fails both, but the two failures mean different things
+// and the auditor reports them separately.
+func DissectRecord(r stable.Record) (*Dissected, error) {
+	d := &Dissected{Kind: r.Kind, Op: r.Op, Wire: r.WireSize()}
+	switch r.Kind {
+	case RecNotices:
+		ns, rest, err := hlrc.DecodeNotices(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: notices at op %d: %v", ErrCorruptPayload, r.Op, err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: notices at op %d: %d trailing bytes", ErrCorruptPayload, r.Op, len(rest))
+		}
+		d.Notices = ns
+	case RecDiff:
+		writer, seq, vtSum, diff, err := DecodeDiffRecord(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: diff at op %d: %v", ErrCorruptPayload, r.Op, err)
+		}
+		d.Diff = &DiffPayload{Writer: writer, Seq: seq, VTSum: vtSum, Diff: diff}
+	case RecEvents:
+		evs, err := DecodeEventsRecord(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: events at op %d: %v", ErrCorruptPayload, r.Op, err)
+		}
+		d.Events = evs
+	case RecPage:
+		page, data, err := DecodePageRecord(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: page at op %d: %v", ErrCorruptPayload, r.Op, err)
+		}
+		d.Page = &PagePayload{Page: page, Data: data}
+	default:
+		return nil, fmt.Errorf("%w: %d at op %d", ErrUnknownKind, int(r.Kind), r.Op)
+	}
+	return d, nil
+}
+
+// Summary renders the dissected record as one table line for
+// sdsminspect's record dump.
+func (d *Dissected) Summary() string {
+	switch d.Kind {
+	case RecNotices:
+		pages := 0
+		for _, n := range d.Notices {
+			pages += len(n.Pages)
+		}
+		return fmt.Sprintf("%d notices covering %d pages", len(d.Notices), pages)
+	case RecDiff:
+		who := "own"
+		if d.Diff.Writer >= 0 {
+			who = fmt.Sprintf("writer %d", d.Diff.Writer)
+		}
+		return fmt.Sprintf("%s diff page %d seq %d vtsum %d (%d bytes)",
+			who, d.Diff.Diff.Page, d.Diff.Seq, d.Diff.VTSum, d.Diff.Diff.WireSize())
+	case RecEvents:
+		return fmt.Sprintf("%d update events", len(d.Events))
+	case RecPage:
+		return fmt.Sprintf("page %d copy (%d bytes)", d.Page.Page, len(d.Page.Data))
+	default:
+		return "?"
+	}
+}

@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"errors"
 	"testing"
 
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
+	"sdsm/internal/stable"
 )
 
 // Native fuzz targets: the log decoders must never panic on corrupt
@@ -46,6 +48,41 @@ func FuzzDecodeNotices(f *testing.F) {
 	f.Add([]byte{9, 9})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = hlrc.DecodeNotices(data)
+	})
+}
+
+// FuzzDissectRecord throws arbitrary records at the dissector: corrupted
+// kind bytes, truncated payloads and torn tails (bit-flipped payloads of
+// well-formed records) must all come back as typed errors — never a
+// panic, never an unclassified error.
+func FuzzDissectRecord(f *testing.F) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0], cur[32] = 1, 2
+	d := memory.MakeDiff(5, twin, cur)
+	// Well-formed seeds of every kind, plus corrupted variants.
+	f.Add(byte(RecNotices), int32(1), hlrc.EncodeNotices([]hlrc.Notice{{Proc: 1, Seq: 2, Pages: []memory.PageID{3}}}, nil))
+	f.Add(byte(RecDiff), int32(2), EncodeDiffRecord(-1, 3, 21, d))
+	f.Add(byte(RecEvents), int32(3), EncodeEventsRecord([]hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}}))
+	f.Add(byte(RecPage), int32(4), EncodePageRecord(9, make([]byte, 128)))
+	f.Add(byte(0), int32(0), []byte{})
+	f.Add(byte(200), int32(-1), []byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, kind byte, op int32, data []byte) {
+		rec := stable.Record{Kind: stable.RecordKind(kind), Op: op, Data: data}
+		dis, err := DissectRecord(rec)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownKind) && !errors.Is(err, ErrCorruptPayload) {
+				t.Fatalf("untyped dissect error: %v", err)
+			}
+			return
+		}
+		if dis == nil {
+			t.Fatal("nil dissection without error")
+		}
+		if dis.Kind != rec.Kind || dis.Op != op || dis.Wire != rec.WireSize() {
+			t.Fatalf("dissection header mismatch: %+v vs kind %d op %d", dis, kind, op)
+		}
+		_ = dis.Summary()
 	})
 }
 
