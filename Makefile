@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench-faults trace-smoke inspect-volume
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume
 
 all: tier1 tier2
 
@@ -19,6 +19,14 @@ tier1:
 tier2:
 	go vet ./...
 	go test -race -short ./...
+
+# Hot-path kernel benchmark smoke: a fixed low iteration count so CI
+# catches crashes and allocation regressions (ReportAllocs output),
+# not timing noise. Run manually with -benchtime=2s for real numbers.
+bench:
+	go test ./internal/memory/ -run xxx -bench . -benchtime=100x -count=1
+	go test ./internal/wal/ -run xxx -bench . -benchtime=100x -count=1
+	go test ./internal/arena/ -run xxx -bench . -benchtime=100x -count=1
 
 bench-faults:
 	go run ./cmd/sdsmbench -nodes 8 -faults

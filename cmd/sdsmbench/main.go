@@ -27,8 +27,24 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
 	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
+	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: sdsmbench -compare old.json new.json")
+		}
+		oldS, err := bench.LoadSweepJSON(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newS, err := bench.LoadSweepJSON(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatSweepComparison(oldS, newS))
+		return
+	}
 	if *nodes < 1 {
 		log.Fatalf("-nodes %d: need at least one node", *nodes)
 	}

@@ -1,0 +1,65 @@
+package arena
+
+import "testing"
+
+func TestGetLenAndCap(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 4096, 4097, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d): cap %d < n", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	n := (1 << 20) + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("oversize Get: len %d", len(b))
+	}
+	Put(b) // dropped silently
+}
+
+func TestPutForeignBufferSafe(t *testing.T) {
+	Put(make([]byte, 100))      // cap 100, not a power of two
+	Put(nil)                    // zero cap
+	Put(make([]byte, 0, 1<<22)) // beyond the largest class
+}
+
+func TestRoundTripReuse(t *testing.T) {
+	b := Get(4096)
+	for i := range b {
+		b[i] = 0xab
+	}
+	Put(b)
+	// A fresh Get of the same class must have full length regardless of
+	// what the previous user left behind.
+	c := Get(4096)
+	if len(c) != 4096 {
+		t.Fatalf("reused buffer len %d", len(c))
+	}
+	Put(c)
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{4096, 12 - minShift}, {1 << 20, maxShift - minShift}, {(1 << 20) + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classOf(c.n); got != c.class {
+			t.Errorf("classOf(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func BenchmarkGetPut4K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Put(Get(4096))
+	}
+}

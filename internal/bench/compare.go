@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Sweep-comparison support for `sdsmbench -compare old.json new.json`:
+// load two committed BENCH_*.json artifacts and print, per app ×
+// protocol, the wall-clock (virtual execution time) and log-volume
+// deltas. This is how a perf PR documents its before/after numbers from
+// artifacts instead of prose.
+
+// LoadSweepJSON reads a machine-readable sweep artifact and validates
+// its schema version.
+func LoadSweepJSON(path string) (*SweepJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var s SweepJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema_version %d, this tool reads %d",
+			path, s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// FormatSweepComparison renders the per-run deltas between two sweeps.
+// Runs are matched by (app, protocol); runs present in only one sweep
+// are listed separately rather than silently dropped.
+func FormatSweepComparison(oldS, newS *SweepJSON) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep comparison (nodes %d→%d, scale %s→%s)\n",
+		oldS.Nodes, newS.Nodes, oldS.Scale, newS.Scale)
+	fmt.Fprintf(&b, "%-10s %-5s %12s %12s %8s %14s %14s %8s %10s %10s\n",
+		"app", "proto", "exec old(s)", "exec new(s)", "Δexec",
+		"log old(B)", "log new(B)", "Δlog", "flush old", "flush new")
+
+	type key struct{ app, proto string }
+	oldRuns := make(map[key]RunJSONResult, len(oldS.Runs))
+	for _, r := range oldS.Runs {
+		oldRuns[key{r.App, r.Protocol}] = r
+	}
+	matched := make(map[key]bool)
+	for _, n := range newS.Runs {
+		k := key{n.App, n.Protocol}
+		o, ok := oldRuns[k]
+		if !ok {
+			fmt.Fprintf(&b, "%-10s %-5s %12s only in new sweep\n", n.App, n.Protocol, "-")
+			continue
+		}
+		matched[k] = true
+		fmt.Fprintf(&b, "%-10s %-5s %12.4f %12.4f %7s %14d %14d %7s %10d %10d\n",
+			n.App, n.Protocol, o.ExecSec, n.ExecSec, pctDelta(o.ExecSec, n.ExecSec),
+			o.TotalLogBytes, n.TotalLogBytes,
+			pctDelta(float64(o.TotalLogBytes), float64(n.TotalLogBytes)),
+			o.TotalFlushes, n.TotalFlushes)
+	}
+	for _, o := range oldS.Runs {
+		if !matched[key{o.App, o.Protocol}] {
+			fmt.Fprintf(&b, "%-10s %-5s %12s only in old sweep\n", o.App, o.Protocol, "-")
+		}
+	}
+	return b.String()
+}
+
+// pctDelta formats the new-vs-old relative change; a zero baseline with
+// a nonzero new value has no meaningful percentage.
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSweep(t *testing.T, dir, name string, s *SweepJSON) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadSweepJSONRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := writeSweep(t, dir, "old.json", &SweepJSON{SchemaVersion: SchemaVersion - 1})
+	if _, err := LoadSweepJSON(p); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+	if _, err := LoadSweepJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFormatSweepComparison(t *testing.T) {
+	oldS := &SweepJSON{SchemaVersion: SchemaVersion, Nodes: 8, Scale: "medium", Runs: []RunJSONResult{
+		{App: "water", Protocol: "CCL", ExecSec: 2.0, TotalLogBytes: 1000, TotalFlushes: 10},
+		{App: "mg", Protocol: "ML", ExecSec: 1.0, TotalLogBytes: 4000, TotalFlushes: 7},
+	}}
+	newS := &SweepJSON{SchemaVersion: SchemaVersion, Nodes: 8, Scale: "medium", Runs: []RunJSONResult{
+		{App: "water", Protocol: "CCL", ExecSec: 1.5, TotalLogBytes: 800, TotalFlushes: 10},
+		{App: "3d-fft", Protocol: "CCL", ExecSec: 3.0, TotalLogBytes: 500, TotalFlushes: 4},
+	}}
+	out := FormatSweepComparison(oldS, newS)
+	for _, want := range []string{"water", "-25.0%", "-20.0%", "only in new sweep", "only in old sweep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}

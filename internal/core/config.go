@@ -56,6 +56,12 @@ type Config struct {
 	// lock l is node l mod Nodes), as TreadMarks does, instead of the
 	// default centralized manager. Incompatible with RunWithCrash.
 	DistributedLocks bool
+	// LegacyWire reverts the release path to the pre-batching layouts: one
+	// DiffUpdate message per diff on the wire and one RecDiff log record
+	// per diff on disk. Kept for the batched-vs-legacy equivalence tests;
+	// results (memory images, interval/diff counts, reconciliation) must
+	// not differ.
+	LegacyWire bool
 	// Faults is the deterministic fault-injection plan: seeded message
 	// loss, duplication and delay on the transport, and torn log writes on
 	// crash. The zero value injects nothing. The same seed always yields

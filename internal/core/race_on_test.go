@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race. The race detector changes goroutine scheduling enough that
+// lock-contended programs resolve their grant order differently from
+// run to run, which some cross-run comparisons must tolerate.
+const raceDetectorEnabled = true

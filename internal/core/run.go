@@ -52,12 +52,11 @@ func buildCluster(cfg Config) (*cluster, error) {
 
 // newIncarnation builds a (fresh or recovered) node attached to slot id.
 func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock) *hlrc.Node {
-	hooks := wal.New(c.cfg.Protocol, c.depot.Store(id), stats)
-	if c.cfg.Faults.TornWriteOnCrash {
-		// Torn-tail recovery needs the hardened log layout (ML logs its
-		// own diffs too) and manager sender logs to replay from.
-		hooks = wal.NewHardened(c.cfg.Protocol, c.depot.Store(id), stats)
-	}
+	wopts := wal.Options{LegacyDiffRecords: c.cfg.LegacyWire}
+	// Torn-tail recovery needs the hardened log layout (ML logs its
+	// own diffs too) and manager sender logs to replay from.
+	hardened := c.cfg.Faults.TornWriteOnCrash
+	hooks := wal.NewWithOptions(c.cfg.Protocol, c.depot.Store(id), stats, hardened, wopts)
 	trc := c.cfg.Trace.Tracer(id)
 	c.depot.Store(id).ObserveFlushes(trc.Hist(obsv.HistFlushBytes))
 	nd := hlrc.NewNode(hlrc.Config{
@@ -70,6 +69,7 @@ func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock
 		HomeUndo:           c.cfg.HomeUndo,
 		NoFlushOverlap:     c.cfg.NoFlushOverlap,
 		DistributedLocks:   c.cfg.DistributedLocks,
+		LegacyDiffUpdates:  c.cfg.LegacyWire,
 		SenderLogs:         c.cfg.Faults.TornWriteOnCrash,
 		Tracer:             trc,
 	}, c.nw, clock, hooks, stats)

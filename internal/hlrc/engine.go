@@ -45,6 +45,11 @@ type Config struct {
 	// NoFlushOverlap disables CCL's flush/communication overlap
 	// (ablation): the release flush lands fully on the critical path.
 	NoFlushOverlap bool
+	// LegacyDiffUpdates sends one DiffUpdate message per diff at release
+	// instead of one per home. Kept for wire-format comparison tests; the
+	// per-home batch is semantically identical (the home applies diffs
+	// keyed by (writer, seq) either way).
+	LegacyDiffUpdates bool
 	// SenderLogs makes manager nodes keep an in-memory log of every lock
 	// grant and barrier release they issue, per receiver. A victim whose
 	// disk log lost its tail to a torn write replays those operations from
@@ -451,8 +456,14 @@ func (nd *Node) applyHomeDiffLocked(d memory.Diff, writer, seq int32) bool {
 // ApplyDiffAsHome is the exported form of applyHomeDiffLocked for the
 // recovery engine (which runs while the service loop is stopped). It
 // reports whether the diff was new (false: the interval was already
-// applied, an idempotent re-delivery).
+// applied, an idempotent re-delivery). The diff is bounds-checked first:
+// recovery feeds this with diffs decoded from disk logs and peers, and
+// Apply trusts run offsets, so a corrupt log must fail here rather than
+// scribble outside the page.
 func (nd *Node) ApplyDiffAsHome(d memory.Diff, writer, seq int32) bool {
+	if err := d.Validate(nd.cfg.PageSize); err != nil {
+		panic(fmt.Sprintf("hlrc: node %d rejected recovered diff: %v", nd.cfg.ID, err))
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	return nd.applyHomeDiffLocked(d, writer, seq)

@@ -344,6 +344,16 @@ func (nd *Node) closeAndPropagate(op int32) {
 	pendings := make([]*transport.Pending, 0, len(homes))
 	var sentBytes int64
 	for _, h := range homes {
+		if nd.cfg.LegacyDiffUpdates {
+			// Legacy wire layout: one message per diff, in page order.
+			for _, d := range perHome[h] {
+				du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, Diffs: []memory.Diff{d}}
+				sz := du.WireSize()
+				sentBytes += int64(sz)
+				pendings = append(pendings, nd.ep.CallAsync(h, KindDiffUpdate, sz, du))
+			}
+			continue
+		}
 		du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, Diffs: perHome[h]}
 		sz := du.WireSize()
 		sentBytes += int64(sz)

@@ -121,19 +121,30 @@ func auditStore(node int, s *stable.Store, opts AuditOptions, rep *AuditReport) 
 			}
 			lastOp = d.Op
 		}
-		if d.Diff != nil && d.Diff.Writer == -1 {
+		// Own diffs arrive either as per-diff records (legacy layout) or
+		// as one batch record per closed interval; both carry the same
+		// (seq, vtsum) ordering obligation.
+		ownSeq, ownVT := int32(0), int64(0)
+		isOwn := false
+		switch {
+		case d.Diff != nil && d.Diff.Writer == -1:
+			ownSeq, ownVT, isOwn = d.Diff.Seq, d.Diff.VTSum, true
+		case d.DiffBatch != nil && d.DiffBatch.Writer == -1:
+			ownSeq, ownVT, isOwn = d.DiffBatch.Seq, d.DiffBatch.VTSum, true
+		}
+		if isOwn {
 			switch {
-			case d.Diff.Seq < lastSeq:
+			case ownSeq < lastSeq:
 				return fmt.Errorf("%w: node %d record %d: seq %d after seq %d",
-					ErrVTRegression, node, i, d.Diff.Seq, lastSeq)
-			case d.Diff.Seq == lastSeq && d.Diff.VTSum != lastVT:
+					ErrVTRegression, node, i, ownSeq, lastSeq)
+			case ownSeq == lastSeq && ownVT != lastVT:
 				return fmt.Errorf("%w: node %d record %d: seq %d re-logged with vtsum %d != %d",
-					ErrVTRegression, node, i, d.Diff.Seq, d.Diff.VTSum, lastVT)
-			case d.Diff.Seq > lastSeq && d.Diff.VTSum <= lastVT:
+					ErrVTRegression, node, i, ownSeq, ownVT, lastVT)
+			case ownSeq > lastSeq && ownVT <= lastVT:
 				return fmt.Errorf("%w: node %d record %d: seq %d advanced but vtsum %d <= %d",
-					ErrVTRegression, node, i, d.Diff.Seq, d.Diff.VTSum, lastVT)
+					ErrVTRegression, node, i, ownSeq, ownVT, lastVT)
 			}
-			lastSeq, lastVT = d.Diff.Seq, d.Diff.VTSum
+			lastSeq, lastVT = ownSeq, ownVT
 			rep.OwnDiffs++
 		}
 		bytes += int64(d.Wire)

@@ -19,7 +19,7 @@ func ownDiffData(seq int32, vtSum int64) []byte {
 	twin := make([]byte, 32)
 	cur := make([]byte, 32)
 	cur[0] = byte(seq)
-	return wal.EncodeDiffRecord(-1, seq, vtSum, memory.MakeDiff(1, twin, cur))
+	return wal.EncodeDiffRecord(nil, -1, seq, vtSum, memory.MakeDiff(1, twin, cur))
 }
 
 // The auditor must fail loudly, with the right typed error, on each
@@ -100,8 +100,8 @@ func TestAuditPositiveCases(t *testing.T) {
 	cur[1] = 7
 	d := memory.MakeDiff(4, twin, cur)
 	depot.Store(1).Flush([]stable.Record{
-		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(1, 5, 0, d)},
-		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(1, 4, 0, d)},
+		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(nil, 1, 5, 0, d)},
+		{Kind: wal.RecDiff, Op: 2, Data: wal.EncodeDiffRecord(nil, 1, 4, 0, d)},
 	})
 	rep, err := logview.Audit(depot, logview.AuditOptions{})
 	if err != nil {

@@ -89,7 +89,7 @@ func TestVolumeKindsMatchProtocol(t *testing.T) {
 	if mlVol.KindBytes("events") != 0 {
 		t.Errorf("ML logged update-event records: %+v", mlVol.Kinds)
 	}
-	if mlVol.KindBytes("diff") == 0 {
+	if mlVol.KindBytes("diff")+mlVol.KindBytes("diff-batch") == 0 {
 		t.Errorf("ML logged no diffs: %+v", mlVol.Kinds)
 	}
 	if cclVol.KindBytes("page") != 0 {

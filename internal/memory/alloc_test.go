@@ -1,0 +1,118 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+
+	"sdsm/internal/arena"
+)
+
+// Allocation regression tests for the hot-path kernels. MakeDiff on a
+// clean page must not allocate at all (every release diffs every dirty
+// page, and unmodified rewrites are common), and Encode into a
+// sufficiently-sized pooled buffer must stay at zero with at most one
+// allocation tolerated for a cold pool.
+
+func TestMakeDiffCleanPageZeroAllocs(t *testing.T) {
+	twin := make([]byte, 4096)
+	cur := make([]byte, 4096)
+	for i := range twin {
+		twin[i] = byte(i)
+		cur[i] = byte(i)
+	}
+	// Warm the scratch pool, then measure.
+	MakeDiff(0, twin, cur)
+	allocs := testing.AllocsPerRun(100, func() {
+		d := MakeDiff(0, twin, cur)
+		if !d.Empty() {
+			t.Fatal("clean page produced runs")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MakeDiff on clean page: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestEncodePooledBufferAtMostOneAlloc(t *testing.T) {
+	twin, cur := benchPage(0.1)
+	d := MakeDiff(0, twin, cur)
+	size := d.WireSize()
+	arena.Put(arena.Get(size)) // warm the pool's size class
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := arena.Get(size)[:0]
+		buf = d.Encode(buf)
+		if len(buf) != size {
+			t.Fatalf("encoded %d bytes, want %d", len(buf), size)
+		}
+		arena.Put(buf)
+	})
+	if allocs > 1 {
+		t.Fatalf("Encode with pooled buffer: %.1f allocs/op, want <= 1", allocs)
+	}
+}
+
+func TestEncodeExactCapacityGrowsOnce(t *testing.T) {
+	twin, cur := benchPage(0.1)
+	d := MakeDiff(0, twin, cur)
+	buf := d.Encode(nil)
+	if len(buf) != d.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(buf), d.WireSize())
+	}
+	if cap(buf) != d.WireSize() {
+		t.Fatalf("encode into nil buf got cap %d, want exact %d", cap(buf), d.WireSize())
+	}
+	// Appending to a prefix must preserve the existing contents.
+	pre := []byte{1, 2, 3}
+	buf2 := d.Encode(pre)
+	if len(buf2) != 3+d.WireSize() || buf2[0] != 1 || buf2[2] != 3 {
+		t.Fatalf("encode after prefix mangled the buffer")
+	}
+}
+
+// Bounds-check negative tests: a decoded diff whose runs stray outside
+// the destination page must be rejected before Apply can scribble.
+
+func TestValidateRejectsOutOfBoundsRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Diff
+	}{
+		{"negative offset", Diff{Page: 1, Runs: []Run{{Off: -4, Data: make([]byte, 8)}}}},
+		{"overruns page", Diff{Page: 1, Runs: []Run{{Off: 4090, Data: make([]byte, 8)}}}},
+		{"offset past end", Diff{Page: 1, Runs: []Run{{Off: 4096, Data: make([]byte, 4)}}}},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(4096); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.d.Runs[0])
+		} else if !strings.Contains(err.Error(), "outside") {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+	}
+	ok := Diff{Page: 1, Runs: []Run{{Off: 4088, Data: make([]byte, 8)}}}
+	if err := ok.Validate(4096); err != nil {
+		t.Errorf("Validate rejected an in-bounds run: %v", err)
+	}
+}
+
+func TestDecodeDiffRejectsNegativeOffset(t *testing.T) {
+	// Hand-craft an encoding with a run at offset 0x80000000 (negative
+	// as int32).
+	good := Diff{Page: 0, Runs: []Run{{Off: 0, Data: []byte{1, 2, 3, 4}}}}
+	buf := good.Encode(nil)
+	// Run offset lives at bytes 8..12.
+	buf[11] = 0x80
+	if _, _, err := DecodeDiff(buf); err == nil {
+		t.Fatal("DecodeDiff accepted a negative run offset")
+	}
+}
+
+func TestDecodeDiffRejectsInt32Overflow(t *testing.T) {
+	// Offset + length overflowing int32 must fail even though each field
+	// alone looks plausible.
+	good := Diff{Page: 0, Runs: []Run{{Off: 0, Data: []byte{1, 2, 3, 4}}}}
+	buf := good.Encode(nil)
+	buf[8], buf[9], buf[10], buf[11] = 0xfc, 0xff, 0xff, 0x7f // off = MaxInt32-3
+	if _, _, err := DecodeDiff(buf); err == nil {
+		t.Fatal("DecodeDiff accepted an offset+len overflowing int32")
+	}
+}

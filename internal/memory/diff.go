@@ -13,6 +13,7 @@ package memory
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // WordSize is the diff granularity in bytes. TreadMarks diffs at 4-byte
@@ -39,40 +40,93 @@ type Diff struct {
 // word granularity and coalescing adjacent modified words into runs.
 // The two slices must have equal length. The returned runs alias cur; the
 // caller must copy them (see Clone) if cur will be modified afterwards.
+//
+// The scan compares 8 bytes (two words) per load where it can: the skip
+// loop strides over clean regions until a 64-bit chunk differs, and the
+// run-coalescing fast path extends a run by whole chunks while both of a
+// chunk's words keep differing. Word-granularity boundaries are resolved
+// with single-word comparisons, so the produced runs are byte-identical
+// to a pure word-by-word scan.
 func MakeDiff(page PageID, twin, cur []byte) Diff {
 	if len(twin) != len(cur) {
 		panic(fmt.Sprintf("memory: twin/page size mismatch: %d vs %d", len(twin), len(cur)))
 	}
 	d := Diff{Page: page}
 	n := len(cur)
+	// Single-pass state machine over two-word chunks: each chunk is
+	// loaded once, XORed, and its two words classified. runStart tracks
+	// the open run (-1: none); a clean word closes it. Runs accumulate in
+	// a pooled scratch slice so repeated append-growth never allocates in
+	// steady state; the result is copied out at its exact final size
+	// (zero allocations when the page is clean).
+	sp := runScratch.Get().(*[]Run)
+	runs := (*sp)[:0]
+	runStart := -1
 	i := 0
-	for i < n {
-		// Find the next modified word.
-		for i < n && wordEqual(twin, cur, i) {
-			i += WordSize
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(twin[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
+		if x == 0 {
+			if runStart >= 0 {
+				runs = append(runs, Run{Off: int32(runStart), Data: cur[runStart:i]})
+				runStart = -1
+			}
+			continue
 		}
-		if i >= n {
-			break
+		lo, hi := uint32(x) != 0, uint32(x>>32) != 0
+		switch {
+		case lo && hi: // whole chunk modified: the run coalesces across it
+			if runStart < 0 {
+				runStart = i
+			}
+		case lo: // run ends mid-chunk
+			if runStart < 0 {
+				runStart = i
+			}
+			runs = append(runs, Run{Off: int32(runStart), Data: cur[runStart : i+4]})
+			runStart = -1
+		default: // clean low word, run (re)starts at the high word
+			if runStart >= 0 {
+				runs = append(runs, Run{Off: int32(runStart), Data: cur[runStart:i]})
+			}
+			runStart = i + 4
 		}
-		start := i
-		for i < n && !wordEqual(twin, cur, i) {
-			i += WordSize
-		}
-		end := i
-		if end > n {
-			end = n
-		}
-		d.Runs = append(d.Runs, Run{Off: int32(start), Data: cur[start:end]})
 	}
+	// Tail shorter than a chunk: word-wise (possibly a final partial word).
+	for ; i < n; i += WordSize {
+		if wordEqual(twin, cur, i) {
+			if runStart >= 0 {
+				runs = append(runs, Run{Off: int32(runStart), Data: cur[runStart:i]})
+				runStart = -1
+			}
+		} else if runStart < 0 {
+			runStart = i
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, Run{Off: int32(runStart), Data: cur[runStart:n]})
+	}
+	if len(runs) > 0 {
+		d.Runs = make([]Run, len(runs))
+		copy(d.Runs, runs)
+	}
+	clear(runs) // drop the page aliases before pooling the scratch
+	*sp = runs[:0]
+	runScratch.Put(sp)
 	return d
 }
 
+// runScratch pools MakeDiff's scratch run slices across calls (and
+// goroutines: every node's handlers diff concurrently).
+var runScratch = sync.Pool{New: func() any {
+	s := make([]Run, 0, 64)
+	return &s
+}}
+
 func wordEqual(a, b []byte, off int) bool {
-	end := off + WordSize
-	if end > len(a) {
-		end = len(a)
+	if off+WordSize <= len(a) {
+		return binary.LittleEndian.Uint32(a[off:]) == binary.LittleEndian.Uint32(b[off:])
 	}
-	for i := off; i < end; i++ {
+	for i := off; i < len(a); i++ {
 		if a[i] != b[i] {
 			return false
 		}
@@ -91,13 +145,19 @@ func (d Diff) Apply(dst []byte) {
 }
 
 // Clone returns a deep copy of the diff that does not alias the source
-// page buffer.
+// page buffer. All runs share a single backing array (two allocations
+// per clone regardless of run count).
 func (d Diff) Clone() Diff {
+	if len(d.Runs) == 0 {
+		return Diff{Page: d.Page}
+	}
 	c := Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	backing := make([]byte, d.DataBytes())
+	off := 0
 	for i, r := range d.Runs {
-		data := make([]byte, len(r.Data))
-		copy(data, r.Data)
-		c.Runs[i] = Run{Off: r.Off, Data: data}
+		end := off + copy(backing[off:off+len(r.Data)], r.Data)
+		c.Runs[i] = Run{Off: r.Off, Data: backing[off:end:end]}
+		off = end
 	}
 	return c
 }
@@ -116,8 +176,16 @@ func (d Diff) DataBytes() int {
 // log-size accounting use.
 func (d Diff) WireSize() int { return 8 + 8*len(d.Runs) + d.DataBytes() }
 
-// Encode appends a portable encoding of the diff to buf.
+// Encode appends a portable encoding of the diff to buf. When buf lacks
+// capacity it is grown once, to the exact total size (WireSize plus the
+// existing contents), so encoding into a fresh or pooled buffer costs at
+// most one allocation.
 func (d Diff) Encode(buf []byte) []byte {
+	if need := d.WireSize(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Page))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Runs)))
 	for _, r := range d.Runs {
@@ -129,7 +197,11 @@ func (d Diff) Encode(buf []byte) []byte {
 }
 
 // DecodeDiff decodes a diff produced by Encode, returning the diff and the
-// remaining bytes. The decoded runs do not alias buf.
+// remaining bytes. The decoded runs do not alias buf; they share one
+// backing array (two allocations per diff regardless of run count).
+// Run offsets must be non-negative and runs must not overflow an int32
+// address space; whether they fit the destination page is the caller's
+// check (Validate), since the wire format does not carry the page size.
 func DecodeDiff(buf []byte) (Diff, []byte, error) {
 	var d Diff
 	if len(buf) < 8 {
@@ -138,30 +210,62 @@ func DecodeDiff(buf []byte) (Diff, []byte, error) {
 	d.Page = PageID(binary.LittleEndian.Uint32(buf))
 	n := int(binary.LittleEndian.Uint32(buf[4:]))
 	buf = buf[8:]
-	// Cap the preallocation by what the buffer could possibly hold (8
-	// bytes per run minimum): a corrupted run count must produce a decode
-	// error, not a gigantic allocation.
-	capHint := n
-	if max := len(buf) / 8; capHint > max {
-		capHint = max
+	if n == 0 {
+		return d, buf, nil
 	}
-	d.Runs = make([]Run, 0, capHint)
+	// First pass: walk the run headers to validate them and size the
+	// shared backing array. Working from the headers (not the claimed run
+	// count) means a corrupted count yields a decode error, never a
+	// gigantic allocation.
+	rest := buf
+	dataBytes := 0
 	for i := 0; i < n; i++ {
-		if len(buf) < 8 {
-			return d, buf, fmt.Errorf("memory: short run header (run %d)", i)
+		if len(rest) < 8 {
+			return d, rest, fmt.Errorf("memory: short run header (run %d)", i)
 		}
+		off := int32(binary.LittleEndian.Uint32(rest))
+		ln := int(binary.LittleEndian.Uint32(rest[4:]))
+		rest = rest[8:]
+		if off < 0 {
+			return d, rest, fmt.Errorf("memory: negative run offset %d (run %d)", off, i)
+		}
+		if int64(off)+int64(ln) > int64(1)<<31-1 {
+			return d, rest, fmt.Errorf("memory: run %d spans [%d, %d+%d), beyond any page", i, off, off, ln)
+		}
+		if len(rest) < ln {
+			return d, rest, fmt.Errorf("memory: truncated run payload (run %d)", i)
+		}
+		rest = rest[ln:]
+		dataBytes += ln
+	}
+	// Second pass: copy the payloads into the backing array.
+	d.Runs = make([]Run, n)
+	backing := make([]byte, dataBytes)
+	used := 0
+	for i := 0; i < n; i++ {
 		off := int32(binary.LittleEndian.Uint32(buf))
 		ln := int(binary.LittleEndian.Uint32(buf[4:]))
 		buf = buf[8:]
-		if len(buf) < ln {
-			return d, buf, fmt.Errorf("memory: truncated run payload (run %d)", i)
-		}
-		data := make([]byte, ln)
-		copy(data, buf[:ln])
+		end := used + copy(backing[used:used+ln], buf[:ln])
+		d.Runs[i] = Run{Off: off, Data: backing[used:end:end]}
+		used = end
 		buf = buf[ln:]
-		d.Runs = append(d.Runs, Run{Off: off, Data: data})
 	}
 	return d, buf, nil
+}
+
+// Validate checks that every run lies inside a page of pageSize bytes.
+// Decoded diffs must pass it before being applied: Apply trusts the run
+// offsets, and a corrupt or hostile encoding could otherwise write
+// outside the destination page buffer.
+func (d Diff) Validate(pageSize int) error {
+	for i, r := range d.Runs {
+		if r.Off < 0 || int(r.Off)+len(r.Data) > pageSize {
+			return fmt.Errorf("memory: page %d run %d spans [%d, %d), outside the %d-byte page",
+				d.Page, i, r.Off, int(r.Off)+len(r.Data), pageSize)
+		}
+	}
+	return nil
 }
 
 // InverseDiff returns the diff that undoes d when applied to a page that
@@ -169,12 +273,18 @@ func DecodeDiff(buf []byte) (Diff, []byte, error) {
 // runs. It is used by the home-side undo history that lets a live home
 // reconstruct an earlier version of a page during recovery ("home
 // rollback" in the paper).
+// Like Clone, all runs of the inverse share a single backing array.
 func InverseDiff(d Diff, base []byte) Diff {
+	if len(d.Runs) == 0 {
+		return Diff{Page: d.Page}
+	}
 	inv := Diff{Page: d.Page, Runs: make([]Run, len(d.Runs))}
+	backing := make([]byte, d.DataBytes())
+	off := 0
 	for i, r := range d.Runs {
-		old := make([]byte, len(r.Data))
-		copy(old, base[r.Off:int(r.Off)+len(r.Data)])
-		inv.Runs[i] = Run{Off: r.Off, Data: old}
+		end := off + copy(backing[off:off+len(r.Data)], base[r.Off:int(r.Off)+len(r.Data)])
+		inv.Runs[i] = Run{Off: r.Off, Data: backing[off:end:end]}
+		off = end
 	}
 	return inv
 }

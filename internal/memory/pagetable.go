@@ -1,6 +1,10 @@
 package memory
 
-import "fmt"
+import (
+	"fmt"
+
+	"sdsm/internal/arena"
+)
 
 // State is the access state of one page in one node's page table. It
 // stands in for the mprotect protection bits of a real SDSM.
@@ -96,21 +100,30 @@ func (pt *PageTable) HasTwin(id PageID) bool { return pt.twin[id] != nil }
 
 // MakeTwin snapshots the current contents of page id as its twin. It
 // panics if a twin already exists (the protocol creates at most one twin
-// per page per interval).
+// per page per interval). Twin buffers come from the shared arena and
+// return to it when the twin is dropped, so steady-state intervals
+// recycle the same page-sized buffers.
 func (pt *PageTable) MakeTwin(id PageID) {
 	if pt.twin[id] != nil {
 		panic(fmt.Sprintf("memory: page %d already has a twin", id))
 	}
-	t := make([]byte, pt.pageSize)
+	t := arena.Get(pt.pageSize)
 	copy(t, pt.Page(id))
 	pt.twin[id] = t
 }
 
-// Twin returns the twin of page id, or nil.
+// Twin returns the twin of page id, or nil. The slice is only valid
+// until the twin is dropped (DropTwin, EndInterval, Restore); callers
+// must not retain it across those calls.
 func (pt *PageTable) Twin(id PageID) []byte { return pt.twin[id] }
 
-// DropTwin discards page id's twin.
-func (pt *PageTable) DropTwin(id PageID) { pt.twin[id] = nil }
+// DropTwin discards page id's twin, returning its buffer to the arena.
+func (pt *PageTable) DropTwin(id PageID) {
+	if t := pt.twin[id]; t != nil {
+		pt.twin[id] = nil
+		arena.Put(t)
+	}
+}
 
 // MarkDirty records that page id was written during the current interval.
 func (pt *PageTable) MarkDirty(id PageID) { pt.dirty[id] = true }
@@ -134,12 +147,16 @@ func (pt *PageTable) DirtyPages() []PageID {
 // flushed early at an acquire because the page is being invalidated).
 func (pt *PageTable) ClearDirty(id PageID) { pt.dirty[id] = false }
 
-// EndInterval clears all dirty bits and drops all twins; called once the
-// interval's diffs have been produced.
+// EndInterval clears all dirty bits and drops all twins (returning their
+// buffers to the arena); called once the interval's diffs have been
+// produced.
 func (pt *PageTable) EndInterval() {
 	for i := range pt.dirty {
 		pt.dirty[i] = false
-		pt.twin[i] = nil
+		if t := pt.twin[i]; t != nil {
+			pt.twin[i] = nil
+			arena.Put(t)
+		}
 	}
 }
 
@@ -182,7 +199,10 @@ func (pt *PageTable) Restore(snapshot []byte) {
 	copy(pt.data, snapshot)
 	for i := range pt.state {
 		pt.state[i] = ReadOnly
-		pt.twin[i] = nil
+		if t := pt.twin[i]; t != nil {
+			pt.twin[i] = nil
+			arena.Put(t)
+		}
 		pt.dirty[i] = false
 	}
 }

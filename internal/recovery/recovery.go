@@ -109,23 +109,46 @@ func InstallService(nd *hlrc.Node, store *stable.Store) {
 func readLoggedDiffs(store *stable.Store, req *hlrc.RecDiffsReq) *hlrc.RecDiffsReply {
 	resp := &hlrc.RecDiffsReply{}
 	for _, rec := range store.Records() {
-		if rec.Kind != wal.RecDiff {
-			continue
+		switch rec.Kind {
+		case wal.RecDiff:
+			writer, seq, vtSum, d, err := wal.DecodeDiffRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
+			}
+			if writer != -1 { // only diffs this node created itself (CCL log)
+				continue
+			}
+			if d.Page != req.Page || seq <= req.FromSeq || seq > req.ToSeq {
+				continue
+			}
+			resp.Seqs = append(resp.Seqs, seq)
+			resp.VTSums = append(resp.VTSums, vtSum)
+			resp.Diffs = append(resp.Diffs, d)
+			resp.DiskBytes += rec.WireSize()
+		case wal.RecDiffBatch:
+			writer, seq, vtSum, diffs, err := wal.DecodeDiffBatchRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt diff-batch record: %v", err))
+			}
+			if writer != -1 || seq <= req.FromSeq || seq > req.ToSeq {
+				continue
+			}
+			matched := false
+			for _, d := range diffs {
+				if d.Page != req.Page {
+					continue
+				}
+				resp.Seqs = append(resp.Seqs, seq)
+				resp.VTSums = append(resp.VTSums, vtSum)
+				resp.Diffs = append(resp.Diffs, d)
+				matched = true
+			}
+			if matched {
+				// The whole batch record is read off the writer's disk even
+				// when only one of its diffs is wanted.
+				resp.DiskBytes += rec.WireSize()
+			}
 		}
-		writer, seq, vtSum, d, err := wal.DecodeDiffRecord(rec.Data)
-		if err != nil {
-			panic(fmt.Sprintf("recovery: corrupt diff record: %v", err))
-		}
-		if writer != -1 { // only diffs this node created itself (CCL log)
-			continue
-		}
-		if d.Page != req.Page || seq <= req.FromSeq || seq > req.ToSeq {
-			continue
-		}
-		resp.Seqs = append(resp.Seqs, seq)
-		resp.VTSums = append(resp.VTSums, vtSum)
-		resp.Diffs = append(resp.Diffs, d)
-		resp.DiskBytes += rec.WireSize()
 	}
 	store.NoteRead(resp.DiskBytes)
 	return resp
@@ -466,6 +489,21 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 			}
 			// ML: an incoming diff applied to a home copy.
 			nd.ApplyDiffAsHome(d, writer, seq)
+		case wal.RecDiffBatch:
+			writer, seq, _, diffs, err := wal.DecodeDiffBatchRecord(rec.Data)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: corrupt diff-batch record: %v", err))
+			}
+			if writer == -1 {
+				// The victim's own outgoing diffs (CCL): the homes already
+				// have them, and replay recomputes the writes; skip.
+				continue
+			}
+			// ML: one incoming writer interval's diffs, applied to the
+			// victim's home copies.
+			for _, d := range diffs {
+				nd.ApplyDiffAsHome(d, writer, seq)
+			}
 		default:
 			panic(fmt.Sprintf("recovery: unexpected record kind %d", rec.Kind))
 		}

@@ -50,15 +50,20 @@ func (r Record) WireSize() int { return HeaderSize + len(r.Data) }
 // unstamped record is as untrustworthy as a torn one.
 func (r Record) Verify() bool { return r.Sum == checksum(r.Kind, r.Op, r.Data) }
 
-// checksum computes the integrity sum Flush stamps into each record.
+// checksum computes the integrity sum Flush stamps into each record:
+// the IEEE CRC32 of (kind, op, data). The five header bytes run through
+// the table by hand — passing a stack array to crc32.Update (or a
+// crc32.New digest) heap-allocates it, one allocation per record on the
+// release flush path.
 func checksum(kind RecordKind, op int32, data []byte) uint32 {
 	var hdr [5]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(op))
-	h := crc32.NewIEEE()
-	h.Write(hdr[:])
-	h.Write(data)
-	return h.Sum32()
+	s := ^uint32(0)
+	for _, b := range hdr {
+		s = crc32.IEEETable[byte(s)^b] ^ (s >> 8)
+	}
+	return crc32.Update(^s, crc32.IEEETable, data)
 }
 
 // Checkpoint is one saved process state. Pages always holds the complete
@@ -83,6 +88,12 @@ type Store struct {
 	readBytes   int64
 	checkpoints []Checkpoint
 	flushHist   *obsv.Hist // per-flush byte sizes; nil when metrics are off
+	// disk is the contiguous on-disk log image. Each flush frames all of
+	// its records into it as one buffered write; the log's Record.Data
+	// slices alias it. It grows geometrically, so steady-state flushes
+	// are amortized allocation-free; growth leaves earlier records
+	// pointing into the old (immutable) array, which stays correct.
+	disk []byte
 }
 
 // ObserveFlushes registers h to receive the byte size of every
@@ -102,13 +113,39 @@ func NewStore() *Store { return &Store{} }
 // costs a disk access in the ML protocol), unless recs is empty and
 // countEmpty is false — callers that suppress empty flushes simply don't
 // call Flush.
+// Callers regain ownership of the record payload slices when Flush
+// returns: the flush copies every payload into the store's contiguous
+// disk image (one buffered write per flush, however many records), so
+// pooled encode buffers can be recycled immediately.
 func (s *Store) Flush(recs []Record) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
+	for i := range recs {
+		n += recs[i].WireSize()
+	}
+	// One write: reserve the flush's full extent up front so the framing
+	// loop below never reallocates mid-flush.
+	if need := len(s.disk) + n; need > cap(s.disk) {
+		grow := 2 * cap(s.disk)
+		if grow < need {
+			grow = need
+		}
+		fresh := make([]byte, len(s.disk), grow)
+		copy(fresh, s.disk)
+		s.disk = fresh
+	}
 	for _, r := range recs {
-		n += r.WireSize()
 		r.Sum = checksum(r.Kind, r.Op, r.Data)
+		var hdr [HeaderSize]byte
+		hdr[0] = byte(r.Kind)
+		binary.LittleEndian.PutUint32(hdr[1:], uint32(r.Op))
+		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(r.Data)))
+		binary.LittleEndian.PutUint32(hdr[9:], r.Sum)
+		s.disk = append(s.disk, hdr[:]...)
+		start := len(s.disk)
+		s.disk = append(s.disk, r.Data...)
+		r.Data = s.disk[start:len(s.disk):len(s.disk)]
 		s.log = append(s.log, r)
 	}
 	if len(recs) > 0 {
@@ -276,6 +313,7 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.log = nil
+	s.disk = nil
 	s.lastFlush = 0
 	s.logBytes = 0
 	s.flushes = 0

@@ -27,7 +27,7 @@ var (
 
 // NumKinds is the number of defined record kinds (kind bytes are
 // 1..NumKinds; 0 is never written).
-const NumKinds = int(RecPage)
+const NumKinds = int(RecDiffBatch)
 
 // KindName names a record kind as the introspection tables print it.
 func KindName(k stable.RecordKind) string {
@@ -40,6 +40,8 @@ func KindName(k stable.RecordKind) string {
 		return "events"
 	case RecPage:
 		return "page"
+	case RecDiffBatch:
+		return "diff-batch"
 	default:
 		return fmt.Sprintf("kind-%d", int(k))
 	}
@@ -59,6 +61,15 @@ type PagePayload struct {
 	Data []byte
 }
 
+// DiffBatchPayload is the typed form of a RecDiffBatch record: every
+// diff of one (writer, interval) group.
+type DiffBatchPayload struct {
+	Writer int32 // -1: the log owner's own diffs
+	Seq    int32 // writer interval the batch closes
+	VTSum  int64 // closing interval's vector-time sum (own batches only)
+	Diffs  []memory.Diff
+}
+
 // Dissected is one log record decoded into typed form. Exactly one of
 // the payload fields is set, selected by Kind.
 type Dissected struct {
@@ -66,10 +77,11 @@ type Dissected struct {
 	Op   int32 // synchronization-operation index the record belongs to
 	Wire int   // accounted on-disk size
 
-	Notices []hlrc.Notice      // RecNotices
-	Diff    *DiffPayload       // RecDiff
-	Events  []hlrc.UpdateEvent // RecEvents
-	Page    *PagePayload       // RecPage
+	Notices   []hlrc.Notice      // RecNotices
+	Diff      *DiffPayload       // RecDiff
+	Events    []hlrc.UpdateEvent // RecEvents
+	Page      *PagePayload       // RecPage
+	DiffBatch *DiffBatchPayload  // RecDiffBatch
 }
 
 // DissectRecord decodes one record by its kind byte. It does not check
@@ -106,6 +118,12 @@ func DissectRecord(r stable.Record) (*Dissected, error) {
 			return nil, fmt.Errorf("%w: page at op %d: %v", ErrCorruptPayload, r.Op, err)
 		}
 		d.Page = &PagePayload{Page: page, Data: data}
+	case RecDiffBatch:
+		writer, seq, vtSum, diffs, err := DecodeDiffBatchRecord(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: diff batch at op %d: %v", ErrCorruptPayload, r.Op, err)
+		}
+		d.DiffBatch = &DiffBatchPayload{Writer: writer, Seq: seq, VTSum: vtSum, Diffs: diffs}
 	default:
 		return nil, fmt.Errorf("%w: %d at op %d", ErrUnknownKind, int(r.Kind), r.Op)
 	}
@@ -133,6 +151,17 @@ func (d *Dissected) Summary() string {
 		return fmt.Sprintf("%d update events", len(d.Events))
 	case RecPage:
 		return fmt.Sprintf("page %d copy (%d bytes)", d.Page.Page, len(d.Page.Data))
+	case RecDiffBatch:
+		who := "own"
+		if d.DiffBatch.Writer >= 0 {
+			who = fmt.Sprintf("writer %d", d.DiffBatch.Writer)
+		}
+		bytes := 0
+		for _, df := range d.DiffBatch.Diffs {
+			bytes += df.WireSize()
+		}
+		return fmt.Sprintf("%s diff batch of %d seq %d vtsum %d (%d bytes)",
+			who, len(d.DiffBatch.Diffs), d.DiffBatch.Seq, d.DiffBatch.VTSum, bytes)
 	default:
 		return "?"
 	}

@@ -32,15 +32,21 @@ func TestDissectRecordRoundTrips(t *testing.T) {
 	}{
 		{"notices", stable.Record{Kind: RecNotices, Op: 4, Data: hlrc.EncodeNotices(notices, nil)},
 			func(x *Dissected) bool { return len(x.Notices) == 1 && len(x.Notices[0].Pages) == 2 }},
-		{"own-diff", stable.Record{Kind: RecDiff, Op: 5, Data: EncodeDiffRecord(-1, 3, 17, d)},
+		{"own-diff", stable.Record{Kind: RecDiff, Op: 5, Data: EncodeDiffRecord(nil, -1, 3, 17, d)},
 			func(x *Dissected) bool {
 				return x.Diff != nil && x.Diff.Writer == -1 && x.Diff.Seq == 3 &&
 					x.Diff.VTSum == 17 && x.Diff.Diff.Page == 5
 			}},
-		{"events", stable.Record{Kind: RecEvents, Op: 6, Data: EncodeEventsRecord(events)},
+		{"events", stable.Record{Kind: RecEvents, Op: 6, Data: EncodeEventsRecord(nil, events)},
 			func(x *Dissected) bool { return len(x.Events) == 1 && x.Events[0].Page == 7 }},
-		{"page", stable.Record{Kind: RecPage, Op: 7, Data: EncodePageRecord(9, page)},
+		{"page", stable.Record{Kind: RecPage, Op: 7, Data: EncodePageRecord(nil, 9, page)},
 			func(x *Dissected) bool { return x.Page != nil && x.Page.Page == 9 && len(x.Page.Data) == 128 }},
+		{"diff-batch", stable.Record{Kind: RecDiffBatch, Op: 8,
+			Data: EncodeDiffBatchRecord(nil, -1, 4, 23, []memory.Diff{d, d})},
+			func(x *Dissected) bool {
+				return x.DiffBatch != nil && x.DiffBatch.Writer == -1 && x.DiffBatch.Seq == 4 &&
+					x.DiffBatch.VTSum == 23 && len(x.DiffBatch.Diffs) == 2 && x.DiffBatch.Diffs[1].Page == 5
+			}},
 	}
 	for _, tc := range cases {
 		x, err := DissectRecord(tc.rec)
@@ -72,7 +78,10 @@ func TestDissectRecordTypedErrors(t *testing.T) {
 		{"short-events", stable.Record{Kind: RecEvents, Data: []byte{0xff, 0xff, 0xff, 0xff}}, ErrCorruptPayload},
 		{"short-page", stable.Record{Kind: RecPage, Data: []byte{9}}, ErrCorruptPayload},
 		{"diff-trailing", stable.Record{Kind: RecDiff,
-			Data: append(EncodeDiffRecord(-1, 1, 1, memory.Diff{Page: 1}), 0xee)}, ErrCorruptPayload},
+			Data: append(EncodeDiffRecord(nil, -1, 1, 1, memory.Diff{Page: 1}), 0xee)}, ErrCorruptPayload},
+		{"short-diff-batch", stable.Record{Kind: RecDiffBatch, Data: []byte{1, 2, 3}}, ErrCorruptPayload},
+		{"diff-batch-trailing", stable.Record{Kind: RecDiffBatch,
+			Data: append(EncodeDiffBatchRecord(nil, -1, 1, 1, nil), 0xee)}, ErrCorruptPayload},
 	}
 	for _, tc := range cases {
 		x, err := DissectRecord(tc.rec)
@@ -91,7 +100,7 @@ func TestDissectRecordTypedErrors(t *testing.T) {
 func TestDissectTornRecord(t *testing.T) {
 	st := stable.NewStore()
 	st.Flush([]stable.Record{{Kind: RecEvents, Op: 1,
-		Data: EncodeEventsRecord([]hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}})}})
+		Data: EncodeEventsRecord(nil, []hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}})}})
 	st.TearTail(0)
 	recs := st.Records()
 	if len(recs) != 1 {
@@ -109,6 +118,7 @@ func TestDissectTornRecord(t *testing.T) {
 func TestKindNames(t *testing.T) {
 	for k, want := range map[stable.RecordKind]string{
 		RecNotices: "notices", RecDiff: "diff", RecEvents: "events", RecPage: "page",
+		RecDiffBatch: "diff-batch",
 	} {
 		if got := KindName(k); got != want {
 			t.Errorf("KindName(%d) = %q, want %q", k, got, want)

@@ -18,7 +18,7 @@ func FuzzDecodeDiffRecord(f *testing.F) {
 	twin := make([]byte, 64)
 	cur := make([]byte, 64)
 	cur[0], cur[32] = 1, 2
-	f.Add(EncodeDiffRecord(3, 7, 21, memory.MakeDiff(5, twin, cur)))
+	f.Add(EncodeDiffRecord(nil, 3, 7, 21, memory.MakeDiff(5, twin, cur)))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -27,8 +27,27 @@ func FuzzDecodeDiffRecord(f *testing.F) {
 	})
 }
 
+func FuzzDecodeDiffBatchRecord(f *testing.F) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0], cur[32] = 1, 2
+	d1 := memory.MakeDiff(5, twin, cur)
+	cur[60] = 3
+	d2 := memory.MakeDiff(6, twin, cur)
+	f.Add(EncodeDiffBatchRecord(nil, -1, 7, 21, []memory.Diff{d1, d2}))
+	f.Add(EncodeDiffBatchRecord(nil, 2, 1, 0, []memory.Diff{d1}))
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are fine. A corrupted diff count must
+		// yield an error, never a huge allocation (the decoder sizes from
+		// the bytes present, not the claimed count).
+		_, _, _, _, _ = DecodeDiffBatchRecord(data)
+	})
+}
+
 func FuzzDecodeEventsRecord(f *testing.F) {
-	f.Add(EncodeEventsRecord([]hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}}))
+	f.Add(EncodeEventsRecord(nil, []hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}}))
 	f.Add([]byte{255, 255, 255, 255})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeEventsRecord(data)
@@ -36,7 +55,7 @@ func FuzzDecodeEventsRecord(f *testing.F) {
 }
 
 func FuzzDecodePageRecord(f *testing.F) {
-	f.Add(EncodePageRecord(9, make([]byte, 128)))
+	f.Add(EncodePageRecord(nil, 9, make([]byte, 128)))
 	f.Add([]byte{0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = DecodePageRecord(data)
@@ -62,9 +81,10 @@ func FuzzDissectRecord(f *testing.F) {
 	d := memory.MakeDiff(5, twin, cur)
 	// Well-formed seeds of every kind, plus corrupted variants.
 	f.Add(byte(RecNotices), int32(1), hlrc.EncodeNotices([]hlrc.Notice{{Proc: 1, Seq: 2, Pages: []memory.PageID{3}}}, nil))
-	f.Add(byte(RecDiff), int32(2), EncodeDiffRecord(-1, 3, 21, d))
-	f.Add(byte(RecEvents), int32(3), EncodeEventsRecord([]hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}}))
-	f.Add(byte(RecPage), int32(4), EncodePageRecord(9, make([]byte, 128)))
+	f.Add(byte(RecDiff), int32(2), EncodeDiffRecord(nil, -1, 3, 21, d))
+	f.Add(byte(RecEvents), int32(3), EncodeEventsRecord(nil, []hlrc.UpdateEvent{{Page: 1, Writer: 2, Seq: 3}}))
+	f.Add(byte(RecPage), int32(4), EncodePageRecord(nil, 9, make([]byte, 128)))
+	f.Add(byte(RecDiffBatch), int32(5), EncodeDiffBatchRecord(nil, -1, 3, 21, []memory.Diff{d}))
 	f.Add(byte(0), int32(0), []byte{})
 	f.Add(byte(200), int32(-1), []byte{0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, kind byte, op int32, data []byte) {

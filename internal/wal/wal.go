@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sdsm/internal/arena"
 	"sdsm/internal/hlrc"
 	"sdsm/internal/memory"
 	"sdsm/internal/obsv"
@@ -70,13 +71,30 @@ const (
 	RecEvents
 	// RecPage holds a page copy fetched from its home — ML only.
 	RecPage
+	// RecDiffBatch holds every diff of one (writer, interval) group in a
+	// single record: all diffs a release created (own diffs, writer -1)
+	// or all diffs one DiffUpdate message delivered (ML). One record per
+	// group instead of one per diff cuts the per-record header and
+	// (writer, seq, vtSum) prefix overhead and the log-append count on
+	// the hot path. Payload: EncodeDiffBatchRecord.
+	RecDiffBatch
 )
+
+// Options tunes the log layout without changing the protocol.
+type Options struct {
+	// LegacyDiffRecords restores the pre-batching layout: one RecDiff
+	// record per diff instead of one RecDiffBatch record per (writer,
+	// interval) group. Recovery and introspection understand both; the
+	// knob exists for the batched-vs-legacy equivalence tests and for
+	// reading the layout the paper's per-diff accounting describes.
+	LegacyDiffRecords bool
+}
 
 // New returns the LogHooks implementation for protocol p writing to
 // store. ProtocolNone returns hlrc.NopHooks. ctrs (optional) receives a
 // LogAppends bump for every record staged into the protocol's log.
 func New(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogHooks {
-	return build(p, store, ctrs, false)
+	return NewWithOptions(p, store, ctrs, false, Options{})
 }
 
 // NewHardened returns the protocol's hooks with the additions torn-tail
@@ -86,17 +104,18 @@ func New(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogHooks {
 // log lost the tail of its incoming-diff records can re-fetch the updates
 // to its home pages from the writers' logs.
 func NewHardened(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogHooks {
-	return build(p, store, ctrs, true)
+	return NewWithOptions(p, store, ctrs, true, Options{})
 }
 
-func build(p Protocol, store *stable.Store, ctrs *obsv.Counters, hardened bool) hlrc.LogHooks {
+// NewWithOptions is New/NewHardened with explicit layout options.
+func NewWithOptions(p Protocol, store *stable.Store, ctrs *obsv.Counters, hardened bool, opts Options) hlrc.LogHooks {
 	switch p {
 	case ProtocolNone:
 		return hlrc.NopHooks{}
 	case ProtocolML:
-		return &MLHooks{store: store, ctrs: ctrs, logOwnDiffs: hardened}
+		return &MLHooks{store: store, ctrs: ctrs, logOwnDiffs: hardened, opts: opts}
 	case ProtocolCCL:
-		return &CCLHooks{store: store, ctrs: ctrs}
+		return &CCLHooks{store: store, ctrs: ctrs, opts: opts}
 	default:
 		panic(fmt.Sprintf("wal: unknown protocol %d", int(p)))
 	}
@@ -112,19 +131,23 @@ func countAppends(ctrs *obsv.Counters, n int) {
 
 // --- record payload encodings ------------------------------------------
 
-// EncodeDiffRecord packs (writer, seq, vtSum, diff) into a RecDiff
-// payload. For own-diff records (writer -1) vtSum carries the sum of the
-// closing interval's vector time; recovery sorts re-fetched diffs from
-// different writers by it to apply them in a linear extension of their
-// causal order. Incoming-diff records (ML) replay in log order and store
-// zero.
-func EncodeDiffRecord(writer, seq int32, vtSum int64, d memory.Diff) []byte {
-	buf := make([]byte, 0, 16+d.WireSize())
+// EncodeDiffRecord appends a RecDiff payload packing (writer, seq,
+// vtSum, diff) to buf, like Diff.Encode: callers pass a pooled buffer
+// (or nil for a fresh exact-size one) and get the extended slice back.
+// For own-diff records (writer -1) vtSum carries the sum of the closing
+// interval's vector time; recovery sorts re-fetched diffs from different
+// writers by it to apply them in a linear extension of their causal
+// order. Incoming-diff records (ML) replay in log order and store zero.
+func EncodeDiffRecord(buf []byte, writer, seq int32, vtSum int64, d memory.Diff) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(writer))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(seq))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(vtSum))
 	return d.Encode(buf)
 }
+
+// DiffRecordSize is the encoded size of a RecDiff payload (the sizing
+// callers use when drawing an arena buffer).
+func DiffRecordSize(d memory.Diff) int { return 16 + d.WireSize() }
 
 // DecodeDiffRecord unpacks a RecDiff payload.
 func DecodeDiffRecord(buf []byte) (writer, seq int32, vtSum int64, d memory.Diff, err error) {
@@ -141,9 +164,9 @@ func DecodeDiffRecord(buf []byte) (writer, seq int32, vtSum int64, d memory.Diff
 	return writer, seq, vtSum, d, err
 }
 
-// EncodeEventsRecord packs update-event triples into a RecEvents payload.
-func EncodeEventsRecord(events []hlrc.UpdateEvent) []byte {
-	buf := make([]byte, 0, 4+12*len(events))
+// EncodeEventsRecord appends a RecEvents payload packing the
+// update-event triples to buf (caller-supplied, like Diff.Encode).
+func EncodeEventsRecord(buf []byte, events []hlrc.UpdateEvent) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
 	for _, e := range events {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Page))
@@ -152,6 +175,9 @@ func EncodeEventsRecord(events []hlrc.UpdateEvent) []byte {
 	}
 	return buf
 }
+
+// EventsRecordSize is the encoded size of a RecEvents payload.
+func EventsRecordSize(events []hlrc.UpdateEvent) int { return 4 + 12*len(events) }
 
 // DecodeEventsRecord unpacks a RecEvents payload.
 func DecodeEventsRecord(buf []byte) ([]hlrc.UpdateEvent, error) {
@@ -175,12 +201,15 @@ func DecodeEventsRecord(buf []byte) ([]hlrc.UpdateEvent, error) {
 	return events, nil
 }
 
-// EncodePageRecord packs (page, contents) into a RecPage payload.
-func EncodePageRecord(page memory.PageID, data []byte) []byte {
-	buf := make([]byte, 0, 4+len(data))
+// EncodePageRecord appends a RecPage payload packing (page, contents) to
+// buf (caller-supplied, like Diff.Encode).
+func EncodePageRecord(buf []byte, page memory.PageID, data []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(page))
 	return append(buf, data...)
 }
+
+// PageRecordSize is the encoded size of a RecPage payload.
+func PageRecordSize(data []byte) int { return 4 + len(data) }
 
 // DecodePageRecord unpacks a RecPage payload.
 func DecodePageRecord(buf []byte) (memory.PageID, []byte, error) {
@@ -188,6 +217,64 @@ func DecodePageRecord(buf []byte) (memory.PageID, []byte, error) {
 		return 0, nil, fmt.Errorf("wal: short page record")
 	}
 	return memory.PageID(binary.LittleEndian.Uint32(buf)), buf[4:], nil
+}
+
+// EncodeDiffBatchRecord appends a RecDiffBatch payload to buf: one
+// (writer, seq, vtSum) prefix shared by every diff of the group, a diff
+// count, then the diffs back to back. All diffs of a batch close the
+// same writer interval, which is what lets the prefix be shared.
+func EncodeDiffBatchRecord(buf []byte, writer, seq int32, vtSum int64, diffs []memory.Diff) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(writer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(vtSum))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(diffs)))
+	for _, d := range diffs {
+		buf = d.Encode(buf)
+	}
+	return buf
+}
+
+// DiffBatchRecordSize is the encoded size of a RecDiffBatch payload.
+func DiffBatchRecordSize(diffs []memory.Diff) int {
+	n := 20
+	for _, d := range diffs {
+		n += d.WireSize()
+	}
+	return n
+}
+
+// DecodeDiffBatchRecord unpacks a RecDiffBatch payload. Like
+// memory.DecodeDiff it sizes preallocations from the remaining buffer,
+// never from the claimed count alone, so corrupt counts produce errors
+// instead of huge allocations. Per-run page-bounds validation is the
+// caller's (memory.Diff.Validate — the wire format does not know the
+// page size).
+func DecodeDiffBatchRecord(buf []byte) (writer, seq int32, vtSum int64, diffs []memory.Diff, err error) {
+	if len(buf) < 20 {
+		return 0, 0, 0, nil, fmt.Errorf("wal: short diff-batch record")
+	}
+	writer = int32(binary.LittleEndian.Uint32(buf))
+	seq = int32(binary.LittleEndian.Uint32(buf[4:]))
+	vtSum = int64(binary.LittleEndian.Uint64(buf[8:]))
+	n := int(binary.LittleEndian.Uint32(buf[16:]))
+	buf = buf[20:]
+	capHint := n
+	if max := len(buf) / 8; capHint > max {
+		capHint = max // each diff is at least 8 bytes on the wire
+	}
+	diffs = make([]memory.Diff, 0, capHint)
+	for i := 0; i < n; i++ {
+		d, rest, derr := memory.DecodeDiff(buf)
+		if derr != nil {
+			return writer, seq, vtSum, nil, fmt.Errorf("wal: diff %d of batch: %w", i, derr)
+		}
+		buf = rest
+		diffs = append(diffs, d)
+	}
+	if len(buf) != 0 {
+		return writer, seq, vtSum, nil, fmt.Errorf("wal: %d trailing bytes in diff-batch record", len(buf))
+	}
+	return writer, seq, vtSum, diffs, nil
 }
 
 // --- CCL ------------------------------------------------------------------
@@ -216,6 +303,12 @@ type CCLHooks struct {
 	store  *stable.Store
 	ctrs   *obsv.Counters
 	staged []stagedRec
+	opts   Options
+	// flushScratch is the reusable record slice AtRelease composes each
+	// flush into; only the application goroutine touches it (AtRelease is
+	// never concurrent with itself). Record payloads are arena buffers,
+	// returned to the arena once the flush has copied them to disk.
+	flushScratch []stable.Record
 }
 
 // OnAcquireNotices stages the received write-invalidation notices for the
@@ -224,9 +317,10 @@ func (h *CCLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 	if len(notices) == 0 {
 		return
 	}
+	data := hlrc.EncodeNotices(notices, arena.Get(hlrc.NoticesWireSize(notices))[:0])
 	h.mu.Lock()
 	h.staged = append(h.staged, stagedRec{
-		rec:     stable.Record{Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil)},
+		rec:     stable.Record{Kind: RecNotices, Op: op, Data: data},
 		arrival: ownRec,
 	})
 	h.mu.Unlock()
@@ -244,9 +338,10 @@ func (h *CCLHooks) OnIncomingDiffs(op int32, arrival simtime.Time, events []hlrc
 	if len(events) == 0 {
 		return
 	}
+	data := EncodeEventsRecord(arena.Get(EventsRecordSize(events))[:0], events)
 	h.mu.Lock()
 	h.staged = append(h.staged, stagedRec{
-		rec:     stable.Record{Kind: RecEvents, Op: op, Data: EncodeEventsRecord(events)},
+		rec:     stable.Record{Kind: RecEvents, Op: op, Data: data},
 		arrival: arrival,
 	})
 	h.mu.Unlock()
@@ -257,12 +352,13 @@ func (h *CCLHooks) OnIncomingDiffs(op int32, arrival simtime.Time, events []hlrc
 func (h *CCLHooks) AtSyncEntry(int32) int { return 0 }
 
 // AtRelease flushes the staged records that arrived by the cutoff plus
-// this interval's own diffs. Later-staged records stay for the next flush:
-// their messages raced past the previous synchronization point, so no
+// this interval's own diffs — by default one RecDiffBatch record for the
+// whole interval. Later-staged records stay for the next flush: their
+// messages raced past the previous synchronization point, so no
 // deterministic rule could put them in this one.
 func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Time, created []memory.Diff) int {
+	recs := h.flushScratch[:0]
 	h.mu.Lock()
-	var recs []stable.Record
 	kept := h.staged[:0]
 	for _, s := range h.staged {
 		if s.arrival == ownRec || s.arrival <= cutoff {
@@ -273,22 +369,62 @@ func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Ti
 	}
 	h.staged = kept
 	h.mu.Unlock()
-	for _, d := range created {
-		recs = append(recs, stable.Record{
-			Kind: RecDiff, Op: op,
-			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
-		})
+	if len(created) > 0 {
+		// writer -1: the log owner.
+		recs = appendDiffRecords(recs, op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords)
+		countAppends(h.ctrs, diffRecordCount(created, h.opts.LegacyDiffRecords))
 	}
-	countAppends(h.ctrs, len(created))
 	if len(recs) == 0 {
 		return 0
 	}
-	return h.store.Flush(recs)
+	n := h.store.Flush(recs)
+	releaseScratch(recs)
+	h.flushScratch = recs[:0]
+	return n
 }
 
 // DeterministicFlush implements LogHooks: the engine must fence arrivals
 // up to the cutoff before AtRelease composes the flush.
 func (h *CCLHooks) DeterministicFlush() bool { return true }
+
+// appendDiffRecords appends one (writer, seq) diff group to recs: a
+// single RecDiffBatch record by default, one RecDiff per diff in legacy
+// layout. Payloads are drawn from the arena; releaseScratch returns them
+// once flushed.
+func appendDiffRecords(recs []stable.Record, op, writer, seq int32, vtSum int64, diffs []memory.Diff, legacy bool) []stable.Record {
+	if legacy {
+		for _, d := range diffs {
+			recs = append(recs, stable.Record{
+				Kind: RecDiff, Op: op,
+				Data: EncodeDiffRecord(arena.Get(DiffRecordSize(d))[:0], writer, seq, vtSum, d),
+			})
+		}
+		return recs
+	}
+	return append(recs, stable.Record{
+		Kind: RecDiffBatch, Op: op,
+		Data: EncodeDiffBatchRecord(arena.Get(DiffBatchRecordSize(diffs))[:0], writer, seq, vtSum, diffs),
+	})
+}
+
+// diffRecordCount is the number of records appendDiffRecords emits for a
+// group (the LogAppends accounting).
+func diffRecordCount(diffs []memory.Diff, legacy bool) int {
+	if legacy {
+		return len(diffs)
+	}
+	return 1
+}
+
+// releaseScratch returns the flushed records' payload buffers to the
+// arena. Safe exactly because stable.Store.Flush copies every payload
+// into the disk image before returning.
+func releaseScratch(recs []stable.Record) {
+	for i := range recs {
+		arena.Put(recs[i].Data)
+		recs[i].Data = nil
+	}
+}
 
 // --- ML ---------------------------------------------------------------------
 
@@ -305,6 +441,10 @@ type MLHooks struct {
 	// recovery's home-update re-fetches. Plain ML (the paper's protocol)
 	// keeps only incoming messages.
 	logOwnDiffs bool
+	opts        Options
+	// releaseScratch backs the hardened-mode own-diff flush; only the
+	// application goroutine touches it.
+	releaseScratchRecs []stable.Record
 }
 
 // OnAcquireNotices logs the grant/release message's notice content.
@@ -312,10 +452,9 @@ func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 	if len(notices) == 0 {
 		return
 	}
+	data := hlrc.EncodeNotices(notices, arena.Get(hlrc.NoticesWireSize(notices))[:0])
 	h.mu.Lock()
-	h.volatile = append(h.volatile, stable.Record{
-		Kind: RecNotices, Op: op, Data: hlrc.EncodeNotices(notices, nil),
-	})
+	h.volatile = append(h.volatile, stable.Record{Kind: RecNotices, Op: op, Data: data})
 	h.mu.Unlock()
 	countAppends(h.ctrs, 1)
 }
@@ -323,25 +462,24 @@ func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 // OnPageFetched logs the full content of the fetched page — the dominant
 // share of ML's log volume.
 func (h *MLHooks) OnPageFetched(op int32, page memory.PageID, data []byte) {
+	rec := EncodePageRecord(arena.Get(PageRecordSize(data))[:0], page, data)
 	h.mu.Lock()
-	h.volatile = append(h.volatile, stable.Record{
-		Kind: RecPage, Op: op, Data: EncodePageRecord(page, data),
-	})
+	h.volatile = append(h.volatile, stable.Record{Kind: RecPage, Op: op, Data: rec})
 	h.mu.Unlock()
 	countAppends(h.ctrs, 1)
 }
 
-// OnIncomingDiffs logs the received DiffUpdate contents.
+// OnIncomingDiffs logs the received DiffUpdate contents: the message is
+// one writer interval, so its diffs become one RecDiffBatch record (one
+// RecDiff per diff in legacy layout).
 func (h *MLHooks) OnIncomingDiffs(op int32, _ simtime.Time, events []hlrc.UpdateEvent, diffs []memory.Diff) {
-	h.mu.Lock()
-	for i, d := range diffs {
-		h.volatile = append(h.volatile, stable.Record{
-			Kind: RecDiff, Op: op,
-			Data: EncodeDiffRecord(events[i].Writer, events[i].Seq, 0, d),
-		})
+	if len(diffs) == 0 {
+		return
 	}
+	h.mu.Lock()
+	h.volatile = appendDiffRecords(h.volatile, op, events[0].Writer, events[0].Seq, 0, diffs, h.opts.LegacyDiffRecords)
 	h.mu.Unlock()
-	countAppends(h.ctrs, len(diffs))
+	countAppends(h.ctrs, diffRecordCount(diffs, h.opts.LegacyDiffRecords))
 }
 
 // AtSyncEntry flushes the volatile log on the critical path.
@@ -353,7 +491,14 @@ func (h *MLHooks) AtSyncEntry(int32) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	return h.store.Flush(recs)
+	n := h.store.Flush(recs)
+	releaseScratch(recs)
+	h.mu.Lock()
+	if h.volatile == nil {
+		h.volatile = recs[:0] // recycle the slice backing too
+	}
+	h.mu.Unlock()
+	return n
 }
 
 // AtRelease flushes nothing extra under plain ML (it already flushed at
@@ -363,15 +508,13 @@ func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, _ simtime.Time, cr
 	if !h.logOwnDiffs || len(created) == 0 {
 		return 0
 	}
-	recs := make([]stable.Record, 0, len(created))
-	for _, d := range created {
-		recs = append(recs, stable.Record{
-			Kind: RecDiff, Op: op,
-			Data: EncodeDiffRecord(-1, seq, vtSum, d), // writer -1: the log owner
-		})
-	}
+	// writer -1: the log owner.
+	recs := appendDiffRecords(h.releaseScratchRecs[:0], op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords)
 	countAppends(h.ctrs, len(recs))
-	return h.store.Flush(recs)
+	n := h.store.Flush(recs)
+	releaseScratch(recs)
+	h.releaseScratchRecs = recs[:0]
+	return n
 }
 
 // DeterministicFlush implements LogHooks: ML flushes everything staged at

@@ -47,7 +47,7 @@ func TestNewFactory(t *testing.T) {
 
 func TestDiffRecordRoundTrip(t *testing.T) {
 	d := mkDiff(7, 1, 2, 3, 4)
-	buf := EncodeDiffRecord(3, 11, 42, d)
+	buf := EncodeDiffRecord(nil, 3, 11, 42, d)
 	w, s, vs, got, err := DecodeDiffRecord(buf)
 	if err != nil || w != 3 || s != 11 || vs != 42 || got.Page != 7 || len(got.Runs) != len(d.Runs) {
 		t.Fatalf("round trip: w=%d s=%d vtSum=%d err=%v", w, s, vs, err)
@@ -60,13 +60,49 @@ func TestDiffRecordRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDiffBatchRecordRoundTrip(t *testing.T) {
+	diffs := []memory.Diff{mkDiff(7, 1, 2, 3, 4), mkDiff(9, 5, 6), mkDiff(12, 8)}
+	buf := EncodeDiffBatchRecord(nil, -1, 11, 42, diffs)
+	if len(buf) != DiffBatchRecordSize(diffs) {
+		t.Fatalf("encoded %d bytes, size helper says %d", len(buf), DiffBatchRecordSize(diffs))
+	}
+	w, s, vs, got, err := DecodeDiffBatchRecord(buf)
+	if err != nil || w != -1 || s != 11 || vs != 42 || len(got) != len(diffs) {
+		t.Fatalf("round trip: w=%d s=%d vtSum=%d n=%d err=%v", w, s, vs, len(got), err)
+	}
+	for i, d := range diffs {
+		if got[i].Page != d.Page || got[i].DataBytes() != d.DataBytes() {
+			t.Fatalf("diff %d mangled: %+v vs %+v", i, got[i], d)
+		}
+	}
+	if _, _, _, _, err := DecodeDiffBatchRecord(buf[:10]); err == nil {
+		t.Fatal("short batch record must fail")
+	}
+	if _, _, _, _, err := DecodeDiffBatchRecord(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	// A corrupted diff count must yield an error, not a huge allocation
+	// or a short decode.
+	bad := append([]byte(nil), buf...)
+	bad[16], bad[17], bad[18], bad[19] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, _, err := DecodeDiffBatchRecord(bad); err == nil {
+		t.Fatal("corrupted diff count must fail")
+	}
+	// An empty batch round-trips (releases never log one, but the format
+	// is total).
+	w, s, vs, got, err = DecodeDiffBatchRecord(EncodeDiffBatchRecord(nil, 2, 1, 3, nil))
+	if err != nil || w != 2 || s != 1 || vs != 3 || len(got) != 0 {
+		t.Fatalf("empty batch: w=%d s=%d vtSum=%d n=%d err=%v", w, s, vs, len(got), err)
+	}
+}
+
 func TestEventsRecordRoundTrip(t *testing.T) {
 	f := func(raw []uint16) bool {
 		evs := make([]hlrc.UpdateEvent, len(raw))
 		for i, r := range raw {
 			evs[i] = hlrc.UpdateEvent{Page: memory.PageID(r), Writer: int32(i % 8), Seq: int32(i + 1)}
 		}
-		buf := EncodeEventsRecord(evs)
+		buf := EncodeEventsRecord(nil, evs)
 		got, err := DecodeEventsRecord(buf)
 		if err != nil || len(got) != len(evs) {
 			return false
@@ -91,7 +127,7 @@ func TestEventsRecordRoundTrip(t *testing.T) {
 
 func TestPageRecordRoundTrip(t *testing.T) {
 	data := []byte{9, 8, 7}
-	p, got, err := DecodePageRecord(EncodePageRecord(5, data))
+	p, got, err := DecodePageRecord(EncodePageRecord(nil, 5, data))
 	if err != nil || p != 5 || string(got) != string(data) {
 		t.Fatalf("page record: %v %v %v", p, got, err)
 	}
@@ -247,7 +283,8 @@ func TestConcurrentHookCalls(t *testing.T) {
 	}
 	<-done
 	h.AtRelease(501, 501, 501, 1<<40, nil)
-	// All 500 event batches and 500 diffs must be in the log.
+	// All 500 event batches and 500 diffs must be in the log (each
+	// release's diffs arrive as one batch record).
 	var events, diffs int
 	for _, r := range s.Records() {
 		switch r.Kind {
@@ -257,8 +294,12 @@ func TestConcurrentHookCalls(t *testing.T) {
 				t.Fatal(err)
 			}
 			events += len(evs)
-		case RecDiff:
-			diffs++
+		case RecDiffBatch:
+			_, _, _, ds, err := DecodeDiffBatchRecord(r.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffs += len(ds)
 		}
 	}
 	if events != 500 || diffs != 500 {
