@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke
 
 all: tier1 tier2
 
@@ -43,3 +43,11 @@ trace-smoke:
 # fresh runs (dissected per kind, reconciled against the flush charges).
 inspect-volume:
 	go run ./cmd/sdsminspect -mode volume -nodes 8 -scale small
+
+# End-to-end check of online recovery: run the churn sweep (every crash
+# point × restart delay, each run passed through the log auditor), then
+# verify the adopted-home page state against the writers' logs.
+churn-smoke:
+	go run ./cmd/sdsmbench -nodes 4 -churn
+	go run ./cmd/sdsminspect -mode audit -churn -nodes 4
+	@echo "churn-smoke: OK"

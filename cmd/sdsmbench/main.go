@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults] [-json out.json]
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults] [-churn] [-json out.json]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
+	churn := flag.Bool("churn", false, "run only the online-recovery churn sweep (surviving-cluster throughput and recovering-node catch-up); with -json, write the artifact instead")
 	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
 	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json")
 	flag.Parse()
@@ -51,6 +52,26 @@ func main() {
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *churn {
+		rows, err := bench.RunChurnBench(*nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(bench.ChurnToJSON(*nodes, rows), "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", *jsonOut, len(rows))
+			return
+		}
+		fmt.Println(bench.FormatChurn(*nodes, rows))
+		return
 	}
 	if *jsonOut != "" {
 		sweep, err := bench.RunSweepJSON(*nodes, scale)

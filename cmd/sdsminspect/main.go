@@ -11,7 +11,10 @@
 //	dump      run one app under one protocol and print every log
 //	          record dissected into typed form
 //	audit     run one app (optionally with -crash) and run the
-//	          post-run consistency auditor over the depot
+//	          post-run consistency auditor over the depot; with
+//	          -churn, run the online-recovery churn scenario at every
+//	          crash point instead and additionally verify the
+//	          adopted-home page state against the writers' logs
 //	recovery  crash one app and print the recovery-phase breakdown
 //	          (log-read / diff-fetch / page-fetch / tail-sync /
 //	          home-rebuild / catch-up / replay)
@@ -25,21 +28,25 @@
 //	sdsminspect [-mode volume|dump|audit|recovery|print|checkjson]
 //	            [-app all|3d-fft|mg|shallow|water] [-protocol ml|ccl]
 //	            [-nodes 8] [-scale small|medium|large]
-//	            [-crash] [-victim N] [-node N] [-max N] [-in file.json]
+//	            [-crash] [-churn] [-victim N] [-node N] [-max N] [-in file.json]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strings"
 
 	"sdsm/internal/apps"
 	"sdsm/internal/bench"
 	"sdsm/internal/core"
+	"sdsm/internal/hlrc"
 	"sdsm/internal/logview"
+	"sdsm/internal/memory"
 	"sdsm/internal/recovery"
 	"sdsm/internal/wal"
 )
@@ -61,6 +68,7 @@ func main() {
 	nodes := flag.Int("nodes", 8, "cluster size")
 	scaleFlag := flag.String("scale", "small", "problem scale: small|medium|large")
 	crash := flag.Bool("crash", false, "audit mode: inject a fail-stop crash before auditing")
+	churn := flag.Bool("churn", false, "audit mode: run the online-recovery churn scenario and verify adopted-home state against the writers' logs")
 	victim := flag.Int("victim", -1, "crash victim (default: last node)")
 	nodeFlag := flag.Int("node", -1, "dump mode: only this node's log")
 	max := flag.Int("max", 0, "dump mode: print at most this many records per node (0 = all)")
@@ -89,7 +97,11 @@ func main() {
 	case "dump":
 		err = dumpMode(oneApp(*appFlag, opts), opts)
 	case "audit":
-		err = auditMode(oneApp(*appFlag, opts), opts)
+		if *churn {
+			err = churnAuditMode(opts)
+		} else {
+			err = auditMode(oneApp(*appFlag, opts), opts)
+		}
 	case "recovery":
 		err = recoveryMode(oneApp(*appFlag, opts), opts)
 	case "print":
@@ -235,6 +247,114 @@ func auditMode(w *apps.Workload, opts options) error {
 	}
 	fmt.Print(logview.FormatVolume(vol))
 	return nil
+}
+
+// churnAuditMode runs the online-recovery churn scenario at every crash
+// point and audits the result twice: the stable logs go through the
+// standard consistency auditor, and the adopted-home page state is
+// verified against its ground truth — every custody-record entry from a
+// never-crashed writer must match, byte for byte, a diff that writer
+// logged for the page, and the image rebuilt from the writers' logs
+// plus the custody records must equal the run's authoritative image.
+func churnAuditMode(opts options) error {
+	for _, point := range bench.ChurnPoints {
+		rep, err := bench.RunChurnScenario(opts.nodes, point)
+		if err != nil {
+			return err
+		}
+		audit, err := logview.Audit(rep.Depot, logview.AuditOptions{})
+		if err != nil {
+			return fmt.Errorf("%v: %w", point, err)
+		}
+		sum, err := auditAdoptedHomes(rep)
+		if err != nil {
+			return fmt.Errorf("%v: adopted-home audit: %w", point, err)
+		}
+		fmt.Printf("%v: log audit OK (%d records); adopted-home audit OK: %d migrated pages, %d custody entries matched the writers' logs, %d replay-only entries, rebuilt images match\n",
+			point, audit.Records, sum.pages, sum.matched, sum.replayOnly)
+	}
+	return nil
+}
+
+type adoptedAudit struct {
+	pages      int // migrated pages checked
+	matched    int // custody entries matched against a logged diff
+	replayOnly int // entries from the crashed writer (replay flushes are not re-logged)
+}
+
+func auditAdoptedHomes(rep *core.Report) (*adoptedAudit, error) {
+	if rep.Recovery == nil {
+		return nil, fmt.Errorf("run has no recovery report")
+	}
+	victim := rep.Recovery.Victim
+	ps := rep.PageSize
+
+	// Ground truth: every writer's own-diff log entries for the migrated
+	// pages, keyed by (writer, seq, page) with the diff content encoded
+	// for byte comparison.
+	type key struct {
+		writer, seq int32
+		page        memory.PageID
+	}
+	loggedKey := map[key][]byte{}
+	loggedByPage := map[memory.PageID][]hlrc.AdoptedDiff{}
+	for p := range rep.Homes {
+		if rep.Homes[p] != victim {
+			continue
+		}
+		pg := memory.PageID(p)
+		for w := range rep.NodeOps {
+			for _, d := range recovery.LoggedDiffs(rep.Depot.Store(w), int32(w), pg, 0, math.MaxInt32) {
+				loggedKey[key{d.Writer, d.Seq, pg}] = d.Diff.Encode(nil)
+				loggedByPage[pg] = append(loggedByPage[pg], d)
+			}
+		}
+	}
+
+	out := &adoptedAudit{}
+	custody := map[memory.PageID][]hlrc.AdoptedDiff{}
+	for _, st := range rep.AdoptedPages {
+		if rep.Homes[st.Page] != victim {
+			return nil, fmt.Errorf("custody record for page %d, whose home %d never crashed", st.Page, rep.Homes[st.Page])
+		}
+		for _, e := range st.Applied {
+			custody[st.Page] = append(custody[st.Page], e)
+			if int(e.Writer) == victim {
+				// The victim's replay flushes carry predicted interval
+				// stamps and are not re-logged; custody-only is legal.
+				out.replayOnly++
+				continue
+			}
+			enc, ok := loggedKey[key{e.Writer, e.Seq, st.Page}]
+			if !ok {
+				return nil, fmt.Errorf("page %d: custody entry (writer %d, seq %d) has no logged diff", st.Page, e.Writer, e.Seq)
+			}
+			if !bytes.Equal(enc, e.Diff.Encode(nil)) {
+				return nil, fmt.Errorf("page %d: custody entry (writer %d, seq %d) differs from the writer's logged diff", st.Page, e.Writer, e.Seq)
+			}
+			out.matched++
+		}
+	}
+
+	// Rebuild every migrated page from logs + custody records and compare
+	// with the authoritative image the run reported.
+	img := rep.MemoryImage()
+	for p := range rep.Homes {
+		if rep.Homes[p] != victim {
+			continue
+		}
+		pg := memory.PageID(p)
+		union := append(append([]hlrc.AdoptedDiff{}, loggedByPage[pg]...), custody[pg]...)
+		data, _, err := hlrc.RebuildAdoptedImage(ps, union)
+		if err != nil {
+			return nil, fmt.Errorf("rebuilding page %d: %w", p, err)
+		}
+		if !bytes.Equal(data, img[p*ps:(p+1)*ps]) {
+			return nil, fmt.Errorf("page %d: rebuilt image differs from the run's authoritative image", p)
+		}
+		out.pages++
+	}
+	return out, nil
 }
 
 func recoveryMode(w *apps.Workload, opts options) error {

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sdsm/internal/core"
+	"sdsm/internal/fault"
+	"sdsm/internal/logview"
+	"sdsm/internal/recovery"
+	"sdsm/internal/simtime"
+	"sdsm/internal/wal"
+)
+
+// The churn benchmark measures what the offline recovery experiments
+// cannot: forward progress while a node is dead. A lock-phase workload
+// keeps the survivors busy on pages they own under per-node locks, so
+// the victim's death never blocks them — any read of data the victim
+// wrote last would stall until its replay resupplies the crashed
+// interval's diff (the correct protocol behavior, exercised by the core
+// churn tests), which is why a shared counter has no place in the
+// measured rounds. A final barrier gates all cross-region access until
+// the victim has replayed its log and rejoined. Reported per
+// configuration: the surviving cluster's throughput inside the
+// [crash, rejoin] window, and the recovering node's catch-up time.
+
+// ChurnRounds is the lock-phase length of the churn workload.
+const ChurnRounds = 60
+
+// churnCrashRound is the victim round whose lock release hosts the
+// crash (sync ops: barrier, then acquire/release pairs).
+const churnCrashRound = 20
+
+// ChurnRow is one churn configuration's measurement.
+type ChurnRow struct {
+	Point        fault.CrashPoint
+	LeaseMs      float64
+	RestartMs    float64
+	CrashSec     float64 // victim clock at the fail-stop
+	DeclareSec   float64 // lease expiry: survivors may act on the death
+	RejoinSec    float64 // victim resumes live operation
+	CatchUpSec   float64 // replay duration (RejoinSec - restart)
+	ExecSec      float64 // slowest node at completion
+	BaselineSec  float64 // same workload, no crash, leases off
+	OverheadPct  float64 // ExecSec over BaselineSec
+	SurvivorOps  int     // survivor rounds finished in (crash, rejoin]
+	SurvivorRate float64 // SurvivorOps per second of down window
+	Adoptions    int64
+	Revocations  int64
+	Redirects    int64
+	AdoptedDiffs int64
+	LeaseWaits   int64
+}
+
+// churnWorkload builds the gated lock-phase program. stamps[node][round]
+// receives the node's virtual clock after each finished round; rows are
+// written only by that node's goroutine.
+func churnWorkload(stamps [][]simtime.Time) core.Program {
+	return func(p *core.Proc) {
+		ps := p.PageSize()
+		n := p.N()
+		per := p.MemBytes() / ps / n
+		myBase := p.ID() * per * ps
+		p.WriteI64(myBase, int64(p.ID()+1))
+		p.Barrier(0)
+		for r := 0; r < ChurnRounds; r++ {
+			lock := 1 + p.ID() // per-node lock: survivors never wait on the victim
+			p.AcquireLock(lock)
+			p.WriteI64(myBase+ps+8*(r%64), int64(r+1))
+			p.ReleaseLock(lock)
+			p.Compute(30_000)
+			stamps[p.ID()][r] = p.Now()
+		}
+		p.Barrier(1) // the victim rejoins here; gates cross-region access
+		sum := int64(0)
+		for w := 0; w < n; w++ {
+			sum += p.ReadI64(w * per * ps)
+		}
+		p.WriteI64(myBase+2*ps, sum)
+		// Every node signs a private slot on a migrated page (the victim's
+		// region): these post-rejoin diffs land in the adopter's custody
+		// record, giving the adopted-home audit survivor-written entries to
+		// match against the writers' own logs.
+		p.WriteI64((n-1)*per*ps+3*ps+8*p.ID(), int64(p.ID()+1))
+		p.Barrier(2)
+	}
+}
+
+func churnConfig(nodes int) core.Config {
+	return core.Config{
+		Nodes:    nodes,
+		PageSize: 1024,
+		NumPages: nodes * 8,
+		Protocol: wal.ProtocolCCL,
+	}
+}
+
+// RunChurnScenario runs the churn workload once at the given crash
+// point (the sweep's lease, a 10 ms restart, victim nodes-1) and
+// returns the full report, custody state included. sdsminspect's
+// adopted-home audit drives it.
+func RunChurnScenario(nodes int, point fault.CrashPoint) (*core.Report, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("bench: churn needs at least 2 nodes, got %d", nodes)
+	}
+	stamps := make([][]simtime.Time, nodes)
+	for i := range stamps {
+		stamps[i] = make([]simtime.Time, ChurnRounds)
+	}
+	plan := core.ChurnPlan{
+		Victim:        nodes - 1,
+		AtOp:          2 * churnCrashRound,
+		Point:         point,
+		Recovery:      recovery.CCLRecovery,
+		LeaseDuration: simtime.Duration(churnLeaseMs * 1e6),
+		RestartDelay:  simtime.Duration(10 * 1e6),
+	}
+	return core.RunWithChurn(churnConfig(nodes), churnWorkload(stamps), plan)
+}
+
+// ChurnPoints are the swept crash points.
+var ChurnPoints = []fault.CrashPoint{fault.PointSyncExit, fault.PointHoldingLock, fault.PointDirtyHome}
+
+// ChurnRestartsMs are the swept restart delays (reboot time) in
+// virtual milliseconds.
+var ChurnRestartsMs = []float64{10, 40}
+
+// churnLeaseMs is the lease duration used by every sweep point.
+const churnLeaseMs = 3.0
+
+// RunChurnBench sweeps crash points and restart delays over the churn
+// workload. Every run's stable logs are passed through the consistency
+// auditor — an online recovery that leaves an inconsistent log is a
+// correctness bug regardless of its timings.
+func RunChurnBench(nodes int) ([]ChurnRow, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("bench: churn needs at least 2 nodes, got %d", nodes)
+	}
+	victim := nodes - 1
+
+	baseStamps := make([][]simtime.Time, nodes)
+	for i := range baseStamps {
+		baseStamps[i] = make([]simtime.Time, ChurnRounds)
+	}
+	baseRep, err := core.Run(churnConfig(nodes), churnWorkload(baseStamps))
+	if err != nil {
+		return nil, fmt.Errorf("bench: churn baseline: %w", err)
+	}
+	baseSec := baseRep.ExecTime.Seconds()
+
+	var rows []ChurnRow
+	for _, point := range ChurnPoints {
+		for _, restartMs := range ChurnRestartsMs {
+			stamps := make([][]simtime.Time, nodes)
+			for i := range stamps {
+				stamps[i] = make([]simtime.Time, ChurnRounds)
+			}
+			plan := core.ChurnPlan{
+				Victim:        victim,
+				AtOp:          2 * churnCrashRound, // the release of round churnCrashRound-1
+				Point:         point,
+				Recovery:      recovery.CCLRecovery,
+				LeaseDuration: simtime.Duration(churnLeaseMs * 1e6),
+				RestartDelay:  simtime.Duration(restartMs * 1e6),
+			}
+			rep, err := core.RunWithChurn(churnConfig(nodes), churnWorkload(stamps), plan)
+			if err != nil {
+				return nil, fmt.Errorf("bench: churn %v restart %gms: %w", point, restartMs, err)
+			}
+			if _, err := logview.Audit(rep.Depot, logview.AuditOptions{}); err != nil {
+				return nil, fmt.Errorf("bench: churn %v restart %gms: log audit: %w", point, restartMs, err)
+			}
+			rec := rep.Recovery
+			row := ChurnRow{
+				Point:       point,
+				LeaseMs:     churnLeaseMs,
+				RestartMs:   restartMs,
+				CrashSec:    rec.CrashTime.Seconds(),
+				DeclareSec:  rec.DeclareTime.Seconds(),
+				RejoinSec:   rec.RejoinTime.Seconds(),
+				CatchUpSec:  rec.ReplayTime.Seconds(),
+				ExecSec:     rep.ExecTime.Seconds(),
+				BaselineSec: baseSec,
+				OverheadPct: (rep.ExecTime.Seconds()/baseSec - 1) * 100,
+			}
+			for id, nodeStamps := range stamps {
+				if id == victim {
+					continue
+				}
+				for _, at := range nodeStamps {
+					if at > rec.CrashTime && at <= rec.RejoinTime {
+						row.SurvivorOps++
+					}
+				}
+			}
+			if window := rec.RejoinTime - rec.CrashTime; window > 0 {
+				row.SurvivorRate = float64(row.SurvivorOps) / window.Seconds()
+			}
+			for _, s := range rep.Stats {
+				row.Adoptions += s.HomeAdoptions
+				row.Revocations += s.LockRevocations
+				row.Redirects += s.RedirectedCalls
+				row.AdoptedDiffs += s.AdoptedDiffs
+				row.LeaseWaits += s.LeaseWaitsServed
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ChurnRowJSON is the machine-readable form of one churn row.
+type ChurnRowJSON struct {
+	Point           string  `json:"crash_point"`
+	LeaseMs         float64 `json:"lease_ms"`
+	RestartMs       float64 `json:"restart_ms"`
+	CrashSec        float64 `json:"crash_sec"`
+	DeclareSec      float64 `json:"declare_sec"`
+	RejoinSec       float64 `json:"rejoin_sec"`
+	CatchUpSec      float64 `json:"catchup_sec"`
+	ExecSec         float64 `json:"exec_sec"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	SurvivorOps     int     `json:"survivor_ops_in_window"`
+	SurvivorOpsRate float64 `json:"survivor_ops_per_sec"`
+	Adoptions       int64   `json:"home_adoptions"`
+	Revocations     int64   `json:"lock_revocations"`
+	Redirects       int64   `json:"redirected_calls"`
+	AdoptedDiffs    int64   `json:"adopted_diffs"`
+	LeaseWaits      int64   `json:"lease_waits_served"`
+}
+
+// ChurnJSON is the committed churn artifact.
+type ChurnJSON struct {
+	Nodes       int            `json:"nodes"`
+	Rounds      int            `json:"lock_rounds"`
+	CrashRound  int            `json:"crash_round"`
+	Victim      int            `json:"victim"`
+	BaselineSec float64        `json:"baseline_sec"`
+	Rows        []ChurnRowJSON `json:"rows"`
+}
+
+// ChurnToJSON converts a sweep to its artifact form.
+func ChurnToJSON(nodes int, rows []ChurnRow) *ChurnJSON {
+	out := &ChurnJSON{Nodes: nodes, Rounds: ChurnRounds, CrashRound: churnCrashRound, Victim: nodes - 1}
+	for _, r := range rows {
+		out.BaselineSec = r.BaselineSec
+		out.Rows = append(out.Rows, ChurnRowJSON{
+			Point:           r.Point.String(),
+			LeaseMs:         r.LeaseMs,
+			RestartMs:       r.RestartMs,
+			CrashSec:        r.CrashSec,
+			DeclareSec:      r.DeclareSec,
+			RejoinSec:       r.RejoinSec,
+			CatchUpSec:      r.CatchUpSec,
+			ExecSec:         r.ExecSec,
+			OverheadPct:     r.OverheadPct,
+			SurvivorOps:     r.SurvivorOps,
+			SurvivorOpsRate: r.SurvivorRate,
+			Adoptions:       r.Adoptions,
+			Revocations:     r.Revocations,
+			Redirects:       r.Redirects,
+			AdoptedDiffs:    r.AdoptedDiffs,
+			LeaseWaits:      r.LeaseWaits,
+		})
+	}
+	return out
+}
+
+// FormatChurn renders the churn sweep.
+func FormatChurn(nodes int, rows []ChurnRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online recovery under churn: %d nodes, %d lock rounds, victim %d crashes at round %d\n",
+		nodes, ChurnRounds, nodes-1, churnCrashRound)
+	b.WriteString("(surviving-cluster throughput measured inside the [crash, rejoin] window;\n")
+	b.WriteString(" catch-up is the victim's concurrent replay; overhead is vs the crash-free run)\n\n")
+	fmt.Fprintf(&b, "%-13s %8s %9s %9s %9s %9s %10s %9s %7s %6s %6s\n",
+		"crash point", "lease", "restart", "crash s", "rejoin s", "catchup s", "surv ops/s", "exec s", "ovh%", "adopt", "revoke")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %6gms %7gms %9.4f %9.4f %9.4f %10.0f %9.4f %6.1f%% %6d %6d\n",
+			r.Point, r.LeaseMs, r.RestartMs, r.CrashSec, r.RejoinSec, r.CatchUpSec,
+			r.SurvivorRate, r.ExecSec, r.OverheadPct, r.Adoptions, r.Revocations)
+	}
+	return b.String()
+}

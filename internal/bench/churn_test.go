@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestChurnBench runs the full sweep at a reduced cluster size: every
+// row must show surviving-cluster progress inside the down window and a
+// positive catch-up, and every run already passed the log auditor inside
+// RunChurnBench.
+func TestChurnBench(t *testing.T) {
+	const nodes = 4
+	rows, err := RunChurnBench(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ChurnPoints) * len(ChurnRestartsMs); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.SurvivorOps <= 0 || r.SurvivorRate <= 0 {
+			t.Errorf("%v restart %gms: no surviving-cluster progress during recovery", r.Point, r.RestartMs)
+		}
+		if r.CatchUpSec <= 0 {
+			t.Errorf("%v restart %gms: non-positive catch-up", r.Point, r.RestartMs)
+		}
+		if r.RejoinSec <= r.CrashSec || r.DeclareSec <= r.CrashSec {
+			t.Errorf("%v restart %gms: rejoin/declare before the crash: %+v", r.Point, r.RestartMs, r)
+		}
+		if r.Adoptions < 1 {
+			t.Errorf("%v restart %gms: victim's homes were never adopted", r.Point, r.RestartMs)
+		}
+	}
+	js := ChurnToJSON(nodes, rows)
+	if len(js.Rows) != len(rows) || js.Victim != nodes-1 || js.BaselineSec <= 0 {
+		t.Fatalf("bad JSON conversion: %+v", js)
+	}
+	if out := FormatChurn(nodes, rows); len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

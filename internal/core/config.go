@@ -62,6 +62,14 @@ type Config struct {
 	// results (memory images, interval/diff counts, reconciliation) must
 	// not differ.
 	LegacyWire bool
+	// LeaseDuration enables lease-based online recovery (see RunWithChurn):
+	// lock grants and barrier releases carry virtual-clock leases, a
+	// crashed node is declared dead only after its lease expires, its home
+	// pages migrate permanently to a deterministic successor, and its
+	// recovered incarnation replays concurrently with the surviving
+	// cluster. Zero (the default) keeps the offline stop-the-world
+	// recovery semantics and a byte-identical wire format.
+	LeaseDuration simtime.Duration
 	// Faults is the deterministic fault-injection plan: seeded message
 	// loss, duplication and delay on the transport, and torn log writes on
 	// crash. The zero value injects nothing. The same seed always yields
@@ -105,6 +113,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LockManagerNode < 0 || c.LockManagerNode >= c.Nodes ||
 		c.BarrierManagerNode < 0 || c.BarrierManagerNode >= c.Nodes {
 		return c, fmt.Errorf("core: manager node out of range")
+	}
+	if c.LeaseDuration < 0 {
+		return c, fmt.Errorf("core: LeaseDuration must be non-negative, got %d", c.LeaseDuration)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return c, fmt.Errorf("core: %w", err)

@@ -71,6 +71,7 @@ func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock
 		DistributedLocks:   c.cfg.DistributedLocks,
 		LegacyDiffUpdates:  c.cfg.LegacyWire,
 		SenderLogs:         c.cfg.Faults.TornWriteOnCrash,
+		LeaseDuration:      c.cfg.LeaseDuration,
 		Tracer:             trc,
 	}, c.nw, clock, hooks, stats)
 	recovery.InstallService(nd, c.depot.Store(id))
@@ -149,6 +150,16 @@ type Report struct {
 	// (log dissection and auditing — see internal/logview). Treat the
 	// stores as read-only.
 	Depot *stable.Depot
+	// Homes is the run's static page-to-home assignment after config
+	// defaults; paired with Recovery.Victim it identifies the migrated
+	// pages of a churn run.
+	Homes []int
+	// PageSize is the run's page size in bytes.
+	PageSize int
+	// AdoptedPages holds every node's custody state for homes adopted
+	// from crashed nodes, in node order. Set only by RunWithChurn; the
+	// adopted-home auditor cross-checks it against the writers' logs.
+	AdoptedPages []hlrc.AdoptedPageState
 
 	mem []byte // assembled authoritative memory image
 }
@@ -170,6 +181,18 @@ type RecoveryReport struct {
 	// Phases is the recovery-time breakdown: per-phase virtual durations
 	// that partition ReplayTime exactly (see recovery.PhaseReport).
 	Phases recovery.PhaseReport
+	// Online churn (RunWithChurn only): the recovery ran concurrently
+	// with the surviving cluster. CrashTime is the victim's clock at the
+	// fail-stop; DeclareTime is when its lease expired (survivors may act
+	// on the death); RestartTime is when the recovered incarnation began
+	// replaying; RejoinTime is when it resumed live operation
+	// (RestartTime + ReplayTime — the catch-up includes the checkpoint
+	// restore).
+	Online      bool
+	CrashTime   simtime.Time
+	DeclareTime simtime.Time
+	RestartTime simtime.Time
+	RejoinTime  simtime.Time
 }
 
 // MemoryImage returns the authoritative final shared-memory image,
@@ -190,6 +213,8 @@ func (c *cluster) report() *Report {
 		MsgKinds:      c.nw.KindCounts(),
 		NodeOps:       make([]int32, c.cfg.Nodes),
 		Depot:         c.depot,
+		Homes:         c.cfg.Homes,
+		PageSize:      c.cfg.PageSize,
 	}
 	for i, nd := range c.nodes {
 		rep.CheckpointBytes += c.depot.Store(i).CheckpointBytes()

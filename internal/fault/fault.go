@@ -63,6 +63,50 @@ type Plan struct {
 	MaxAttempts int
 }
 
+// CrashPoint selects where, relative to a synchronization operation, an
+// injected fail-stop fires. The zero value is the paper's quiescent
+// scenario; the other points kill the victim in states the original
+// evaluation never exercises and exist for the online-recovery path.
+type CrashPoint int
+
+const (
+	// PointSyncExit (the default) crashes at a release or barrier after
+	// the interval's diffs are flushed and acknowledged — the paper's
+	// Fig. 1(b) quiescent scenario.
+	PointSyncExit CrashPoint = iota
+	// PointHoldingLock crashes at a release *before* the interval is
+	// closed: the victim dies holding the lock, its final interval's
+	// diffs never reach the homes and never reach its own log. The lock
+	// manager may reclaim the lock only after the victim's lease
+	// expires; the lost interval reappears when the victim's recovery
+	// replays it.
+	PointHoldingLock
+	// PointDirtyHome is PointHoldingLock with the additional requirement
+	// that the victim is home for at least one page dirtied in the open
+	// interval, so the crash loses provisional self-writes to a home
+	// copy that surviving nodes may adopt.
+	PointDirtyHome
+)
+
+// String names the crash point.
+func (c CrashPoint) String() string {
+	switch c {
+	case PointSyncExit:
+		return "sync-exit"
+	case PointHoldingLock:
+		return "holding-lock"
+	case PointDirtyHome:
+		return "dirty-home"
+	default:
+		return fmt.Sprintf("CrashPoint(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known crash point.
+func (c CrashPoint) Valid() bool {
+	return c >= PointSyncExit && c <= PointDirtyHome
+}
+
 // Streams separate the hash domains of the different fault decisions so
 // that, e.g., the drop and duplicate rolls for the same copy are
 // independent.

@@ -7,6 +7,7 @@ import (
 
 	"sdsm/internal/memory"
 	"sdsm/internal/obsv"
+	"sdsm/internal/transport"
 )
 
 // Compute charges the node's virtual clock for application computation,
@@ -34,18 +35,51 @@ func (nd *Node) ensureReadable(p memory.PageID) {
 	nd.fetchPage(p)
 }
 
-// fetchPage performs the miss: fault cost, round trip to the home,
-// install.
+// fetchPage performs the miss: fault cost, round trip to the (effective)
+// home, install. With leases enabled the destination is re-resolved on
+// redirects and crashed-peer failovers; with leases off the path is the
+// original single call, byte-identical on the wire.
 func (nd *Node) fetchPage(p memory.PageID) {
-	home := nd.HomeOf(p)
-	if home == nd.cfg.ID {
+	if nd.ownsHome(p) {
 		panic(fmt.Sprintf("hlrc: node %d: home page %d is invalid", nd.cfg.ID, p))
+	}
+	leases := nd.cfg.LeaseDuration > 0
+	home := nd.HomeOf(p)
+	if leases {
+		home = nd.effectiveNode(home)
 	}
 	nd.stats.Faults.Add(1)
 	t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.FaultCost)
 	nd.trc.Seg(obsv.EvPageFault, obsv.CatFault, t0, t1, int64(p), 0)
 	req := &PageReq{Page: p}
-	resp := nd.ep.Call(home, KindPageReq, req.WireSize(), req)
+	if leases {
+		// The requester's vector time bounds a custody rebuild at an
+		// adopter (the reply must cover every interval this node knows of).
+		req.VT = nd.VT()
+	}
+	var resp transport.Message
+	if !leases {
+		resp = nd.ep.Call(home, KindPageReq, req.WireSize(), req)
+	} else {
+		for {
+			m, ok := nd.ep.CallAsync(home, KindPageReq, req.WireSize(), req).WaitRedirect(nd.clock)
+			if !ok {
+				// The home crashed with the reply outstanding: wait out its
+				// lease, re-resolve, retry against whoever serves it now.
+				nd.waitOutLease(home)
+				nd.stats.RedirectedCalls.Add(1)
+				home = nd.effectiveNode(home)
+				continue
+			}
+			if m.Kind == KindRedirectHome {
+				nd.stats.RedirectedCalls.Add(1)
+				home = int(m.Payload.(*RedirectHome).Home)
+				continue
+			}
+			resp = m
+			break
+		}
+	}
 	pr := resp.Payload.(*PageReply)
 	nd.mu.Lock()
 	nd.pt.Install(p, pr.Data)
@@ -71,7 +105,7 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 	st := nd.pt.State(p)
 	nd.mu.Unlock()
 
-	isHome := nd.IsHome(p)
+	isHome := nd.ownsHome(p)
 	if st == memory.Invalid {
 		if d := nd.delegate; d != nil {
 			if !d.Validate(nd, p) {
@@ -85,6 +119,16 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 	inRecovery := nd.delegate != nil
 	nd.mu.Lock()
 	if !nd.pt.IsDirty(p) {
+		// Most replayed writes need no twin (the homes already have the
+		// diffs), but two cases must recompute and re-flush them: the
+		// crashed open interval (ops from TwinsFromOp on — its diffs never
+		// left the node), and writes to this node's own migrated pages
+		// under online recovery (their pre-crash self-writes reached no
+		// other node, so the replay re-creates them in the successor's
+		// custody; see FlushReplayDiffs).
+		replayTwin := inRecovery &&
+			((nd.TwinsFromOp >= 0 && nd.opIndex >= nd.TwinsFromOp) ||
+				(nd.cfg.LeaseDuration > 0 && nd.IsHome(p) && !isHome))
 		switch {
 		case isHome:
 			if nd.cfg.HomeUndo && !inRecovery && !nd.pt.HasTwin(p) {
@@ -94,7 +138,7 @@ func (nd *Node) ensureWritable(p memory.PageID) {
 				nd.trc.Seg(obsv.EvTwinCreate, obsv.CatCoherence, t0, t1, int64(p), int64(nd.cfg.PageSize))
 				nd.mu.Lock()
 			}
-		case inRecovery:
+		case inRecovery && !replayTwin:
 			// Replay recreates the writes but never the diffs (the homes
 			// already have them), so the write fault costs a trap but no
 			// twin copy.

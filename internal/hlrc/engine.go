@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sdsm/internal/fault"
 	"sdsm/internal/memory"
 	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
@@ -56,6 +57,14 @@ type Config struct {
 	// the managers' logs instead (sender-based message logging; managers
 	// are outside the failure model, so their volatile logs survive).
 	SenderLogs bool
+	// LeaseDuration enables online recovery when positive: lock grants and
+	// barrier releases carry virtual-clock leases (renewed implicitly by
+	// every message the node sends), a node is declared dead only after
+	// its lease expires, its homes are adopted by a deterministic
+	// successor, and its locks are revoked by the manager. Zero (the
+	// default) keeps the offline stop-the-world recovery semantics and a
+	// byte-identical wire format.
+	LeaseDuration simtime.Duration
 	// Tracer records the node's coherence events; nil disables tracing at
 	// zero cost.
 	Tracer *obsv.Tracer
@@ -164,6 +173,31 @@ type Node struct {
 	// but before it communicates with the managers (the paper's Fig. 1(b)
 	// scenario). Negative: never.
 	CrashOp int32
+	// CrashPoint refines where the fail-stop fires relative to the sync
+	// op (fault.CrashPoint; the zero value keeps the quiescent default).
+	CrashPoint fault.CrashPoint
+	// TwinsFromOp, during recovery replay, re-enables twin creation for
+	// ops >= the value so the crashed open interval's diffs can be
+	// recomputed and flushed at detach (-1: never, the default).
+	TwinsFromOp int32
+	// LocalLogDiffs, set by recovery.InstallService, reads this node's own
+	// logged diffs for one page and writer intervals in (from, to]. The
+	// adopter's custody backfill uses it for its own writes — a network
+	// call to self would deadlock the service goroutine.
+	LocalLogDiffs func(p memory.PageID, fromSeq, toSeq int32) (seqs []int32, vtSums []int64, diffs []memory.Diff, diskBytes int)
+
+	// Online-recovery state (Config.LeaseDuration > 0), guarded by mu.
+	// lastHeard[w] is the arrival time of the most recent message from w:
+	// every coherence message doubles as a lease renewal.
+	lastHeard []simtime.Time
+	// revoked[l] records a lock this manager reclaimed from a dead holder,
+	// so the holder's replayed release is absorbed instead of panicking as
+	// a double free.
+	revoked map[int32]revokedLock
+	// adoptedFrom is the dead node whose home pages this node holds in
+	// custody (-1 outside custody); adopted is the per-page custody state.
+	adoptedFrom int
+	adopted     map[memory.PageID]*adoptedPage
 
 	// Manager state (used only on manager nodes).
 	mgrVT      vclock.VC
@@ -216,6 +250,11 @@ func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogH
 		undo:          make(map[memory.PageID][]undoEntry),
 		CrashOp:       -1,
 		crashedAt:     -1,
+		TwinsFromOp:   -1,
+		lastHeard:     make([]simtime.Time, cfg.N),
+		revoked:       make(map[int32]revokedLock),
+		adoptedFrom:   -1,
+		adopted:       make(map[memory.PageID]*adoptedPage),
 		mgrVT:         vclock.New(cfg.N),
 		mgrNotices:    NewNoticeStore(cfg.N),
 		locks:         make(map[int32]*lockState),
@@ -349,6 +388,15 @@ func (nd *Node) serve(stop <-chan struct{}, done chan<- struct{}) {
 // artificially serialize remote misses behind it).
 func (nd *Node) handle(m transport.Message) {
 	at := nd.ep.ArrivalOf(m) + simtime.Time(nd.cfg.Model.MsgHandling)
+	if nd.cfg.LeaseDuration > 0 && m.From >= 0 && m.From < len(nd.lastHeard) {
+		// Piggybacked lease renewal: hearing anything from a peer renews
+		// its lease — no dedicated heartbeat traffic.
+		nd.mu.Lock()
+		if arr := nd.ep.ArrivalOf(m); arr > nd.lastHeard[m.From] {
+			nd.lastHeard[m.From] = arr
+		}
+		nd.mu.Unlock()
+	}
 	switch m.Kind {
 	case KindPageReq:
 		nd.handlePageReq(m, at)
@@ -360,6 +408,8 @@ func (nd *Node) handle(m transport.Message) {
 		nd.handleLockRelease(m, at)
 	case KindBarrierCheckin:
 		nd.handleBarrierCheckin(m, at)
+	case KindObit:
+		nd.handleObit(m, at)
 	default:
 		if nd.ExtraHandler != nil && nd.ExtraHandler(m) {
 			return
@@ -373,8 +423,12 @@ func (nd *Node) handle(m transport.Message) {
 func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
 	req := m.Payload.(*PageReq)
 	nd.mu.Lock()
-	if !nd.IsHome(req.Page) {
+	if !nd.ownsHome(req.Page) {
 		nd.mu.Unlock()
+		if nd.cfg.LeaseDuration > 0 {
+			nd.handleForeignPageReq(m, req, at)
+			return
+		}
 		panic(fmt.Sprintf("hlrc: node %d asked for page %d homed at %d", nd.cfg.ID, req.Page, nd.HomeOf(req.Page)))
 	}
 	data := make([]byte, nd.cfg.PageSize)
@@ -393,6 +447,12 @@ func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
 // "Asynchronous Update Handler".
 func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
 	du := m.Payload.(*DiffUpdate)
+	if nd.cfg.LeaseDuration > 0 && len(du.Diffs) > 0 && !nd.ownsHome(du.Diffs[0].Page) {
+		// Diff batches are grouped per static home, so the first page
+		// decides the whole message's routing: custody record or redirect.
+		nd.handleForeignDiffUpdate(m, du, at)
+		return
+	}
 	var copied int
 	nd.mu.Lock()
 	events := make([]UpdateEvent, 0, len(du.Diffs))
@@ -466,7 +526,16 @@ func (nd *Node) ApplyDiffAsHome(d memory.Diff, writer, seq int32) bool {
 	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	return nd.applyHomeDiffLocked(d, writer, seq)
+	applied := nd.applyHomeDiffLocked(d, writer, seq)
+	if applied && !nd.ownsHome(d.Page) && nd.pt.HasTwin(d.Page) {
+		// Online replay of a migrated page with an open twinned interval:
+		// the foreign bytes must not reappear in the recomputed self-diff
+		// (FlushReplayDiffs compares page against twin), so the twin absorbs
+		// them too. Data-race freedom keeps the writers' byte sets disjoint,
+		// so no self-write is overwritten.
+		d.Apply(nd.pt.Twin(d.Page))
+	}
+	return applied
 }
 
 // PageAtVersion returns a copy of home page p rolled back so that no

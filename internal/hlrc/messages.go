@@ -3,6 +3,7 @@ package hlrc
 import (
 	"sdsm/internal/memory"
 	"sdsm/internal/obsv"
+	"sdsm/internal/simtime"
 	"sdsm/internal/transport"
 	"sdsm/internal/vclock"
 )
@@ -31,6 +32,11 @@ const (
 	KindRecGrantReply
 	KindRecBarrierReq
 	KindRecBarrierReply
+	// Online-recovery kinds (lease-based liveness and home adoption; see
+	// DESIGN.md §2.9). Appended after the recovery-service kinds so every
+	// pre-existing kind keeps its wire value.
+	KindObit         // manager → all: node declared dead after lease expiry
+	KindRedirectHome // reply: "not my page (anymore) — ask Home instead"
 )
 
 // Register display names for the per-kind wire counters and the trace
@@ -54,6 +60,8 @@ func init() {
 		KindRecGrantReply:   "rec-grant-reply",
 		KindRecBarrierReq:   "rec-barrier-req",
 		KindRecBarrierReply: "rec-barrier-reply",
+		KindObit:            "obituary",
+		KindRedirectHome:    "redirect-home",
 	} {
 		obsv.RegisterKindName(uint8(kind), name)
 	}
@@ -77,10 +85,19 @@ func (m *LockReq) WireSize() int { return 4 + m.VT.WireSize() }
 type LockGrant struct {
 	VT      vclock.VC
 	Notices []Notice
+	// LeaseUntil, when nonzero, is the virtual time until which the grantee
+	// may assume the manager will not declare it dead (Config.LeaseDuration).
+	LeaseUntil simtime.Time
 }
 
 // WireSize is the accounted message size.
-func (m *LockGrant) WireSize() int { return m.VT.WireSize() + NoticesWireSize(m.Notices) }
+func (m *LockGrant) WireSize() int {
+	n := m.VT.WireSize() + NoticesWireSize(m.Notices)
+	if m.LeaseUntil != 0 {
+		n += 8
+	}
+	return n
+}
 
 // LockRelease returns ownership to the manager together with the
 // releaser's knowledge delta (everything it learned or produced since its
@@ -110,22 +127,37 @@ func (m *BarrierCheckin) WireSize() int { return 4 + m.VT.WireSize() + NoticesWi
 type BarrierRelease struct {
 	VT      vclock.VC
 	Notices []Notice
+	// LeaseUntil: as on LockGrant (zero when leases are disabled).
+	LeaseUntil simtime.Time
 }
 
 // WireSize is the accounted message size.
-func (m *BarrierRelease) WireSize() int { return m.VT.WireSize() + NoticesWireSize(m.Notices) }
+func (m *BarrierRelease) WireSize() int {
+	n := m.VT.WireSize() + NoticesWireSize(m.Notices)
+	if m.LeaseUntil != 0 {
+		n += 8
+	}
+	return n
+}
 
 // DiffUpdate flushes one writer interval's diffs for the pages homed at
-// the destination node.
+// the destination node. VTSum is the writer's vector-time sum at the
+// interval close; it is populated only under online recovery
+// (Config.LeaseDuration > 0), where an adopter records it as the
+// custody-application ordering key. Live homes ignore it.
 type DiffUpdate struct {
 	Writer int32
 	Seq    int32 // the writer interval the diffs belong to
+	VTSum  int64
 	Diffs  []memory.Diff
 }
 
 // WireSize is the accounted message size.
 func (m *DiffUpdate) WireSize() int {
 	n := 8
+	if m.VTSum != 0 {
+		n += 8
+	}
 	for _, d := range m.Diffs {
 		n += d.WireSize()
 	}
@@ -140,13 +172,23 @@ type DiffAck struct{}
 // WireSize is the accounted message size.
 func (DiffAck) WireSize() int { return 8 }
 
-// PageReq fetches the current home copy of one page.
+// PageReq fetches the current home copy of one page. VT is the
+// requester's vector time; it is populated only under online recovery
+// (Config.LeaseDuration > 0), where an adopter uses it to bound the
+// deterministic backfill of a custody copy before serving.
 type PageReq struct {
 	Page memory.PageID
+	VT   vclock.VC
 }
 
 // WireSize is the accounted message size.
-func (PageReq) WireSize() int { return 8 }
+func (m *PageReq) WireSize() int {
+	n := 8
+	if m.VT != nil {
+		n += m.VT.WireSize()
+	}
+	return n
+}
 
 // PageReply carries the home copy and its version vector (the latter is
 // ignored during failure-free operation and used by recovery).
@@ -249,4 +291,47 @@ func (m *RecBarrierReply) WireSize() int {
 		return 4
 	}
 	return 4 + m.Rel.WireSize()
+}
+
+// Obituary announces that Node was declared dead at virtual time At (its
+// lease expired). The lock manager originates it; every survivor uses it
+// to start redirecting traffic for the victim's homes to the successor.
+type Obituary struct {
+	Node int32
+	At   simtime.Time
+}
+
+// WireSize is the accounted message size.
+func (Obituary) WireSize() int { return 12 }
+
+// RedirectHome answers a request for a page this node is not (or no
+// longer) responsible for: ask Home instead. Senders re-resolve and retry;
+// the chain is bounded because custody only moves between the static home
+// and its successor.
+type RedirectHome struct {
+	Page memory.PageID
+	Home int32
+}
+
+// WireSize is the accounted message size.
+func (RedirectHome) WireSize() int { return 12 }
+
+// AdoptedDiff is one diff received directly by an adopter for a page in
+// its custody, with the ordering key it is applied under. Custody rebuilds
+// and the post-run audit replay these against the writers' logged diffs.
+type AdoptedDiff struct {
+	Writer int32
+	Seq    int32
+	VTSum  int64
+	Diff   memory.Diff
+}
+
+// AdoptedPageState is the exported custody state of one adopted page: the
+// version its custody record has reached and the directly-received diffs
+// in the record (backfill diffs are re-readable from the writers' logs and
+// are not duplicated here).
+type AdoptedPageState struct {
+	Page    memory.PageID
+	Ver     vclock.VC
+	Applied []AdoptedDiff
 }

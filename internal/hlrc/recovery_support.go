@@ -2,6 +2,7 @@ package hlrc
 
 import (
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/vclock"
 )
 
@@ -95,7 +96,7 @@ func (nd *Node) CloseIntervalLocal() int32 {
 	pages := make([]memory.PageID, 0, len(dirty))
 	for _, p := range dirty {
 		pages = append(pages, p)
-		if nd.IsHome(p) {
+		if nd.ownsHome(p) {
 			nd.ver[p][nd.cfg.ID] = seq
 			nd.clearPostTwinLocked(p)
 		}
@@ -104,6 +105,58 @@ func (nd *Node) CloseIntervalLocal() int32 {
 	nd.pt.EndInterval()
 	nd.stats.Intervals.Add(1)
 	return seq
+}
+
+// FlushReplayDiffs recomputes and flushes the diffs of this node's dirty
+// migrated pages (statically homed here, but in a successor's custody
+// since the crash) to their effective home. The online replay calls it
+// before each CloseIntervalLocal — the close drops the twins — so the
+// victim's self-writes, which never reached another node before the
+// crash, are re-created in the successor's custody record under the same
+// (writer, seq, vtSum) key the live run would have used. The ack is
+// awaited with a detached fixed-round-trip charge so a successor clock
+// far ahead of the replay cannot catapult the replay clock forward.
+func (nd *Node) FlushReplayDiffs() {
+	if nd.cfg.LeaseDuration <= 0 {
+		return
+	}
+	nd.mu.Lock()
+	var diffs []memory.Diff
+	compareBytes := 0
+	for _, p := range nd.pt.DirtyPages() {
+		if !nd.IsHome(p) || nd.ownsHome(p) || !nd.pt.HasTwin(p) {
+			continue
+		}
+		compareBytes += nd.cfg.PageSize
+		d := nd.pt.MakeDiff(p).Clone()
+		if d.Empty() {
+			continue
+		}
+		diffs = append(diffs, d)
+	}
+	// The keys CloseIntervalLocal will assign to this interval.
+	seq := nd.vt[nd.cfg.ID] + 1
+	vtSum := nd.vt.Sum() + 1
+	nd.mu.Unlock()
+	if len(diffs) == 0 {
+		return
+	}
+	t0, t1 := nd.clock.AdvanceSpan(nd.cfg.Model.CopyTime(compareBytes))
+	nd.trc.Seg(obsv.EvDiffMake, obsv.CatRecovery, t0, t1, int64(compareBytes), int64(len(diffs)))
+	nd.stats.DiffsCreated.Add(int64(len(diffs)))
+	du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, VTSum: vtSum, Diffs: diffs}
+	to := nd.effectiveNode(nd.cfg.ID)
+	for {
+		sz := du.WireSize()
+		nd.stats.DiffBytesSent.Add(int64(sz))
+		resp := nd.ep.CallAsync(to, KindDiffUpdate, sz, du).WaitDetached(nd.clock)
+		if resp.Kind == KindRedirectHome {
+			nd.stats.RedirectedCalls.Add(1)
+			to = int(resp.Payload.(*RedirectHome).Home)
+			continue
+		}
+		break
+	}
 }
 
 // HoldsLocks reports whether the node currently holds any lock.
@@ -164,10 +217,11 @@ func (nd *Node) InstallPage(p memory.PageID, data []byte) {
 }
 
 // InvalidatePage invalidates a local (non-home) copy (ML replay applies
-// logged notices this way).
+// logged notices this way). A recovered incarnation's migrated pages are
+// non-home for this purpose: their stale copies must not be read.
 func (nd *Node) InvalidatePage(p memory.PageID) {
 	nd.mu.Lock()
-	if !nd.IsHome(p) {
+	if !nd.ownsHome(p) {
 		nd.pt.Invalidate(p)
 	}
 	nd.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sdsm/internal/fault"
 	"sdsm/internal/memory"
 	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
@@ -71,6 +72,13 @@ func (nd *Node) ReleaseLock(lock int) {
 	crashing := nd.crashingAt(op)
 	if crashing {
 		nd.StopService()
+		if nd.CrashPoint != fault.PointSyncExit {
+			// Non-quiescent crash points fire before anything of this op
+			// runs: the victim dies holding the lock, its final interval
+			// neither flushed to the homes nor logged.
+			nd.assertCrashPoint(op)
+			nd.failStop(op)
+		}
 	}
 	t0 := nd.clock.Now()
 	nd.syncEntryFlush(op)
@@ -123,6 +131,10 @@ func (nd *Node) Barrier(barrier int) {
 	crashing := nd.crashingAt(op)
 	if crashing {
 		nd.StopService()
+		if nd.CrashPoint != fault.PointSyncExit {
+			nd.assertCrashPoint(op)
+			nd.failStop(op)
+		}
 	}
 	t0 := nd.clock.Now()
 	nd.syncEntryFlush(op)
@@ -171,7 +183,45 @@ func (nd *Node) failStop(op int32) {
 	nd.mu.Lock()
 	nd.crashedAt = op
 	nd.mu.Unlock()
+	if nd.cfg.LeaseDuration > 0 {
+		// Record the death in the liveness registry and announce it. The
+		// obituary is a simulator shortcut for every peer running an
+		// independent lease-expiry detector: all of its effects are
+		// stamped at D = crash time + LeaseDuration, so the timing matches
+		// per-peer timeout tracking without any heartbeat traffic.
+		tc := nd.clock.Now()
+		nd.ep.MarkCrashed(tc)
+		ob := &Obituary{Node: int32(nd.cfg.ID), At: tc}
+		for i := 0; i < nd.cfg.N; i++ {
+			if i != nd.cfg.ID {
+				nd.ep.Send(i, KindObit, ob.WireSize(), ob)
+			}
+		}
+	}
 	panic(ErrCrashed)
+}
+
+// assertCrashPoint validates the non-quiescent crash-point preconditions
+// the CrashPlan promised (dying in the wrong state would silently test
+// nothing): the victim must hold a lock, and for the dirty-home point it
+// must additionally be home for a page dirtied in the open interval.
+func (nd *Node) assertCrashPoint(op int32) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if len(nd.grantVT) == 0 {
+		panic(fmt.Sprintf("hlrc: node %d: %v crash point at op %d but no lock is held",
+			nd.cfg.ID, nd.CrashPoint, op))
+	}
+	if nd.CrashPoint != fault.PointDirtyHome {
+		return
+	}
+	for _, p := range nd.pt.DirtyPages() {
+		if nd.IsHome(p) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("hlrc: node %d: dirty-home crash point at op %d but no home page is dirty",
+		nd.cfg.ID, op))
 }
 
 // crashingAt reports whether the injected fail-stop fires at this op.
@@ -207,7 +257,7 @@ func (nd *Node) anyDirtyLocked(ns []Notice) bool {
 			continue
 		}
 		for _, p := range n.Pages {
-			if !nd.IsHome(p) && nd.pt.IsDirty(p) {
+			if !nd.ownsHome(p) && nd.pt.IsDirty(p) {
 				return true
 			}
 		}
@@ -225,7 +275,7 @@ func (nd *Node) applyNoticesLocked(ns []Notice) {
 			continue
 		}
 		for _, p := range n.Pages {
-			if nd.IsHome(p) {
+			if nd.ownsHome(p) {
 				continue
 			}
 			if nd.pt.IsDirty(p) {
@@ -278,7 +328,7 @@ func (nd *Node) closeAndPropagate(op int32) {
 	compareBytes := 0
 	for _, p := range dirty {
 		pages = append(pages, p)
-		if nd.IsHome(p) {
+		if nd.ownsHome(p) {
 			// Home writes need no diff to propagate (paper §2: "a
 			// read/write to a page on its home node ... requires no
 			// summary of write modifications"), but the write notice and
@@ -341,28 +391,77 @@ func (nd *Node) closeAndPropagate(op int32) {
 		homes = append(homes, h)
 	}
 	sort.Ints(homes)
-	pendings := make([]*transport.Pending, 0, len(homes))
+	// Batches are keyed by static home (all pages of one batch share one
+	// effective home) and addressed to whoever currently serves it.
+	leases := nd.cfg.LeaseDuration > 0
+	type flight struct {
+		to int
+		du *DiffUpdate
+		pd *transport.Pending
+	}
+	flights := make([]flight, 0, len(homes))
 	var sentBytes int64
+	send := func(to int, du *DiffUpdate) {
+		sz := du.WireSize()
+		sentBytes += int64(sz)
+		flights = append(flights, flight{to: to, du: du, pd: nd.ep.CallAsync(to, KindDiffUpdate, sz, du)})
+	}
 	for _, h := range homes {
+		dest := h
+		if leases {
+			dest = nd.effectiveNode(h)
+		}
 		if nd.cfg.LegacyDiffUpdates {
 			// Legacy wire layout: one message per diff, in page order.
 			for _, d := range perHome[h] {
 				du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, Diffs: []memory.Diff{d}}
-				sz := du.WireSize()
-				sentBytes += int64(sz)
-				pendings = append(pendings, nd.ep.CallAsync(h, KindDiffUpdate, sz, du))
+				if leases {
+					du.VTSum = vtSum
+				}
+				send(dest, du)
 			}
 			continue
 		}
 		du := &DiffUpdate{Writer: int32(nd.cfg.ID), Seq: seq, Diffs: perHome[h]}
-		sz := du.WireSize()
-		sentBytes += int64(sz)
-		pendings = append(pendings, nd.ep.CallAsync(h, KindDiffUpdate, sz, du))
+		if leases {
+			// The custody-application ordering key, recorded by an adopter
+			// if this batch lands in a migrated home's custody.
+			du.VTSum = vtSum
+		}
+		send(dest, du)
 	}
 	nd.stats.DiffBytesSent.Add(sentBytes)
 
-	for _, p := range pendings {
-		p.Wait(nd.clock)
+	for i := range flights {
+		f := &flights[i]
+		if !leases {
+			f.pd.Wait(nd.clock)
+			continue
+		}
+		for {
+			resp, ok := f.pd.WaitRedirect(nd.clock)
+			if !ok {
+				// The home crashed with the ack outstanding. Wait out its
+				// lease, then resend to whoever serves its pages now. The
+				// failover itself charges no virtual time, so this path
+				// costs the same whether the death was noticed here or via
+				// the obituary.
+				nd.waitOutLease(f.to)
+				nd.stats.RedirectedCalls.Add(1)
+				f.to = nd.effectiveNode(f.to)
+				f.pd = nd.ep.CallAsync(f.to, KindDiffUpdate, f.du.WireSize(), f.du)
+				continue
+			}
+			if resp.Kind == KindRedirectHome {
+				// The receiver no longer serves these pages: follow the
+				// referral (bounded: custody only walks dead-node chains).
+				nd.stats.RedirectedCalls.Add(1)
+				f.to = int(resp.Payload.(*RedirectHome).Home)
+				f.pd = nd.ep.CallAsync(f.to, KindDiffUpdate, f.du.WireSize(), f.du)
+				continue
+			}
+			break // the DiffAck
+		}
 	}
 	// Only the disk time not hidden behind the ack round trips remains on
 	// the critical path.
@@ -379,6 +478,9 @@ func (nd *Node) grantLocked(since vclock.VC) *LockGrant {
 // issueGrantLocked records a fresh grant's retransmission state (and, with
 // SenderLogs, appends it to the receiver's sender log). Callers hold nd.mu.
 func (nd *Node) issueGrantLocked(ls *lockState, to int, reqID int64, g *LockGrant, at simtime.Time) {
+	if nd.cfg.LeaseDuration > 0 {
+		g.LeaseUntil = at + simtime.Time(nd.cfg.LeaseDuration)
+	}
 	ls.held = true
 	ls.holder = to
 	ls.holderReq = reqID
@@ -439,6 +541,14 @@ func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
 	nd.mu.Lock()
 	nd.mgrNotices.AddAll(rel.Notices)
 	nd.mgrVT.Merge(rel.VT)
+	if rv, ok := nd.revoked[rel.Lock]; ok && rv.holder == m.From {
+		// Replayed release of a lock this manager revoked when the holder
+		// was declared dead: the knowledge delta was merged above, the
+		// ownership change already happened at the revocation. Absorb.
+		delete(nd.revoked, rel.Lock)
+		nd.mu.Unlock()
+		return
+	}
 	ls := nd.locks[rel.Lock]
 	if ls == nil || !ls.held {
 		nd.mu.Unlock()
@@ -546,6 +656,9 @@ func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 		rel := &BarrierRelease{
 			VT:      nd.mgrVT.Clone(),
 			Notices: nd.mgrNotices.Delta(since),
+		}
+		if nd.cfg.LeaseDuration > 0 {
+			rel.LeaseUntil = releaseAt + simtime.Time(nd.cfg.LeaseDuration)
 		}
 		bs.lastReply[w.m.From] = barrierReply{reqID: w.m.ReqID, rel: rel, at: releaseAt}
 		if nd.cfg.SenderLogs {

@@ -21,13 +21,17 @@ import (
 //     checksum and decodes cleanly by its kind byte.
 //  2. Torn tails appear only when the fault plan can explain them
 //     (AllowTorn).
-//  3. The Op tags are nondecreasing in log order, separately for the
-//     sync-driven records (notices, diffs, pages — flushed in program
-//     order; recovery's interval walk relies on it) and for the
-//     update-event records, which are tagged with the op at which the
-//     updates arrived and ride the next release's flush, so they may
-//     trail the flush's own records by an op. Recovery fetches them by
-//     key, so only their own order matters.
+//  3. The Op tags of the sync-driven records (notices, diffs, pages —
+//     flushed in program order; recovery's interval walk relies on it)
+//     are nondecreasing in log order. Update-event records are exempt:
+//     they are tagged with the op at which the updates arrived but ride
+//     the first release flush whose cutoff covers their virtual arrival,
+//     so under cross-node clock skew (lock-phase workloads) an early-op
+//     event can legally flush after a later-op one. What must hold for
+//     them instead is per-writer seq order: a writer's intervals arrive
+//     in order (its flushes are serialized by their acks), so in log
+//     order each writer's event seqs never regress. Recovery fetches
+//     events by key, so this is the only order it depends on.
 //  4. Own-diff records (writer == -1) close intervals in order: their
 //     seq is nondecreasing and their vector-time sum strictly increases
 //     whenever seq does — the causal-ordering invariant CCL's
@@ -94,12 +98,12 @@ func auditStore(node int, s *stable.Store, opts AuditOptions, rep *AuditReport) 
 			ErrTornLog, node, dropped)
 	}
 	var (
-		lastOp   int32 = math.MinInt32 // sync-driven records
-		lastEvOp int32 = math.MinInt32 // update-event records
-		lastSeq  int32 = -1
-		lastVT   int64 = -1
-		bytes    int64
+		lastOp  int32 = math.MinInt32 // sync-driven records
+		lastSeq int32 = -1
+		lastVT  int64 = -1
+		bytes   int64
 	)
+	lastWriterSeq := make(map[int32]int32) // update events, per writer
 	for i, r := range prefix {
 		if !r.Verify() {
 			return fmt.Errorf("%w: node %d record %d", ErrChecksum, node, i)
@@ -109,11 +113,13 @@ func auditStore(node int, s *stable.Store, opts AuditOptions, rep *AuditReport) 
 			return fmt.Errorf("logview: node %d record %d: %w", node, i, err)
 		}
 		if d.Kind == wal.RecEvents {
-			if d.Op < lastEvOp {
-				return fmt.Errorf("%w: node %d record %d: event op %d after op %d",
-					ErrOpRegression, node, i, d.Op, lastEvOp)
+			for _, ev := range d.Events {
+				if last, seen := lastWriterSeq[ev.Writer]; seen && ev.Seq < last {
+					return fmt.Errorf("%w: node %d record %d: writer %d event seq %d after seq %d",
+						ErrOpRegression, node, i, ev.Writer, ev.Seq, last)
+				}
+				lastWriterSeq[ev.Writer] = ev.Seq
 			}
-			lastEvOp = d.Op
 		} else {
 			if d.Op < lastOp {
 				return fmt.Errorf("%w: node %d record %d: op %d after op %d",

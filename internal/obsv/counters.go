@@ -22,6 +22,13 @@ type Counters struct {
 	// Logging-layer counters.
 	LogAppends atomic.Int64 // records staged into the protocol's log
 
+	// Online-recovery counters (lease-based liveness and home adoption).
+	HomeAdoptions    atomic.Int64 // dead homes whose pages this node took into custody
+	AdoptedDiffs     atomic.Int64 // diffs applied to custody copies (backfill + direct)
+	LockRevocations  atomic.Int64 // locks this manager reclaimed from a dead holder
+	RedirectedCalls  atomic.Int64 // requests re-resolved against an adopter (or back home)
+	LeaseWaitsServed atomic.Int64 // operations stalled until a dead peer's lease expired
+
 	// Home-less (TreadMarks-style) ablation engine counters.
 	FetchRounds   atomic.Int64 // multi-writer diff fetch rounds
 	DiffsFetched  atomic.Int64 // diffs fetched during those rounds
@@ -42,6 +49,13 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		Intervals:     c.Intervals.Load(),
 		EarlyCloses:   c.EarlyCloses.Load(),
 		LogAppends:    c.LogAppends.Load(),
+
+		HomeAdoptions:    c.HomeAdoptions.Load(),
+		AdoptedDiffs:     c.AdoptedDiffs.Load(),
+		LockRevocations:  c.LockRevocations.Load(),
+		RedirectedCalls:  c.RedirectedCalls.Load(),
+		LeaseWaitsServed: c.LeaseWaitsServed.Load(),
+
 		FetchRounds:   c.FetchRounds.Load(),
 		DiffsFetched:  c.DiffsFetched.Load(),
 		BytesRetained: c.BytesRetained.Load(),
@@ -62,6 +76,13 @@ type CountersSnapshot struct {
 	Intervals     int64 `json:"intervals"`
 	EarlyCloses   int64 `json:"early_closes"`
 	LogAppends    int64 `json:"log_appends"`
+
+	HomeAdoptions    int64 `json:"home_adoptions,omitempty"`
+	AdoptedDiffs     int64 `json:"adopted_diffs,omitempty"`
+	LockRevocations  int64 `json:"lock_revocations,omitempty"`
+	RedirectedCalls  int64 `json:"redirected_calls,omitempty"`
+	LeaseWaitsServed int64 `json:"lease_waits_served,omitempty"`
+
 	FetchRounds   int64 `json:"fetch_rounds,omitempty"`
 	DiffsFetched  int64 `json:"diffs_fetched,omitempty"`
 	BytesRetained int64 `json:"bytes_retained,omitempty"`
@@ -80,6 +101,11 @@ func (s *CountersSnapshot) Add(o CountersSnapshot) {
 	s.Intervals += o.Intervals
 	s.EarlyCloses += o.EarlyCloses
 	s.LogAppends += o.LogAppends
+	s.HomeAdoptions += o.HomeAdoptions
+	s.AdoptedDiffs += o.AdoptedDiffs
+	s.LockRevocations += o.LockRevocations
+	s.RedirectedCalls += o.RedirectedCalls
+	s.LeaseWaitsServed += o.LeaseWaitsServed
 	s.FetchRounds += o.FetchRounds
 	s.DiffsFetched += o.DiffsFetched
 	s.BytesRetained += o.BytesRetained

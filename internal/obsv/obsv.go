@@ -67,6 +67,9 @@ const (
 	EvTailFetch                       // decorative: recovery sender-log grant/release fetch
 	EvHomeRebuild                     // decorative: torn-tail home-update reconstruction
 	EvCatchUp                         // decorative: detach-time home-page catch-up
+	EvObit                            // service instant: obituary processed (node declared dead)
+	EvAdoptServe                      // service span: custody copy rebuilt and served by adopter
+	EvLeaseWait                       // app seg: stall until a dead peer's lease expired
 	numEventKinds
 )
 
@@ -76,7 +79,7 @@ var eventNames = [numEventKinds]string{
 	"lock-release", "lock-grant", "barrier-wait", "barrier-release",
 	"log-flush", "flush-wait", "checkpoint", "arq-retry", "recv",
 	"recv-detached", "replay-op", "prefetch", "diff-fetch", "tail-fetch",
-	"home-rebuild", "catch-up",
+	"home-rebuild", "catch-up", "obituary", "adopt-serve", "lease-wait",
 }
 
 // argNames labels Arg1/Arg2 per kind in the Chrome export ("" = omit).
@@ -106,6 +109,9 @@ var argNames = [numEventKinds][2]string{
 	EvTailFetch:      {"idx", ""},
 	EvHomeRebuild:    {"fetches", "bytes"},
 	EvCatchUp:        {"fetches", "bytes"},
+	EvObit:           {"node", "at"},
+	EvAdoptServe:     {"page", "bytes"},
+	EvLeaseWait:      {"node", ""},
 }
 
 // String returns the event kind's stable display name.

@@ -1,0 +1,121 @@
+package recovery
+
+import (
+	"testing"
+
+	"sdsm/internal/simtime"
+)
+
+// TestPhaseReportPartition drives note/close through representative
+// replay shapes and checks the partitioning invariants the breakdown
+// promises: the per-phase durations sum to Total exactly, the
+// uninstrumented remainder lands in PhaseReplay, and the remainder is
+// clamped at zero when instrumented phases overlap the whole window.
+func TestPhaseReportPartition(t *testing.T) {
+	type interval struct {
+		p      Phase
+		t0, t1 simtime.Time
+		bytes  int64
+	}
+	cases := []struct {
+		name       string
+		intervals  []interval
+		total      simtime.Time
+		wantReplay simtime.Duration
+		wantBytes  map[Phase]int64
+		wantOps    map[Phase]int64
+	}{
+		{
+			name:       "all uninstrumented",
+			total:      1000,
+			wantReplay: 1000,
+		},
+		{
+			name: "typical CCL replay",
+			intervals: []interval{
+				{PhaseLogRead, 0, 100, 4096},
+				{PhaseDiffFetch, 100, 250, 512},
+				{PhaseDiffFetch, 400, 500, 256},
+				{PhasePageFetch, 500, 700, 8192},
+				{PhaseCatchUp, 800, 900, 0},
+			},
+			total:      1000,
+			wantReplay: 1000 - 100 - 150 - 100 - 200 - 100,
+			wantBytes:  map[Phase]int64{PhaseLogRead: 4096, PhaseDiffFetch: 768, PhasePageFetch: 8192},
+			wantOps:    map[Phase]int64{PhaseDiffFetch: 2, PhaseCatchUp: 1, PhaseReplay: 1},
+		},
+		{
+			name: "inverted interval ignored",
+			intervals: []interval{
+				{PhaseLogRead, 500, 400, 999},
+				{PhaseTailSync, 0, 300, 64},
+			},
+			total:      600,
+			wantReplay: 300,
+			wantBytes:  map[Phase]int64{PhaseLogRead: 0, PhaseTailSync: 64},
+			wantOps:    map[Phase]int64{PhaseLogRead: 0, PhaseTailSync: 1},
+		},
+		{
+			name: "instrumented overrun clamps remainder",
+			intervals: []interval{
+				{PhaseHomeRebuild, 0, 700, 0},
+				{PhaseCatchUp, 0, 700, 0},
+			},
+			total:      1000,
+			wantReplay: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r PhaseReport
+			for _, iv := range tc.intervals {
+				r.note(iv.p, iv.t0, iv.t1, iv.bytes)
+			}
+			r.close(tc.total)
+			if r.Total != tc.total {
+				t.Fatalf("Total = %d, want %d", r.Total, tc.total)
+			}
+			if r.Dur[PhaseReplay] != tc.wantReplay {
+				t.Errorf("replay remainder = %d, want %d", r.Dur[PhaseReplay], tc.wantReplay)
+			}
+			// The partition invariant — unless clamping discarded overrun.
+			sum := r.Sum()
+			if tc.wantReplay > 0 || tc.name == "all uninstrumented" {
+				if sum != simtime.Duration(tc.total) {
+					t.Errorf("durations sum to %d, want %d", sum, tc.total)
+				}
+			} else if sum < simtime.Duration(tc.total) {
+				t.Errorf("clamped sum %d below total %d", sum, tc.total)
+			}
+			var shares float64
+			for p := Phase(0); p < NumPhases; p++ {
+				if r.Dur[p] < 0 {
+					t.Errorf("phase %v has negative duration %d", p, r.Dur[p])
+				}
+				shares += r.Share(p)
+			}
+			if tc.wantReplay > 0 && (shares < 0.999 || shares > 1.001) {
+				t.Errorf("shares sum to %f, want 1", shares)
+			}
+			for p, want := range tc.wantBytes {
+				if r.Bytes[p] != want {
+					t.Errorf("phase %v bytes = %d, want %d", p, r.Bytes[p], want)
+				}
+			}
+			for p, want := range tc.wantOps {
+				if r.Ops[p] != want {
+					t.Errorf("phase %v ops = %d, want %d", p, r.Ops[p], want)
+				}
+			}
+		})
+	}
+}
+
+// TestPhaseReportZeroTotal guards the Share division.
+func TestPhaseReportZeroTotal(t *testing.T) {
+	var r PhaseReport
+	r.close(0)
+	if r.Share(PhaseReplay) != 0 {
+		t.Fatal("share of an empty replay must be 0")
+	}
+}

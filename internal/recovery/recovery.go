@@ -73,11 +73,27 @@ func (k Kind) String() string {
 // single peer can recover.
 func InstallService(nd *hlrc.Node, store *stable.Store) {
 	ep := nd.Endpoint()
+	// The adopter's custody rebuilds read this node's own logged diffs
+	// through a direct call — a network round trip to self would deadlock
+	// the service goroutine.
+	nd.LocalLogDiffs = func(p memory.PageID, fromSeq, toSeq int32) ([]int32, []int64, []memory.Diff, int) {
+		resp := readLoggedDiffs(store, &hlrc.RecDiffsReq{Page: p, FromSeq: fromSeq, ToSeq: toSeq})
+		return resp.Seqs, resp.VTSums, resp.Diffs, resp.DiskBytes
+	}
 	nd.ExtraHandler = func(m transport.Message) bool {
 		at := ep.ArrivalOf(m) + simtime.Time(nd.Model().MsgHandling)
 		switch m.Kind {
 		case hlrc.KindRecPageReq:
 			req := m.Payload.(*hlrc.RecPageReq)
+			if !nd.OwnsHome(req.Page) {
+				// Migrated page: this node is its adopter (a recovering peer
+				// resolves homes through the same ever-crashed registry, so
+				// the request only lands here when nd is the effective home).
+				data, ver, done := nd.RebuildCustody(req.Page, req.Need, at)
+				resp := &hlrc.RecPageReply{Data: data, Ver: ver}
+				ep.ReplyAt(done, m, hlrc.KindRecPageReply, resp.WireSize(), resp)
+				return true
+			}
 			data, ver := nd.PageAtVersion(req.Page, req.Need)
 			resp := &hlrc.RecPageReply{Data: data, Ver: ver}
 			ep.ReplyAt(at, m, hlrc.KindRecPageReply, resp.WireSize(), resp)
@@ -154,6 +170,19 @@ func readLoggedDiffs(store *stable.Store, req *hlrc.RecDiffsReq) *hlrc.RecDiffsR
 	return resp
 }
 
+// LoggedDiffs reads writer's own logged diffs of one page for the
+// interval range (fromSeq, toSeq], as custody-record entries. The churn
+// runner and the sdsminspect audit use it to assemble the authoritative
+// content of migrated pages offline (hlrc.RebuildAdoptedImage).
+func LoggedDiffs(store *stable.Store, writer int32, page memory.PageID, fromSeq, toSeq int32) []hlrc.AdoptedDiff {
+	resp := readLoggedDiffs(store, &hlrc.RecDiffsReq{Page: page, FromSeq: fromSeq, ToSeq: toSeq})
+	out := make([]hlrc.AdoptedDiff, 0, len(resp.Seqs))
+	for i := range resp.Seqs {
+		out = append(out, hlrc.AdoptedDiff{Writer: writer, Seq: resp.Seqs[i], VTSum: resp.VTSums[i], Diff: resp.Diffs[i]})
+	}
+	return out
+}
+
 // Replayer drives a recovering node through its logged execution. It
 // implements hlrc.SyncDelegate: while installed, synchronization
 // operations replay from the log instead of communicating, and page
@@ -207,6 +236,19 @@ type Replayer struct {
 	// phases accounts the replay clock per recovery phase; sealed at
 	// detach and exposed via Phases.
 	phases PhaseReport
+	// Online replay (leases enabled): the cluster keeps executing while
+	// this victim replays. Interval closes re-flush the victim's
+	// self-writes to migrated pages into the successor's custody
+	// (hlrc.Node.FlushReplayDiffs), and the replay clock starts at base
+	// (restart time) instead of zero.
+	online bool
+	base   simtime.Time
+	// reexec (non-quiescent crash points): the crash fired at the crash
+	// op's entry before anything of it ran, so there are no records for
+	// it; replay detaches just short of it and the live protocol
+	// re-executes the whole op, recomputing the open interval's diffs
+	// from twins.
+	reexec bool
 }
 
 // NewReplayer indexes the victim's log for replay up to crashOp. Only the
@@ -279,6 +321,45 @@ func (r *Replayer) EnableTailMode(lockMgr, barrierMgr int) {
 	r.tailReady = true
 }
 
+// EnableOnline switches the replayer to online (concurrent) recovery: the
+// rest of the cluster keeps executing, the victim's statically-assigned
+// home pages are served by an adopter, and the victim re-flushes its
+// replayed self-writes to those pages into the adopter's custody at every
+// interval close. base is the victim's restart time (the replay clock
+// starts there, not at zero); ReplayTime and the phase report stay
+// durations relative to it.
+func (r *Replayer) EnableOnline(base simtime.Time) {
+	r.online = true
+	r.base = base
+}
+
+// ReexecuteCrashOp marks the crash op as never executed: a non-quiescent
+// crash point fired at the op's entry, before its flush, log append, or
+// manager communication, so the disk log has no records for it. Replay
+// stops just short of the op and returns control to the live protocol,
+// which re-executes it whole — recomputing the open interval's diffs from
+// twins, which are re-enabled over every replayed write since the last
+// interval close (closeInterval keeps nd.TwinsFromOp tracking it).
+func (r *Replayer) ReexecuteCrashOp(nd *hlrc.Node) {
+	r.reexec = true
+	nd.TwinsFromOp = 0
+}
+
+// closeInterval closes the replayed interval; under online recovery the
+// victim's dirty migrated pages are re-flushed to their adopter first,
+// because the close drops the twins the diffs are computed from.
+func (r *Replayer) closeInterval(nd *hlrc.Node) {
+	if r.online {
+		nd.FlushReplayDiffs()
+	}
+	nd.CloseIntervalLocal()
+	if r.reexec {
+		// The open interval restarts here: only writes from the next op on
+		// can belong to the crashed interval that must be re-diffed live.
+		nd.TwinsFromOp = nd.OpIndex() + 1
+	}
+}
+
 // Torn reports whether the log had a torn tail.
 func (r *Replayer) Torn() bool { return r.torn }
 
@@ -331,7 +412,16 @@ func (r *Replayer) Acquire(nd *hlrc.Node, op int32, lock int32) bool {
 // Release implements hlrc.SyncDelegate. Per the paper's Figure 2, a
 // release during recovery performs no communication.
 func (r *Replayer) Release(nd *hlrc.Node, op int32, lock int32) bool {
-	nd.CloseIntervalLocal()
+	if r.reexec && op >= r.crashOp {
+		// The victim died at this op's entry (non-quiescent crash point):
+		// nothing of it was flushed, logged, or sent. Detach and decline —
+		// the live protocol re-executes the whole release, flushing the
+		// crashed interval's diffs (recomputed from the replay twins) to
+		// the effective homes.
+		r.detach(nd)
+		return false
+	}
+	r.closeInterval(nd)
 	r.reportedSelf = nd.VT()[nd.ID()]
 	if r.tailActive(op) {
 		// A release receives nothing from the managers; the disk records
@@ -356,7 +446,13 @@ func (r *Replayer) Release(nd *hlrc.Node, op int32, lock int32) bool {
 
 // Barrier implements hlrc.SyncDelegate.
 func (r *Replayer) Barrier(nd *hlrc.Node, op int32, barrier int32) bool {
-	nd.CloseIntervalLocal()
+	if r.reexec && op >= r.crashOp {
+		// Non-quiescent crash point at a barrier: detach and let the live
+		// protocol execute the whole check-in (see Release).
+		r.detach(nd)
+		return false
+	}
+	r.closeInterval(nd)
 	r.reportedSelf = nd.VT()[nd.ID()]
 	if op >= r.crashOp {
 		// The victim never checked in to this barrier before the crash
@@ -426,7 +522,9 @@ func (r *Replayer) detach(nd *hlrc.Node) {
 	if r.torn {
 		r.catchUpHomePages(nd)
 	}
-	r.replayTime = nd.Clock().Now()
+	// Under online recovery the victim's clock starts at its restart time,
+	// not zero; ReplayTime stays the catch-up duration.
+	r.replayTime = nd.Clock().Now() - r.base
 	r.phases.close(r.replayTime)
 	r.detached = true
 	nd.SetDelegate(nil)
@@ -512,7 +610,7 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 	if isAcquire && nd.AnyDirty(notices) {
 		// Mirror the live protocol's early close on the false-sharing
 		// path so the interval numbering stays aligned.
-		nd.CloseIntervalLocal()
+		r.closeInterval(nd)
 	}
 
 	// Merge knowledge.
@@ -628,7 +726,9 @@ func (r *Replayer) fetchPages(nd *hlrc.Node, pages []memory.PageID) {
 	pendings := make([]*transport.Pending, 0, len(pages))
 	for _, p := range pages {
 		req := &hlrc.RecPageReq{Page: p, Need: need}
-		pendings = append(pendings, ep.CallAsync(nd.HomeOf(p), hlrc.KindRecPageReq, req.WireSize(), req))
+		// EffectiveHome routes pages whose static home has crashed to their
+		// adopter (it is HomeOf with leases disabled).
+		pendings = append(pendings, ep.CallAsync(nd.EffectiveHome(p), hlrc.KindRecPageReq, req.WireSize(), req))
 	}
 	for i, pd := range pendings {
 		m := pd.WaitDetached(nd.Clock())
@@ -651,7 +751,7 @@ func (r *Replayer) tailAcquire(nd *hlrc.Node, op int32, lock int32, idx int) {
 	if nd.AnyDirty(g.Notices) {
 		// Mirror the live protocol's early close on the false-sharing path
 		// so the interval numbering stays aligned.
-		nd.CloseIntervalLocal()
+		r.closeInterval(nd)
 	}
 	r.reconstructHomeDiffs(nd, g.Notices)
 	r.applyTailNotices(nd, g.Notices, g.VT)
@@ -742,7 +842,7 @@ func (r *Replayer) reconstructHomeDiffs(nd *hlrc.Node, notices []hlrc.Notice) {
 			continue // own intervals: the writes replay themselves
 		}
 		for _, p := range n.Pages {
-			if !nd.IsHome(p) {
+			if !nd.OwnsHome(p) {
 				continue
 			}
 			have := nd.HomeVersion(p)[n.Proc]
@@ -776,7 +876,9 @@ func (r *Replayer) catchUpHomePages(nd *hlrc.Node) {
 	var calls []diffFetch
 	for p := 0; p < nd.NumPages(); p++ {
 		pg := memory.PageID(p)
-		if !nd.IsHome(pg) {
+		// Migrated pages (online recovery after a crash) are no longer this
+		// node's to rebuild: their adopter serves them from custody.
+		if !nd.OwnsHome(pg) {
 			continue
 		}
 		ver := nd.HomeVersion(pg)

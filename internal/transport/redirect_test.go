@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"testing"
+
+	"sdsm/internal/fault"
+	"sdsm/internal/simtime"
+)
+
+// TestRedirectRetryUnderLoss drives the failover path the lease-based
+// online recovery depends on, under heavy seeded loss and duplication:
+// calls to a live peer complete through retransmission; once the peer is
+// marked crashed, WaitRedirect fails over without charging the caller's
+// clock, and the re-resolved call to the adopter completes despite the
+// same loss schedule. Run under -race in tier2: the mid-flight crash
+// notice races the retransmission machinery by design.
+func TestRedirectRetryUnderLoss(t *testing.T) {
+	nw := NewNetwork(3, simtime.DefaultCostModel())
+	nw.SetFaultPlan(fault.Plan{Seed: 7, DropProb: 0.4, DupProb: 0.2})
+	caller := nw.NewEndpoint(0, simtime.NewClock(0))
+	home := nw.NewEndpoint(1, simtime.NewClock(0))
+	adopter := nw.NewEndpoint(2, simtime.NewClock(0))
+
+	quit := make(chan struct{})
+	defer close(quit)
+	go echoUntilQuit(adopter, quit)
+
+	// Phase 1: the home is alive; WaitRedirect behaves like Wait, with
+	// loss absorbed by the ARQ retries.
+	go echoUntilQuit(home, quit)
+	for i := 0; i < 40; i++ {
+		m, ok := caller.CallAsync(1, Kind(9), 64, i).WaitRedirect(caller.Clock())
+		if !ok {
+			t.Fatalf("call %d failed over while the home was alive", i)
+		}
+		if m.Payload.(int) != i {
+			t.Fatalf("call %d answered %v", i, m.Payload)
+		}
+	}
+
+	// Phase 2: crash the home mid-flight. The outstanding call must fail
+	// over with ok=false and no virtual-clock charge, and the re-resolved
+	// call to the adopter must complete under the same loss plan.
+	p := caller.CallAsync(1, Kind(9), 64, 1000)
+	home.MarkCrashed(home.Clock().Now())
+	before := caller.Clock().Now()
+	if _, ok := p.WaitRedirect(caller.Clock()); ok {
+		t.Fatal("call to a crashed peer did not fail over")
+	}
+	if caller.Clock().Now() != before {
+		t.Fatalf("failed-over wait charged the clock: %v -> %v", before, caller.Clock().Now())
+	}
+	for i := 0; i < 40; i++ {
+		m, ok := caller.CallAsync(2, Kind(9), 64, 2000+i).WaitRedirect(caller.Clock())
+		if !ok {
+			t.Fatalf("redirected call %d failed over (adopter is alive)", i)
+		}
+		if m.From != 2 || m.Payload.(int) != 2000+i {
+			t.Fatalf("redirected call %d answered %+v", i, m)
+		}
+		// Dead-target probes interleaved with live traffic: the registry
+		// answer must stay instant and free.
+		b := caller.Clock().Now()
+		if _, ok := caller.CallAsync(1, Kind(9), 64, -1).WaitRedirect(caller.Clock()); ok {
+			t.Fatal("dead peer answered")
+		}
+		if caller.Clock().Now() != b {
+			t.Fatal("dead-peer probe charged the clock")
+		}
+	}
+
+	// The loss schedule must actually have fired retries: a pure-RTT
+	// clock would stay at or under 80 perfect round trips.
+	pureRTT := simtime.Time(80) * simtime.Time(nw.Model().RoundTrip(64, 16))
+	if caller.Clock().Now() <= pureRTT {
+		t.Errorf("clock %v shows no retry charges under 40%% loss (pure RTT would be %v)", caller.Clock().Now(), pureRTT)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"sdsm/internal/fault"
 	"sdsm/internal/obsv"
@@ -91,6 +92,19 @@ type Network struct {
 	delivered []atomic.Int64 // messages enqueued into each inbox
 	handled   []atomic.Int64 // inbox messages the service loop finished
 	syncWait  []atomic.Bool
+
+	// Liveness registry (online recovery): crashed[i] holds the victim's
+	// fail-stop virtual time + 1 while node i is down, 0 while it is up.
+	// It is the simulation's ground truth of node death; the protocol
+	// layer is only allowed to act on it after the victim's lease has
+	// expired (see internal/hlrc). MarkRejoined clears the entry when the
+	// recovered incarnation resumes live operation.
+	crashed []atomic.Int64
+	// failedAt[i] holds the virtual time + 1 of node i's first fail-stop
+	// and is never cleared: "has node i ever crashed" is the key of the
+	// permanent home-migration rule (a crashed node's static homes move to
+	// its successor for the rest of the run; see internal/hlrc).
+	failedAt []atomic.Int64
 }
 
 // DefaultInboxCap is the per-node inbox buffer. It is sized far above any
@@ -113,6 +127,8 @@ func NewNetwork(n int, model simtime.CostModel) *Network {
 		delivered: make([]atomic.Int64, n),
 		handled:   make([]atomic.Int64, n),
 		syncWait:  make([]atomic.Bool, n),
+		crashed:   make([]atomic.Int64, n),
+		failedAt:  make([]atomic.Int64, n),
 	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = make(chan Message, DefaultInboxCap)
@@ -162,6 +178,43 @@ func (nw *Network) KindCounts() []obsv.KindCount {
 		})
 	}
 	return out
+}
+
+// MarkCrashed records that a node fail-stopped at the given virtual
+// time. Requests already in flight to it can then resolve via
+// Pending.WaitRedirect instead of blocking until the node's recovered
+// incarnation drains its inbox.
+func (nw *Network) MarkCrashed(id int, at simtime.Time) {
+	nw.crashed[id].Store(int64(at) + 1)
+	nw.failedAt[id].CompareAndSwap(0, int64(at)+1)
+}
+
+// MarkRejoined clears a node's crashed mark: its recovered incarnation
+// is live again and will answer its inbox.
+func (nw *Network) MarkRejoined(id int) {
+	nw.crashed[id].Store(0)
+}
+
+// CrashedAt reports whether a node is currently down and, if so, the
+// virtual time of its fail-stop.
+func (nw *Network) CrashedAt(id int) (simtime.Time, bool) {
+	v := nw.crashed[id].Load()
+	if v == 0 {
+		return 0, false
+	}
+	return simtime.Time(v - 1), true
+}
+
+// EverCrashed reports whether a node has ever fail-stopped (even if its
+// recovered incarnation has since rejoined) and, if so, the virtual time
+// of its first fail-stop. Once set it never reverts: home migration is
+// permanent, so routing decisions keyed off it are stable.
+func (nw *Network) EverCrashed(id int) (simtime.Time, bool) {
+	v := nw.failedAt[id].Load()
+	if v == 0 {
+		return 0, false
+	}
+	return simtime.Time(v - 1), true
 }
 
 // nextSeq issues the next wire sequence number for the link from→to.
@@ -392,6 +445,27 @@ func (e *Endpoint) CallAsync(to int, kind Kind, size int, payload any) *Pending 
 	return p
 }
 
+// CallAsyncAt is CallAsync with an explicit departure timestamp instead
+// of the endpoint's clock. Service-side protocol actions (a home
+// adopter rebuilding pages from writer logs inside a handler) use it so
+// their sub-requests are stamped from the triggering message's arrival,
+// not from the application clock — keeping the resulting timing a pure
+// function of virtual time.
+func (e *Endpoint) CallAsyncAt(at simtime.Time, to int, kind Kind, size int, payload any) *Pending {
+	p := &Pending{
+		ep: e, to: to, kind: kind, payload: payload,
+		reqID:   e.nw.nextReqID(e.id, to),
+		ch:      make(chan Message, 1),
+		sentAt:  at,
+		reqSize: size,
+		model:   e.nw.Model(),
+		local:   to == e.id,
+		attempt: 1,
+	}
+	e.attemptSend(p)
+	return p
+}
+
 // attemptSend puts one copy of the request on the wire and records
 // whether its reply will ever arrive (the fault plan decides both the
 // request's and the reply's fate up front; the receiver-side effects of a
@@ -479,6 +553,67 @@ func (p *Pending) WaitDetached(clock *simtime.Clock) Message {
 	p.ep.trc.RecvDetached(t0, t1, m.From, m.SentAt, uint8(m.Kind), m.Size)
 	return m
 }
+
+// deadPollInterval is the real-time granularity at which WaitRedirect
+// re-checks the liveness registry while blocked for a reply. Purely a
+// wall-clock matter: no virtual cost is attached to polling.
+const deadPollInterval = 200 * time.Microsecond
+
+// WaitRedirect blocks for the reply like Wait, but fails over when the
+// target is down: if the peer is marked crashed while the reply is
+// outstanding, it returns ok=false without charging the caller's clock,
+// and the caller re-resolves the request (waiting out the peer's lease
+// and redirecting to the adopting node — see internal/hlrc). A peer
+// that rejoins before the poll notices stays on the normal path: its
+// recovered incarnation answers from the drained inbox.
+func (p *Pending) WaitRedirect(clock *simtime.Clock) (m Message, ok bool) {
+	for {
+		if _, down := p.ep.nw.CrashedAt(p.to); down {
+			return Message{}, false
+		}
+		if !p.live {
+			f := p.ep.nw.faults
+			t0, t1 := clock.MergePlusSpan(p.sentAt, f.RTO(p.attempt))
+			p.ep.trc.Seg(obsv.EvArqRetry, obsv.CatRetry, t0, t1, int64(p.kind), int64(p.attempt))
+			if p.attempt >= f.Attempts() {
+				panic(fmt.Sprintf(
+					"transport: node %d: no reply from node %d for kind %d after %d attempts — peer unreachable",
+					p.ep.id, p.to, p.kind, p.attempt))
+			}
+			p.attempt++
+			p.sentAt = clock.Now()
+			p.ep.attemptSend(p)
+			continue
+		}
+		select {
+		case m := <-p.ch:
+			var t0, t1 simtime.Time
+			if p.local {
+				t0, t1 = clock.MergePlusSpan(m.SentAt, 0)
+			} else {
+				t0, t1 = clock.MergePlusSpan(m.SentAt, p.model.MsgTime(m.Size)+m.extraDelay)
+			}
+			p.ep.trc.Recv(t0, t1, m.From, m.SentAt, uint8(m.Kind), m.Size)
+			return m, true
+		case <-time.After(deadPollInterval):
+			// Re-check the registry and the retransmission state.
+		}
+	}
+}
+
+// PeerDown reports whether a peer is currently marked crashed, and if
+// so since when (virtual time of its fail-stop).
+func (e *Endpoint) PeerDown(id int) (simtime.Time, bool) { return e.nw.CrashedAt(id) }
+
+// MarkCrashed records this node's own fail-stop in the liveness registry.
+func (e *Endpoint) MarkCrashed(at simtime.Time) { e.nw.MarkCrashed(e.id, at) }
+
+// MarkRejoined clears this node's crashed mark (recovered incarnation).
+func (e *Endpoint) MarkRejoined() { e.nw.MarkRejoined(e.id) }
+
+// EverCrashed reports whether a peer (or this node itself) has ever
+// fail-stopped, and if so when it first did.
+func (e *Endpoint) EverCrashed(id int) (simtime.Time, bool) { return e.nw.EverCrashed(id) }
 
 // Call is CallAsync followed by Wait.
 func (e *Endpoint) Call(to int, kind Kind, size int, payload any) Message {

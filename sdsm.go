@@ -69,6 +69,32 @@ type RecoveryReport = core.RecoveryReport
 // CrashPlan injects a fail-stop crash and selects the recovery scheme.
 type CrashPlan = core.CrashPlan
 
+// ChurnPlan injects a fail-stop crash recovered online: the survivors
+// keep executing under lease-based failure detection and home
+// migration while the victim's replay runs concurrently. See
+// RunWithChurn.
+type ChurnPlan = core.ChurnPlan
+
+// CrashPoint selects the victim's state at the fail-stop.
+type CrashPoint = fault.CrashPoint
+
+// The crash points a CrashPlan or ChurnPlan can target.
+const (
+	// PointSyncExit crashes at a release or barrier after its log
+	// flush completes (the paper's Fig. 1(b) scenario; the default).
+	PointSyncExit = fault.PointSyncExit
+	// PointHoldingLock crashes while the victim holds a lock, leaving
+	// an open interval that recovery must re-execute.
+	PointHoldingLock = fault.PointHoldingLock
+	// PointDirtyHome crashes while the victim is home for a page
+	// dirtied in its open interval.
+	PointDirtyHome = fault.PointDirtyHome
+)
+
+// Duration is a span of virtual time (nanoseconds of simulated
+// execution), e.g. ChurnPlan.LeaseDuration.
+type Duration = simtime.Duration
+
 // FaultPlan is a seeded, deterministic fault-injection schedule
 // (Config.Faults): per-copy message loss, duplication and delay on the
 // transport, and torn log writes on crash. The zero value injects
@@ -122,6 +148,19 @@ func Run(cfg Config, prog Program) (*Report, error) { return core.Run(cfg, prog)
 // completion. The report includes the replay time Figure 5 compares.
 func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
 	return core.RunWithCrash(cfg, prog, plan)
+}
+
+// RunWithChurn executes prog, fail-stops the plan's victim, and
+// recovers it online: lock grants and barrier releases carry
+// virtual-clock leases, the victim is declared dead at lease expiry,
+// its homes migrate permanently to the deterministic successor, and
+// after the plan's restart delay the victim replays its log
+// concurrently with the survivors' forward progress, rejoining at the
+// next barrier. Requires ProtocolCCL, CCLRecovery and a positive
+// LeaseDuration; the report carries crash/declare/restart/rejoin
+// times and every node's adopted-page custody state.
+func RunWithChurn(cfg Config, prog Program, plan ChurnPlan) (*Report, error) {
+	return core.RunWithChurn(cfg, prog, plan)
 }
 
 // BlockHomes distributes pages over nodes in contiguous blocks (the
