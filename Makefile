@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke bench-gate
 
 all: tier1 tier2
 
@@ -51,3 +51,25 @@ churn-smoke:
 	go run ./cmd/sdsmbench -nodes 4 -churn
 	go run ./cmd/sdsminspect -mode audit -churn -nodes 4
 	@echo "churn-smoke: OK"
+
+# End-to-end check of the kv serving workload over both wire backends:
+# the sim cell runs the full matrix (failure-free + crash-during-traffic
+# on both backends, image-equality enforced inside the bench), the tcp
+# backend additionally runs under the race detector, and sdsminspect
+# re-runs the tcp churn cell and audits its stable log.
+kv-smoke:
+	go run ./cmd/sdsmbench -app kv -nodes 4 -kv-ops 60
+	go run -race ./cmd/sdsmbench -app kv -nodes 4 -kv-ops 60 -transport tcp
+	go run ./cmd/sdsminspect -mode audit -app kv -nodes 4 -transport sim
+	go run -race ./cmd/sdsminspect -mode audit -app kv -nodes 4 -transport tcp -churn
+	@echo "kv-smoke: OK"
+
+# Throughput regression gate: regenerate the failure-free sweep at the
+# committed baseline's configuration and fail on any app x protocol cell
+# whose ops/s dropped more than 20% from the latest committed sweep
+# artifact (BENCH_*.json with the sweep schema; kv/churn artifacts are
+# skipped automatically).
+bench-gate:
+	go run ./cmd/sdsmbench -nodes 8 -scale medium -json /tmp/sdsm-gate-sweep.json
+	go run ./cmd/sdsmbench -compare -gate 20 /tmp/sdsm-gate-sweep.json
+	@echo "bench-gate: OK"

@@ -1,10 +1,13 @@
 // Command sdsmbench regenerates the paper's evaluation: Table 1 (application
 // characteristics), Table 2(a)-(d) (failure-free logging overhead), Figure 4
-// (normalized execution time) and Figure 5 (normalized recovery time).
+// (normalized execution time) and Figure 5 (normalized recovery time) — plus
+// the kv serving benchmark (latency percentiles per wire backend, with and
+// without churn).
 //
 // Usage:
 //
-//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water] [-skip-recovery] [-ablations] [-faults] [-churn] [-json out.json]
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water|kv] [-transport both|sim|tcp] [-skip-recovery] [-ablations] [-faults] [-churn] [-json out.json]
+//	sdsmbench -compare [-gate pct] [old.json] new.json
 package main
 
 import (
@@ -16,34 +19,61 @@ import (
 	"strings"
 
 	"sdsm/internal/apps"
+	kvapp "sdsm/internal/apps/kv"
 	"sdsm/internal/bench"
+	"sdsm/internal/core"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 8, "cluster size (the paper uses 8)")
 	scaleFlag := flag.String("scale", "medium", "problem scale: small|medium|large")
-	appFlag := flag.String("app", "all", "application: all|3d-fft|mg|shallow|water")
+	appFlag := flag.String("app", "all", "application: all|3d-fft|mg|shallow|water|kv")
+	transportFlag := flag.String("transport", "both", "kv wire backend: both|sim|tcp")
+	kvKeys := flag.Int("kv-keys", 0, "kv: table size (0 = default 64)")
+	kvValue := flag.Int("kv-value", 0, "kv: value bytes, multiple of 8 (0 = default 32)")
+	kvOps := flag.Int("kv-ops", 0, "kv: transactions per client (0 = default 160)")
+	kvReadPct := flag.Int("kv-readpct", 0, "kv: read percentage 1..100, -1 = pure writes (0 = default 80)")
+	kvZipf := flag.Float64("kv-zipf", 1.2, "kv: zipf key skew s > 1, or 0 for uniform")
+	kvSeed := flag.Int64("kv-seed", 0, "kv: op-stream seed (0 = default 1)")
 	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
 	churn := flag.Bool("churn", false, "run only the online-recovery churn sweep (surviving-cluster throughput and recovering-node catch-up); with -json, write the artifact instead")
 	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
-	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json")
+	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json (with one file, the baseline is the latest committed BENCH_*.json sweep)")
+	gate := flag.Float64("gate", 0, "with -compare: exit nonzero if any run's ops/s regressed by more than this percentage")
 	flag.Parse()
 
 	if *compare {
-		if flag.NArg() != 2 {
-			log.Fatal("usage: sdsmbench -compare old.json new.json")
+		var oldPath, newPath string
+		switch flag.NArg() {
+		case 1:
+			p, err := bench.LatestSweepArtifact(".")
+			if err != nil {
+				log.Fatal(err)
+			}
+			oldPath, newPath = p, flag.Arg(0)
+			fmt.Fprintf(os.Stderr, "baseline: %s\n", oldPath)
+		case 2:
+			oldPath, newPath = flag.Arg(0), flag.Arg(1)
+		default:
+			log.Fatal("usage: sdsmbench -compare [-gate pct] [old.json] new.json")
 		}
-		oldS, err := bench.LoadSweepJSON(flag.Arg(0))
+		oldS, err := bench.LoadSweepJSON(oldPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		newS, err := bench.LoadSweepJSON(flag.Arg(1))
+		newS, err := bench.LoadSweepJSON(newPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(bench.FormatSweepComparison(oldS, newS))
+		if *gate > 0 {
+			if err := bench.GateSweepRegression(oldS, newS, *gate); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "gate OK: no run regressed ops/s by more than %g%%\n", *gate)
+		}
 		return
 	}
 	if *nodes < 1 {
@@ -52,6 +82,41 @@ func main() {
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if strings.EqualFold(*appFlag, "kv") {
+		kvCfg := kvapp.Config{Keys: *kvKeys, ValueSize: *kvValue, Ops: *kvOps,
+			ReadPct: *kvReadPct, ZipfS: *kvZipf, Seed: *kvSeed}
+		if err := kvCfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		var transports []core.Transport
+		if strings.EqualFold(*transportFlag, "both") {
+			transports = bench.KVTransports
+		} else {
+			tr, err := core.ParseTransport(*transportFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			transports = []core.Transport{tr}
+		}
+		rows, err := bench.RunKVBench(*nodes, kvCfg, transports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(bench.KVToJSON(*nodes, kvCfg, rows), "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d kv cells)\n", *jsonOut, len(rows))
+			return
+		}
+		fmt.Print(bench.FormatKV(*nodes, kvCfg, rows))
+		return
 	}
 	if *churn {
 		rows, err := bench.RunChurnBench(*nodes)

@@ -14,7 +14,10 @@
 //	          post-run consistency auditor over the depot; with
 //	          -churn, run the online-recovery churn scenario at every
 //	          crash point instead and additionally verify the
-//	          adopted-home page state against the writers' logs
+//	          adopted-home page state against the writers' logs;
+//	          with -app kv, run the kv serving workload over the wire
+//	          backend selected by -transport (with -churn, crashed
+//	          mid-traffic) and audit its log and final image
 //	recovery  crash one app and print the recovery-phase breakdown
 //	          (log-read / diff-fetch / page-fetch / tail-sync /
 //	          home-rebuild / catch-up / replay)
@@ -26,8 +29,8 @@
 // Usage:
 //
 //	sdsminspect [-mode volume|dump|audit|recovery|print|checkjson]
-//	            [-app all|3d-fft|mg|shallow|water] [-protocol ml|ccl]
-//	            [-nodes 8] [-scale small|medium|large]
+//	            [-app all|3d-fft|mg|shallow|water|kv] [-protocol ml|ccl]
+//	            [-nodes 8] [-scale small|medium|large] [-transport sim|tcp]
 //	            [-crash] [-churn] [-victim N] [-node N] [-max N] [-in file.json]
 package main
 
@@ -42,12 +45,14 @@ import (
 	"strings"
 
 	"sdsm/internal/apps"
+	"sdsm/internal/apps/kv"
 	"sdsm/internal/bench"
 	"sdsm/internal/core"
 	"sdsm/internal/hlrc"
 	"sdsm/internal/logview"
 	"sdsm/internal/memory"
 	"sdsm/internal/recovery"
+	"sdsm/internal/simtime"
 	"sdsm/internal/wal"
 )
 
@@ -73,6 +78,7 @@ func main() {
 	nodeFlag := flag.Int("node", -1, "dump mode: only this node's log")
 	max := flag.Int("max", 0, "dump mode: print at most this many records per node (0 = all)")
 	in := flag.String("in", "", "input file for print/checkjson modes")
+	transportFlag := flag.String("transport", "sim", "kv audit: wire backend, sim|tcp")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -97,7 +103,9 @@ func main() {
 	case "dump":
 		err = dumpMode(oneApp(*appFlag, opts), opts)
 	case "audit":
-		if *churn {
+		if strings.EqualFold(*appFlag, "kv") {
+			err = kvAuditMode(opts, *transportFlag, *churn)
+		} else if *churn {
 			err = churnAuditMode(opts)
 		} else {
 			err = auditMode(oneApp(*appFlag, opts), opts)
@@ -241,6 +249,56 @@ func auditMode(w *apps.Workload, opts options) error {
 	}
 	fmt.Printf("audit OK: %d nodes, %d records, %d own-diff intervals, %d torn\n",
 		audit.Nodes, audit.Records, audit.OwnDiffs, audit.TornRecs)
+	vol, err := logview.DissectDepot(rep.Depot)
+	if err != nil {
+		return err
+	}
+	fmt.Print(logview.FormatVolume(vol))
+	return nil
+}
+
+// kvAuditMode runs the kv serving workload over the selected wire
+// backend — with churn, crashed mid-traffic and recovered online — then
+// audits the stable logs and verifies the final image against the
+// workload's exact replay-computed expectation.
+func kvAuditMode(opts options, transport string, churn bool) error {
+	tr, err := core.ParseTransport(transport)
+	if err != nil {
+		return err
+	}
+	kvCfg := kv.Config{Keys: 32, Ops: 80, ZipfS: 1.2, Seed: 7}
+	cc := bench.KVCoreConfig(opts.nodes, kvCfg, tr)
+	var rep *core.Report
+	if churn {
+		if opts.nodes < 2 {
+			return fmt.Errorf("kv churn audit needs at least 2 nodes")
+		}
+		rep, err = core.RunWithChurn(cc, kv.Prog(kvCfg), core.ChurnPlan{
+			Victim:        opts.nodes - 1,
+			AtOp:          int32(kvCfg.Ops),
+			Recovery:      recovery.CCLRecovery,
+			LeaseDuration: simtime.Duration(bench.KVLeaseMs * 1e6),
+		})
+	} else {
+		rep, err = core.Run(cc, kv.Prog(kvCfg))
+	}
+	if err != nil {
+		return err
+	}
+	if err := kv.Check(kvCfg, opts.nodes, rep.MemoryImage()); err != nil {
+		return fmt.Errorf("kv image check: %w", err)
+	}
+	audit, err := logview.Audit(rep.Depot, logview.AuditOptions{})
+	if err != nil {
+		return err
+	}
+	what := "failure-free"
+	if churn {
+		what = fmt.Sprintf("crash-during-traffic (victim %d rejoined at %.4fs)",
+			rep.Recovery.Victim, rep.Recovery.RejoinTime.Seconds())
+	}
+	fmt.Printf("kv audit OK over %s, %s: %d nodes, %d records, image matches the replay-computed expectation\n",
+		tr, what, audit.Nodes, audit.Records)
 	vol, err := logview.DissectDepot(rep.Depot)
 	if err != nil {
 		return err

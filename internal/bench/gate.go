@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CI regression gate for `sdsmbench -compare -gate <pct>`: instead of
+// only printing the sweep comparison, fail when throughput regressed.
+// Throughput of a sweep cell is ops/s in the 1/exec_sec sense — the
+// virtual execution times are deterministic enough (same-seed runs land
+// within noise of each other) that an exact-threshold gate is feasible.
+
+// GateSweepRegression compares matched (app, protocol) runs and returns
+// an error naming every cell whose throughput (1/exec_sec) dropped by
+// more than pct percent from old to new. Cells present in only one
+// sweep are ignored — the gate protects existing numbers, it does not
+// police coverage.
+func GateSweepRegression(oldS, newS *SweepJSON, pct float64) error {
+	if pct <= 0 {
+		return fmt.Errorf("bench: gate threshold must be positive, got %g%%", pct)
+	}
+	type key struct{ app, proto string }
+	oldRuns := make(map[key]RunJSONResult, len(oldS.Runs))
+	for _, r := range oldS.Runs {
+		oldRuns[key{r.App, r.Protocol}] = r
+	}
+	var bad []string
+	for _, n := range newS.Runs {
+		o, ok := oldRuns[key{n.App, n.Protocol}]
+		if !ok || o.ExecSec <= 0 || n.ExecSec <= 0 {
+			continue
+		}
+		// ops/s ∝ 1/exec_sec: a drop of more than pct% means
+		// new exec time exceeds old/(1 - pct/100).
+		drop := 100 * (1 - o.ExecSec/n.ExecSec)
+		if drop > pct {
+			bad = append(bad, fmt.Sprintf("%s/%s: ops/s down %.1f%% (exec %.4fs -> %.4fs)",
+				n.App, n.Protocol, drop, o.ExecSec, n.ExecSec))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: throughput regression beyond %g%% gate:\n  %s",
+			pct, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+var benchArtifactNum = regexp.MustCompile(`BENCH_\D*(\d+)`)
+
+// LatestSweepArtifact locates the newest committed failure-free sweep
+// artifact in dir: BENCH_*.json files are ordered by their embedded PR
+// number (highest first) and probed with LoadSweepJSON, skipping other
+// artifact families (churn, kv) that share the BENCH_ prefix.
+func LatestSweepArtifact(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", fmt.Errorf("bench: %w", err)
+	}
+	num := func(p string) int {
+		m := benchArtifactNum.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			return -1
+		}
+		n, _ := strconv.Atoi(m[1])
+		return n
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if a, b := num(paths[i]), num(paths[j]); a != b {
+			return a > b
+		}
+		return paths[i] > paths[j]
+	})
+	for _, p := range paths {
+		if _, err := LoadSweepJSON(p); err == nil {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("bench: no sweep artifact (schema_version %d) among %d BENCH_*.json files in %s",
+		SchemaVersion, len(paths), dir)
+}

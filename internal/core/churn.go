@@ -106,6 +106,7 @@ func RunWithChurn(cfg Config, prog Program, plan ChurnPlan) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.closeFabric()
 	if err := plan.validate(c.cfg); err != nil {
 		return nil, err
 	}

@@ -70,6 +70,19 @@ type Config struct {
 	// cluster. Zero (the default) keeps the offline stop-the-world
 	// recovery semantics and a byte-identical wire format.
 	LeaseDuration simtime.Duration
+	// Transport selects the wire backend under the simulated network:
+	// TransportSim (the default, also the empty string) delivers copies by
+	// direct channel send and is byte-deterministic for a given seed;
+	// TransportTCP moves every non-self copy over a loopback TCP socket
+	// (internal/transport/tcp) — virtual-time costs and the protocol are
+	// identical, but goroutine interleavings differ, so only the final
+	// memory image and the log audits are comparable across backends.
+	Transport Transport
+	// NetBudgetBytesPerSec, with TransportTCP, bounds the fabric's
+	// physical send rate with a token bucket (coalescing packs queued
+	// frames into fewer, larger writes under pressure). 0 = unlimited.
+	// Ignored by TransportSim.
+	NetBudgetBytesPerSec int64
 	// Faults is the deterministic fault-injection plan: seeded message
 	// loss, duplication and delay on the transport, and torn log writes on
 	// crash. The zero value injects nothing. The same seed always yields
@@ -79,6 +92,27 @@ type Config struct {
 	// histograms (see internal/obsv). It must be built with
 	// obsv.NewCollector(Nodes). Nil disables tracing at zero cost.
 	Trace *obsv.Collector
+}
+
+// Transport names a wire backend (see Config.Transport).
+type Transport string
+
+const (
+	// TransportSim is the deterministic in-process backend.
+	TransportSim Transport = "sim"
+	// TransportTCP is the real-socket loopback backend.
+	TransportTCP Transport = "tcp"
+)
+
+// ParseTransport maps a CLI flag value to a Transport.
+func ParseTransport(s string) (Transport, error) {
+	switch Transport(s) {
+	case "", TransportSim:
+		return TransportSim, nil
+	case TransportTCP:
+		return TransportTCP, nil
+	}
+	return "", fmt.Errorf("core: unknown transport %q (want sim or tcp)", s)
 }
 
 // withDefaults validates the config and fills defaults.
@@ -116,6 +150,19 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.LeaseDuration < 0 {
 		return c, fmt.Errorf("core: LeaseDuration must be non-negative, got %d", c.LeaseDuration)
+	}
+	switch c.Transport {
+	case "", TransportSim:
+		c.Transport = TransportSim
+		if c.NetBudgetBytesPerSec != 0 {
+			return c, fmt.Errorf("core: NetBudgetBytesPerSec needs TransportTCP")
+		}
+	case TransportTCP:
+	default:
+		return c, fmt.Errorf("core: unknown transport %q", c.Transport)
+	}
+	if c.NetBudgetBytesPerSec < 0 {
+		return c, fmt.Errorf("core: NetBudgetBytesPerSec must be non-negative, got %d", c.NetBudgetBytesPerSec)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return c, fmt.Errorf("core: %w", err)

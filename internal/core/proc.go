@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sdsm/internal/hlrc"
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 )
 
@@ -85,6 +86,12 @@ func (p *Proc) WriteF64s(addr int, src []float64) {
 	}
 	p.nd.WriteAt(addr, buf)
 }
+
+// Observe records one value in this node's histogram registry (a no-op
+// when tracing is disabled). Workloads use it to report application-level
+// latencies — e.g. the kv workload's per-op virtual latencies — through
+// the same obsv.Collector the protocol metrics flow through.
+func (p *Proc) Observe(id obsv.HistID, v int64) { p.nd.Tracer().Observe(id, v) }
 
 // F64 is a convenience for indexed access: the float64 at element i of an
 // array based at byte address base.

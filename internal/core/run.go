@@ -12,17 +12,28 @@ import (
 	"sdsm/internal/simtime"
 	"sdsm/internal/stable"
 	"sdsm/internal/transport"
+	"sdsm/internal/transport/tcp"
 	"sdsm/internal/wal"
 )
 
 // cluster is one assembled run: network, stable storage, and the node
 // incarnations (updated in place when a crashed node is rebuilt).
 type cluster struct {
-	cfg   Config
-	nw    *transport.Network
-	depot *stable.Depot
-	nodes []*hlrc.Node
-	stats []*hlrc.Stats
+	cfg    Config
+	nw     *transport.Network
+	depot  *stable.Depot
+	nodes  []*hlrc.Node
+	stats  []*hlrc.Stats
+	fabric *tcp.Fabric // non-nil under TransportTCP
+}
+
+// closeFabric tears the wire backend down after the run (a no-op for the
+// in-process backend). Deferred by every Run* entry point so errors and
+// panics do not leak fabric goroutines.
+func (c *cluster) closeFabric() {
+	if c.fabric != nil {
+		c.nw.CloseFabric()
+	}
 }
 
 func buildCluster(cfg Config) (*cluster, error) {
@@ -38,6 +49,17 @@ func buildCluster(cfg Config) (*cluster, error) {
 		stats: make([]*hlrc.Stats, cfg.Nodes),
 	}
 	c.nw.SetFaultPlan(cfg.Faults)
+	if cfg.Transport == TransportTCP {
+		fab, err := tcp.New(c.nw, tcp.Options{
+			BudgetBytesPerSec: cfg.NetBudgetBytesPerSec,
+			Payloads:          hlrc.WirePayloads(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: starting tcp fabric: %w", err)
+		}
+		c.fabric = fab
+		c.nw.SetFabric(fab)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.stats[i] = &hlrc.Stats{}
 		c.nodes[i] = c.newIncarnation(i, c.stats[i], simtime.NewClock(0))
@@ -119,6 +141,11 @@ func runNode(nd *hlrc.Node, prog Program) (crashed bool, err error) {
 // Report summarizes one run.
 type Report struct {
 	Protocol wal.Protocol
+	// Transport is the wire backend the run used.
+	Transport Transport
+	// Fabric holds the TCP backend's physical wire counters; nil under
+	// TransportSim.
+	Fabric *tcp.Stats
 	// ExecTime is the slowest node's virtual clock at completion — the
 	// paper's "execution time".
 	ExecTime simtime.Time
@@ -203,6 +230,7 @@ func (r *Report) MemoryImage() []byte { return r.mem }
 func (c *cluster) report() *Report {
 	rep := &Report{
 		Protocol:      c.cfg.Protocol,
+		Transport:     c.cfg.Transport,
 		NodeTimes:     make([]simtime.Time, c.cfg.Nodes),
 		Stats:         make([]hlrc.Snapshot, c.cfg.Nodes),
 		StoreStats:    make([]stable.Stats, c.cfg.Nodes),
@@ -215,6 +243,10 @@ func (c *cluster) report() *Report {
 		Depot:         c.depot,
 		Homes:         c.cfg.Homes,
 		PageSize:      c.cfg.PageSize,
+	}
+	if c.fabric != nil {
+		s := c.fabric.Stats()
+		rep.Fabric = &s
 	}
 	for i, nd := range c.nodes {
 		rep.CheckpointBytes += c.depot.Store(i).CheckpointBytes()
@@ -245,6 +277,7 @@ func Run(cfg Config, prog Program) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.closeFabric()
 	for _, nd := range c.nodes {
 		nd.StartService()
 	}
@@ -330,6 +363,7 @@ func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.closeFabric()
 	if err := plan.validate(c.cfg); err != nil {
 		return nil, err
 	}

@@ -67,6 +67,25 @@ func init() {
 	}
 }
 
+// WirePayloads returns one exemplar of every concrete payload type the
+// protocol puts on the wire, exactly as the senders construct them
+// (pointers everywhere except the empty DiffAck value). An
+// out-of-process transport fabric registers these with its codec so a
+// Message's `any` payload round-trips; the in-process fabric never needs
+// them.
+func WirePayloads() []any {
+	return []any{
+		&LockReq{}, &LockGrant{}, &LockRelease{},
+		&BarrierCheckin{}, &BarrierRelease{},
+		&DiffUpdate{}, DiffAck{},
+		&PageReq{}, &PageReply{},
+		&RecPageReq{}, &RecPageReply{},
+		&RecDiffsReq{}, &RecDiffsReply{},
+		&RecSyncReq{}, &RecGrantReply{}, &RecBarrierReply{},
+		&Obituary{}, &RedirectHome{},
+	}
+}
+
 // LockReq asks the lock manager for ownership of a lock. VT is the
 // acquirer's vector time so the grant can carry only the notices the
 // acquirer lacks.

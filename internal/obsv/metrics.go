@@ -17,12 +17,18 @@ const (
 	HistBarrierStall               // barrier, entry to release (ns)
 	HistFlushDisk                  // synchronous log-flush disk time (ns)
 	HistFlushBytes                 // bytes per stable-log flush
+	// Application-level op latencies, observed by workloads through
+	// Proc.Observe (virtual ns per complete operation, synchronization
+	// included). Appended so every pre-existing id keeps its value.
+	HistKVRead  // kv workload: read transaction latency (ns)
+	HistKVWrite // kv workload: write transaction latency (ns)
 	numHists
 )
 
 var histNames = [numHists]string{
 	"fetch-latency-ns", "lock-stall-ns", "barrier-stall-ns",
 	"flush-disk-ns", "flush-bytes",
+	"kv-read-ns", "kv-write-ns",
 }
 
 // String returns the histogram's stable display name.

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"sdsm/internal/fault"
+	"sdsm/internal/simtime"
+)
+
+// TestDuplicateReplyAfterRedirect locks down the reply-isolation
+// contract the lease-based failover relies on, and which the TCP
+// backend's pending-table must also honor: a reply that arrives after
+// the requester has abandoned the call via WaitRedirect — whether a
+// wire-level duplicate or the crashed home's recovered incarnation
+// answering late from its drained inbox — lands in the abandoned
+// request's channel and must never surface as the answer to any later
+// call.
+func TestDuplicateReplyAfterRedirect(t *testing.T) {
+	nw := NewNetwork(3, simtime.DefaultCostModel())
+	nw.SetFaultPlan(fault.Plan{Seed: 11, DupProb: 0.3})
+	caller := nw.NewEndpoint(0, simtime.NewClock(0))
+	home := nw.NewEndpoint(1, simtime.NewClock(0))
+	adopter := nw.NewEndpoint(2, simtime.NewClock(0))
+
+	quit := make(chan struct{})
+	defer close(quit)
+	go echoUntilQuit(adopter, quit)
+
+	// A doubled reply to a live call: the service answers the same
+	// request again after the caller already consumed the first copy
+	// (at-least-once delivery after an uncertain crash does exactly
+	// this). The duplicate lands in the original request's own buffered
+	// channel and must not bleed into later calls.
+	p := caller.CallAsync(1, Kind(9), 64, 41)
+	req := <-home.Inbox()
+	if home.WireDup(req) {
+		t.Fatal("first copy of the request flagged as a duplicate")
+	}
+	at := home.ArrivalOf(req)
+	home.ReplyAt(at, req, req.Kind, 16, 41)
+	if m := p.Wait(caller.Clock()); m.Payload.(int) != 41 {
+		t.Fatalf("first call answered %v", m.Payload)
+	}
+	home.ReplyAt(at, req, req.Kind, 16, 41) // the late duplicate
+
+	// The home crashes with a request in flight; the caller fails over
+	// and redirects to the adopter.
+	stale := caller.CallAsync(1, Kind(9), 64, 100)
+	home.MarkCrashed(home.Clock().Now())
+	if _, ok := stale.WaitRedirect(caller.Clock()); ok {
+		t.Fatal("call to the crashed home did not fail over")
+	}
+	if m, ok := caller.CallAsync(2, Kind(9), 64, 200).WaitRedirect(caller.Clock()); !ok || m.Payload.(int) != 200 {
+		t.Fatalf("redirected call answered %v, ok=%v", m.Payload, ok)
+	}
+
+	// The home's recovered incarnation rejoins and drains its inbox,
+	// WireDup-suppressing retransmitted copies and answering everything —
+	// including the abandoned request: the late duplicate reply.
+	home.MarkRejoined()
+	go echoUntilQuit(home, quit)
+
+	// Every later call to the rejoined home must get its own fresh
+	// answer; under DupProb the wire may also double those replies, and
+	// each Wait must still see its own payload, never the stale 100.
+	for i := 0; i < 50; i++ {
+		m, ok := caller.CallAsync(1, Kind(9), 64, 300+i).WaitRedirect(caller.Clock())
+		if !ok {
+			t.Fatalf("call %d to the rejoined home failed over", i)
+		}
+		if m.Payload.(int) != 300+i {
+			t.Fatalf("call %d answered %v (stale or crossed reply)", i, m.Payload)
+		}
+	}
+}
+
+// TestFenceEmptyInbox exercises FenceArrivalsBefore on a node that has
+// never received a message: with zero deliveries the drain phase has
+// nothing to wait for, and the peer-clock phase must come back once
+// every peer is past the cutoff or parked in a sync wait — an empty
+// inbox must never turn the fence into a hang.
+func TestFenceEmptyInbox(t *testing.T) {
+	nw := NewNetwork(3, simtime.DefaultCostModel())
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	c := nw.NewEndpoint(2, simtime.NewClock(0))
+
+	fence := func(cutoff simtime.Time) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() {
+			a.FenceArrivalsBefore(cutoff)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("FenceArrivalsBefore(%v) hung on an empty inbox", cutoff)
+		}
+	}
+
+	// Cutoff at the epoch: no peer can have sent anything arriving at or
+	// before it, so the fence returns with all clocks still at zero.
+	fence(0)
+
+	// A future cutoff with peers beyond it: both clock phases satisfied,
+	// empty drain phase.
+	cutoff := simtime.Time(1_000_000)
+	b.Clock().Advance(simtime.Duration(cutoff) * 2)
+	c.Clock().Advance(simtime.Duration(cutoff) * 2)
+	fence(cutoff)
+
+	// A future cutoff with one peer lagging but parked in a sync wait:
+	// the fence must skip it rather than spin forever.
+	far := b.Clock().Now() * 4
+	c.Clock().AdvanceTo(far * 2)
+	b.BeginSyncWait()
+	fence(far)
+	b.EndSyncWait()
+
+	// The counters a drained empty inbox leaves behind: nothing
+	// delivered, nothing handled.
+	if d, h := nw.delivered[a.ID()].Load(), nw.handled[a.ID()].Load(); d != 0 || h != 0 {
+		t.Fatalf("empty-inbox fence saw delivered=%d handled=%d", d, h)
+	}
+}

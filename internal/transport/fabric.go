@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"fmt"
+
+	"sdsm/internal/simtime"
+)
+
+// Fabric is the physical backplane under the Network: the seam where a
+// message copy moves from the sending node to the destination node's
+// inbox. Everything above the seam — virtual-time stamping, wire
+// accounting, the fault plan's per-copy fates, ARQ retransmission state,
+// the arrival fence's delivered/handled counters — is backend-independent
+// and stays in Network/Endpoint; a Fabric only transports already-stamped
+// copies. Two implementations exist: the default in-process fabric
+// (direct channel delivery, byte-deterministic) and the real-socket TCP
+// backend in internal/transport/tcp.
+//
+// Contract: Deliver is called after the Network has done wire accounting
+// and incremented the destination's delivered counter, so the arrival
+// fence holds until the copy is physically injected and handled no matter
+// how long the fabric keeps it in flight. A fabric ends every copy's
+// flight by calling Network.Inject (self-addressed copies never reach the
+// fabric). For request copies (WantsReply), the fabric must arrange that
+// a reply sent by the remote handler lands in the requester's reply
+// channel; the in-process fabric gets this for free because the channel
+// travels inside the message, an out-of-process fabric carries a pending
+// id instead (see ReplyBinding/BindReply).
+type Fabric interface {
+	// Deliver transports one stamped non-self message copy to m.To's
+	// inbox. It must not block on the destination's service loop (the
+	// in-process fabric fails loudly on a full inbox instead).
+	Deliver(m Message)
+	// Close tears the fabric down after the run: connections, queues and
+	// helper goroutines. The Network is drained and stopped by then.
+	Close() error
+}
+
+// procFabric is the default in-process fabric: delivery is a direct send
+// into the destination inbox channel on the sender's goroutine, which is
+// what makes same-seed runs byte-deterministic.
+type procFabric struct{ nw *Network }
+
+func (f procFabric) Deliver(m Message) { f.nw.Inject(m) }
+func (f procFabric) Close() error      { return nil }
+
+// SetFabric installs a wire backend. Call it once, right after
+// NewNetwork and before any traffic flows. The default is the in-process
+// fabric.
+func (nw *Network) SetFabric(f Fabric) {
+	if f == nil {
+		panic("transport: nil fabric")
+	}
+	nw.fabric = f
+}
+
+// CloseFabric shuts the installed fabric down. Call it after the last
+// service loop has stopped; it is a no-op for the in-process fabric.
+func (nw *Network) CloseFabric() error { return nw.fabric.Close() }
+
+// Inject ends a message copy's flight: it is pushed into the destination
+// inbox exactly as the in-process fabric would. Only fabrics call this
+// (the Network's own send paths go through deliver, which does the wire
+// accounting first).
+func (nw *Network) Inject(m Message) {
+	select {
+	case nw.inboxes[m.To] <- m:
+	default:
+		// A full inbox means a service loop is stuck (or the run leaks
+		// messages); blocking here would freeze the sender with no
+		// diagnostic, so fail loudly instead.
+		panic(fmt.Sprintf(
+			"transport: inbox overflow at node %d (%d messages queued, cap %d) delivering kind %d from node %d",
+			m.To, len(nw.inboxes[m.To]), cap(nw.inboxes[m.To]), m.Kind, m.From))
+	}
+}
+
+// WireExtras returns the unexported per-copy state an out-of-process
+// fabric must serialize alongside the exported fields: the fault-injected
+// extra wire latency and the "reply to this copy is lost" mark the fault
+// plan stamped at send time. (Fabric support; protocol code never needs
+// these.)
+func (m Message) WireExtras() (extraDelay simtime.Duration, dropReply bool) {
+	return m.extraDelay, m.dropReply
+}
+
+// SetWireExtras restores the state carried by WireExtras on the
+// receiving side of an out-of-process fabric.
+func (m *Message) SetWireExtras(extraDelay simtime.Duration, dropReply bool) {
+	m.extraDelay = extraDelay
+	m.dropReply = dropReply
+}
+
+// BindReply attaches the reply channel of a reconstructed request copy.
+// An out-of-process fabric cannot ship the requester's channel, so on the
+// receiving side it binds a local buffered channel whose consumer
+// forwards the handler's reply back over the wire. The channel must have
+// capacity >= 1 (Reply never blocks).
+func (m *Message) BindReply(ch chan Message) {
+	if ch != nil && cap(ch) < 1 {
+		panic("transport: reply binding needs a buffered channel")
+	}
+	m.reply = ch
+}
+
+// ReplyBinding returns the request's reply channel (nil for one-way
+// messages). On the sending side of an out-of-process fabric this is the
+// channel the requester waits on; the fabric keys it in a pending table
+// and ships the key.
+func (m Message) ReplyBinding() chan Message { return m.reply }

@@ -1,0 +1,89 @@
+package tcp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Budget is a token-bucket bandwidth budget shared by every link of a
+// fabric: rate bytes accrue per second up to a burst-sized bucket, and a
+// writer takes the batch size before putting it on the wire, sleeping
+// (real time) when the bucket is dry. Combined with coalescing it shapes
+// the backend like a budgeted mesh: writers drain their queues into as
+// few, as large writes as the budget admits, and back-pressure propagates
+// to senders through the bounded link queues.
+//
+// A nil *Budget is an unlimited budget; Take on it is free.
+type Budget struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+
+	waits atomic.Int64 // batches that had to sleep for tokens
+}
+
+// NewBudget returns a budget of bytesPerSec with the given burst
+// capacity. burst <= 0 defaults to one tenth of a second of budget (at
+// least 64 KiB, so a single large frame always fits eventually... the
+// burst is clamped up to maxFrame by the fabric). bytesPerSec <= 0
+// returns nil: unlimited.
+func NewBudget(bytesPerSec, burst int64) *Budget {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = float64(bytesPerSec) / 10
+		if b < 64<<10 {
+			b = 64 << 10
+		}
+	}
+	return &Budget{rate: float64(bytesPerSec), burst: b, tokens: b, last: time.Now()}
+}
+
+// Take blocks until n bytes of budget are available and consumes them.
+// Requests larger than the burst are admitted once the bucket is full
+// (the bucket goes negative), so an oversized frame throttles later
+// traffic instead of deadlocking.
+func (b *Budget) Take(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	first := true
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		need := float64(n)
+		if b.tokens >= need || b.tokens >= b.burst {
+			b.tokens -= need
+			b.mu.Unlock()
+			return
+		}
+		wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if first {
+			b.waits.Add(1)
+			first = false
+		}
+		if wait < 50*time.Microsecond {
+			wait = 50 * time.Microsecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Waits reports how many Take calls had to sleep at least once.
+func (b *Budget) Waits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.waits.Load()
+}

@@ -1,0 +1,218 @@
+// Package tcp is the real-socket wire backend for the transport layer:
+// a transport.Fabric that moves message copies between the nodes of one
+// run over loopback TCP connections instead of direct channel sends.
+//
+// The split of responsibilities is the Fabric contract (see
+// internal/transport/fabric.go): virtual-time stamping, wire accounting,
+// fault fates and ARQ state stay in the Network; this package only
+// carries already-stamped copies. Each ordered node pair owns one
+// outbound link (a queue, a writer goroutine, and a TCP connection with
+// reconnect + exponential backoff); frames are length-prefixed and
+// CRC-framed, with a fixed binary header and a gob-encoded payload.
+// Requests travel with a pending id; the receiving side binds a local
+// reply channel and a forwarder goroutine ships the handler's reply back
+// as a reply frame, which the sending side resolves against its pending
+// table — so Pending.Wait and friends work unchanged over real sockets.
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types.
+const (
+	frameMsg   = 1 // a one-way or request message copy
+	frameReply = 2 // the reply to a pending request
+)
+
+// Header flag bits.
+const (
+	flagDropReply  = 1 << 0 // fault plan: the reply to this copy is lost
+	flagHasPayload = 1 << 1 // gob payload bytes follow the header
+)
+
+const (
+	frameMagic   = 0x5D53 // "S]" — stamps every frame body
+	frameVersion = 1
+
+	// prefixLen is the length-prefix + CRC preamble: u32 body length,
+	// u32 IEEE CRC over the body.
+	prefixLen = 8
+	// headerLen is the fixed body header.
+	headerLen = 2 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8
+)
+
+// DefaultMaxFrame bounds a frame's body length. It must exceed the
+// largest payload a run can produce (a per-home diff batch covering a
+// node's whole page range); decoders reject longer frames before
+// allocating, so a corrupted length prefix cannot OOM the process.
+const DefaultMaxFrame = 16 << 20
+
+// Frame is one wire frame: the backend-independent parts of a
+// transport.Message plus the fabric's routing state.
+type Frame struct {
+	Type       uint8
+	From, To   int32
+	Kind       uint8
+	Seq        int64
+	ReqID      int64
+	SentAt     int64 // sender's virtual clock (simtime.Time)
+	Size       int32 // accounted wire size
+	ExtraDelay int64 // fault-injected extra latency (simtime.Duration)
+	DropReply  bool  // fault plan: reply to this copy is lost
+	Pending    uint64
+	Payload    any
+}
+
+// payloadBox wraps the message payload so gob encodes the interface
+// value (concrete types must be registered; see Options.Payloads).
+type payloadBox struct{ V any }
+
+// AppendFrame appends the encoded frame (prefix + body) to dst and
+// returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, make([]byte, prefixLen)...)
+	body := len(dst)
+	var h [headerLen]byte
+	binary.LittleEndian.PutUint16(h[0:], frameMagic)
+	h[2] = frameVersion
+	h[3] = f.Type
+	var flags uint8
+	if f.DropReply {
+		flags |= flagDropReply
+	}
+	if f.Payload != nil {
+		flags |= flagHasPayload
+	}
+	h[4] = flags
+	h[5] = f.Kind
+	binary.LittleEndian.PutUint32(h[6:], uint32(f.From))
+	binary.LittleEndian.PutUint32(h[10:], uint32(f.To))
+	binary.LittleEndian.PutUint64(h[14:], uint64(f.Seq))
+	binary.LittleEndian.PutUint64(h[22:], uint64(f.ReqID))
+	binary.LittleEndian.PutUint64(h[30:], uint64(f.SentAt))
+	binary.LittleEndian.PutUint32(h[38:], uint32(f.Size))
+	binary.LittleEndian.PutUint64(h[42:], uint64(f.ExtraDelay))
+	binary.LittleEndian.PutUint64(h[50:], f.Pending)
+	dst = append(dst, h[:]...)
+	if f.Payload != nil {
+		var pb bytes.Buffer
+		if err := gob.NewEncoder(&pb).Encode(payloadBox{f.Payload}); err != nil {
+			return nil, fmt.Errorf("tcp: encoding payload of kind %d: %w", f.Kind, err)
+		}
+		dst = append(dst, pb.Bytes()...)
+	}
+	bodyBytes := dst[body:]
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(bodyBytes)))
+	binary.LittleEndian.PutUint32(dst[base+4:], crc32.ChecksumIEEE(bodyBytes))
+	return dst, nil
+}
+
+// DecodeBody parses one frame body (the bytes the length prefix covers,
+// CRC already verified). It rejects malformed input with an error, never
+// a panic: the body is attacker-controlled from the decoder's point of
+// view (a corrupted stream must not take the process down).
+func DecodeBody(body []byte) (*Frame, error) {
+	if len(body) < headerLen {
+		return nil, fmt.Errorf("tcp: frame body %d bytes, header needs %d", len(body), headerLen)
+	}
+	if m := binary.LittleEndian.Uint16(body[0:]); m != frameMagic {
+		return nil, fmt.Errorf("tcp: bad frame magic %#x", m)
+	}
+	if v := body[2]; v != frameVersion {
+		return nil, fmt.Errorf("tcp: unsupported frame version %d", v)
+	}
+	f := &Frame{Type: body[3], Kind: body[5]}
+	if f.Type != frameMsg && f.Type != frameReply {
+		return nil, fmt.Errorf("tcp: unknown frame type %d", f.Type)
+	}
+	flags := body[4]
+	if flags&^uint8(flagDropReply|flagHasPayload) != 0 {
+		return nil, fmt.Errorf("tcp: unknown frame flags %#x", flags)
+	}
+	f.DropReply = flags&flagDropReply != 0
+	f.From = int32(binary.LittleEndian.Uint32(body[6:]))
+	f.To = int32(binary.LittleEndian.Uint32(body[10:]))
+	f.Seq = int64(binary.LittleEndian.Uint64(body[14:]))
+	f.ReqID = int64(binary.LittleEndian.Uint64(body[22:]))
+	f.SentAt = int64(binary.LittleEndian.Uint64(body[30:]))
+	f.Size = int32(binary.LittleEndian.Uint32(body[38:]))
+	f.ExtraDelay = int64(binary.LittleEndian.Uint64(body[42:]))
+	f.Pending = binary.LittleEndian.Uint64(body[50:])
+	rest := body[headerLen:]
+	if flags&flagHasPayload == 0 {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("tcp: %d trailing bytes on payload-less frame", len(rest))
+		}
+		return f, nil
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("tcp: payload flag set on empty payload")
+	}
+	var box payloadBox
+	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("tcp: decoding payload of kind %d: %w", f.Kind, err)
+	}
+	f.Payload = box.V
+	return f, nil
+}
+
+// DecodeFrame parses one complete frame (prefix + body) from b,
+// returning the frame and the bytes consumed. Used by tests and the
+// fuzzer; the connection path streams via ReadFrame instead.
+func DecodeFrame(b []byte, maxFrame int) (*Frame, int, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(b) < prefixLen {
+		return nil, 0, fmt.Errorf("tcp: short frame prefix: %d bytes", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:]))
+	if n < headerLen || n > maxFrame {
+		return nil, 0, fmt.Errorf("tcp: frame length %d outside [%d, %d]", n, headerLen, maxFrame)
+	}
+	if len(b) < prefixLen+n {
+		return nil, 0, fmt.Errorf("tcp: truncated frame: have %d of %d body bytes", len(b)-prefixLen, n)
+	}
+	body := b[prefixLen : prefixLen+n]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("tcp: frame CRC mismatch: computed %#x, stored %#x", got, want)
+	}
+	f, err := DecodeBody(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, prefixLen + n, nil
+}
+
+// ReadFrame reads one frame from a connection stream. The length bound
+// is enforced before the body allocation, so a corrupted prefix cannot
+// cause an OOM; a CRC mismatch poisons the connection (the caller tears
+// it down and the link-level retransmission recovers).
+func ReadFrame(r io.Reader, maxFrame int) (*Frame, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var prefix [prefixLen]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(prefix[0:]))
+	if n < headerLen || n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame length %d outside [%d, %d]", n, headerLen, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(prefix[4:]); got != want {
+		return nil, fmt.Errorf("tcp: frame CRC mismatch: computed %#x, stored %#x", got, want)
+	}
+	return DecodeBody(body)
+}

@@ -1,0 +1,191 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// testPayload stands in for a protocol payload struct.
+type testPayload struct {
+	A    int32
+	B    string
+	Data []byte
+}
+
+func init() { gob.Register(&testPayload{}) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{
+			Type: frameMsg, From: 0, To: 1, Kind: 3,
+			Seq: 9, ReqID: 4, SentAt: 123456, Size: 4096,
+			ExtraDelay: 55, DropReply: true, Pending: 77,
+			Payload: &testPayload{A: 42, B: "hi", Data: []byte{1, 2, 3}},
+		},
+		{Type: frameReply, From: 1, To: 0, Kind: 4, SentAt: 999, Size: 16, Pending: 77},
+		{Type: frameMsg, From: 2, To: 3, Kind: 1, Seq: 1, Size: 0},
+	}
+	var buf []byte
+	var err error
+	for _, f := range frames {
+		if buf, err = AppendFrame(buf, f); err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	off := 0
+	for i, want := range frames {
+		got, n, err := DecodeFrame(buf[off:], 0)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeFrame: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d round trip:\n got %+v\nwant %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	want := &Frame{Type: frameMsg, From: 5, To: 6, Kind: 2, Seq: 11, Size: 100,
+		Payload: &testPayload{B: "stream"}}
+	buf, err := AppendFrame(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bytes.NewReader(buf), 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadFrame round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := AppendFrame(nil, &Frame{Type: frameMsg, From: 1, To: 0, Kind: 2, Seq: 1, Size: 10,
+		Payload: &testPayload{A: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	fixCRC := func(b []byte) {
+		body := b[prefixLen:]
+		binary.LittleEndian.PutUint32(b[4:], crcOf(body))
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		max  int
+	}{
+		{"short prefix", valid[:prefixLen-1], 0},
+		{"truncated body", valid[:len(valid)-1], 0},
+		{"oversized length", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[0:], 0xffffff00)
+		}), 0},
+		{"length above maxFrame", valid, headerLen + 1},
+		{"length below header", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[0:], headerLen-1)
+		}), 0},
+		{"bad CRC", corrupt(func(b []byte) { b[len(b)-1] ^= 0xff }), 0},
+		{"bad magic", corrupt(func(b []byte) {
+			b[prefixLen] ^= 0xff
+			fixCRC(b)
+		}), 0},
+		{"bad version", corrupt(func(b []byte) {
+			b[prefixLen+2] = 99
+			fixCRC(b)
+		}), 0},
+		{"unknown type", corrupt(func(b []byte) {
+			b[prefixLen+3] = 9
+			fixCRC(b)
+		}), 0},
+		{"unknown flags", corrupt(func(b []byte) {
+			b[prefixLen+4] |= 0x80
+			fixCRC(b)
+		}), 0},
+		{"garbage payload", corrupt(func(b []byte) {
+			for i := prefixLen + headerLen; i < len(b); i++ {
+				b[i] = 0xff
+			}
+			fixCRC(b)
+		}), 0},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.b, tc.max); err == nil {
+			t.Errorf("%s: DecodeFrame accepted malformed input", tc.name)
+		}
+		if _, err := ReadFrame(bytes.NewReader(tc.b), tc.max); err == nil {
+			t.Errorf("%s: ReadFrame accepted malformed input", tc.name)
+		}
+	}
+
+	// Flag/payload mismatches need hand-built bodies.
+	noPayload, err := AppendFrame(nil, &Frame{Type: frameReply, From: 0, To: 1, Kind: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailing := append(append([]byte(nil), noPayload...), 0xaa)
+	binary.LittleEndian.PutUint32(trailing[0:], uint32(len(trailing)-prefixLen))
+	binary.LittleEndian.PutUint32(trailing[4:], crcOf(trailing[prefixLen:]))
+	if _, _, err := DecodeFrame(trailing, 0); err == nil {
+		t.Error("trailing bytes on payload-less frame accepted")
+	}
+	flagOnly := append([]byte(nil), noPayload...)
+	flagOnly[prefixLen+4] |= flagHasPayload
+	binary.LittleEndian.PutUint32(flagOnly[4:], crcOf(flagOnly[prefixLen:]))
+	if _, _, err := DecodeFrame(flagOnly, 0); err == nil {
+		t.Error("payload flag without payload bytes accepted")
+	}
+}
+
+// FuzzDecodeFrame drives the two decode entry points with arbitrary
+// bytes: malformed input must come back as an error — never a panic, and
+// never an allocation sized by a corrupted length prefix (the maxFrame
+// bound is checked first).
+func FuzzDecodeFrame(f *testing.F) {
+	valid, _ := AppendFrame(nil, &Frame{Type: frameMsg, From: 1, To: 0, Kind: 2, Seq: 3, Size: 10,
+		Payload: &testPayload{A: 1, B: "seed", Data: []byte{9}}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0xff
+	f.Add(crcFlip)
+	huge := make([]byte, prefixLen+4)
+	binary.LittleEndian.PutUint32(huge, 0xfffffff0)
+	f.Add(huge)
+	two, _ := AppendFrame(valid, &Frame{Type: frameReply, From: 0, To: 1, Kind: 4, Pending: 12})
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		const maxFrame = 1 << 16
+		fr, n, err := DecodeFrame(b, maxFrame)
+		if err == nil {
+			if fr == nil {
+				t.Fatal("nil frame without error")
+			}
+			if n < prefixLen+headerLen || n > len(b) {
+				t.Fatalf("consumed %d of %d bytes", n, len(b))
+			}
+			if fr.Type != frameMsg && fr.Type != frameReply {
+				t.Fatalf("accepted frame type %d", fr.Type)
+			}
+		}
+		// The streaming path must agree on accept/reject for a
+		// single-frame prefix.
+		if _, rerr := ReadFrame(bytes.NewReader(b), maxFrame); (rerr == nil) != (err == nil) && n == len(b) {
+			t.Fatalf("DecodeFrame err=%v but ReadFrame err=%v", err, rerr)
+		}
+	})
+}

@@ -1,0 +1,455 @@
+package tcp
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+)
+
+// Options configures a Fabric.
+type Options struct {
+	// BudgetBytesPerSec is the token-bucket bandwidth budget shared by
+	// all links (real bytes on the wire, frames + headers). 0 = unlimited.
+	BudgetBytesPerSec int64
+	// BudgetBurst is the bucket capacity in bytes; 0 picks a default
+	// (see NewBudget).
+	BudgetBurst int64
+	// MaxFrame bounds a frame body; decoders reject longer frames before
+	// allocating. 0 = DefaultMaxFrame.
+	MaxFrame int
+	// Payloads lists one exemplar of every concrete payload type that
+	// crosses the wire (e.g. hlrc.WirePayloads()); they are registered
+	// with the gob codec.
+	Payloads []any
+	// DialAttempts bounds connect retries per write; 0 = 40. Exceeding
+	// it fails the run loudly (peer unreachable), mirroring the ARQ
+	// attempt bound of the simulated net.
+	DialAttempts int
+	// DialBackoff is the initial reconnect backoff, doubling per attempt
+	// up to 50ms; 0 = 200µs.
+	DialBackoff time.Duration
+}
+
+// Stats counts the fabric's physical wire activity. Frames/Batches
+// quantify coalescing (frames per batch write); WireBytes is physical
+// bytes including headers and gob framing, distinct from the Network's
+// virtual accounted bytes.
+type Stats struct {
+	Frames      int64 `json:"frames"`
+	Batches     int64 `json:"batches"`
+	WireBytes   int64 `json:"wire_bytes"`
+	Reconnects  int64 `json:"reconnects"`
+	BudgetWaits int64 `json:"budget_waits"`
+}
+
+// Fabric is the TCP wire backend: one loopback listener per node, one
+// outbound link per ordered node pair (queue + writer goroutine +
+// connection with reconnect/backoff), and a pending table resolving
+// reply frames to requester channels. Install it with
+// Network.SetFabric right after NewNetwork.
+type Fabric struct {
+	nw           *transport.Network
+	n            int
+	maxFrame     int
+	budget       *Budget
+	dialAttempts int
+	dialBackoff  time.Duration
+
+	listeners []net.Listener
+	addrs     []string
+	links     []*link // [from*n+to]; nil on the diagonal
+
+	pmu       sync.Mutex
+	pending   map[uint64]chan transport.Message
+	pendingID atomic.Uint64
+
+	cmu   sync.Mutex
+	conns map[net.Conn]struct{} // accepted (read-side) connections
+
+	frames, batches, wireBytes, reconnects atomic.Int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// link is the outbound side of one ordered node pair.
+type link struct {
+	fab  *Fabric
+	from int
+	to   int
+	q    chan *Frame
+
+	mu         sync.Mutex
+	conn       net.Conn
+	everDialed bool // a successful dial happened; later dials are reconnects
+}
+
+// linkQueueCap bounds in-flight frames per link; a full queue
+// back-pressures the sender (under a bandwidth budget that is the
+// intended behavior).
+const linkQueueCap = 4096
+
+// Coalescing bounds: a batch write stops growing at either limit. The
+// first frame always goes regardless of size.
+const (
+	coalesceBytes  = 64 << 10
+	coalesceFrames = 64
+)
+
+// New starts the fabric for a network: listeners bound to loopback,
+// links dialed lazily on first traffic. Call Close after the run.
+func New(nw *transport.Network, opts Options) (*Fabric, error) {
+	for _, p := range opts.Payloads {
+		gob.Register(p)
+	}
+	fab := &Fabric{
+		nw:           nw,
+		n:            nw.Nodes(),
+		maxFrame:     opts.MaxFrame,
+		budget:       NewBudget(opts.BudgetBytesPerSec, opts.BudgetBurst),
+		dialAttempts: opts.DialAttempts,
+		dialBackoff:  opts.DialBackoff,
+		pending:      make(map[uint64]chan transport.Message),
+		conns:        make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
+	}
+	if fab.maxFrame <= 0 {
+		fab.maxFrame = DefaultMaxFrame
+	}
+	if fab.dialAttempts <= 0 {
+		fab.dialAttempts = 40
+	}
+	if fab.dialBackoff <= 0 {
+		fab.dialBackoff = 200 * time.Microsecond
+	}
+	fab.listeners = make([]net.Listener, fab.n)
+	fab.addrs = make([]string, fab.n)
+	for i := 0; i < fab.n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fab.Close()
+			return nil, fmt.Errorf("tcp: listening for node %d: %w", i, err)
+		}
+		fab.listeners[i] = ln
+		fab.addrs[i] = ln.Addr().String()
+		fab.wg.Add(1)
+		go fab.acceptLoop(ln)
+	}
+	fab.links = make([]*link, fab.n*fab.n)
+	for from := 0; from < fab.n; from++ {
+		for to := 0; to < fab.n; to++ {
+			if from == to {
+				continue
+			}
+			l := &link{fab: fab, from: from, to: to, q: make(chan *Frame, linkQueueCap)}
+			fab.links[from*fab.n+to] = l
+			fab.wg.Add(1)
+			go l.run()
+		}
+	}
+	return fab, nil
+}
+
+func (fab *Fabric) link(from, to int) *link {
+	l := fab.links[from*fab.n+to]
+	if l == nil {
+		panic(fmt.Sprintf("tcp: no link %d→%d (self sends bypass the fabric)", from, to))
+	}
+	return l
+}
+
+// Deliver implements transport.Fabric: encode the copy, key its reply
+// channel (if any) in the pending table, and hand it to the outbound
+// link.
+func (fab *Fabric) Deliver(m transport.Message) {
+	extra, dropReply := m.WireExtras()
+	f := &Frame{
+		Type: frameMsg,
+		From: int32(m.From), To: int32(m.To), Kind: uint8(m.Kind),
+		Seq: m.Seq, ReqID: m.ReqID,
+		SentAt: int64(m.SentAt), Size: int32(m.Size),
+		ExtraDelay: int64(extra), DropReply: dropReply,
+		Payload: m.Payload,
+	}
+	if ch := m.ReplyBinding(); ch != nil {
+		id := fab.pendingID.Add(1)
+		fab.pmu.Lock()
+		fab.pending[id] = ch
+		fab.pmu.Unlock()
+		f.Pending = id
+	}
+	fab.link(m.From, m.To).send(f)
+}
+
+// Stats returns the physical wire counters so far.
+func (fab *Fabric) Stats() Stats {
+	return Stats{
+		Frames:      fab.frames.Load(),
+		Batches:     fab.batches.Load(),
+		WireBytes:   fab.wireBytes.Load(),
+		Reconnects:  fab.reconnects.Load(),
+		BudgetWaits: fab.budget.Waits(),
+	}
+}
+
+// Close implements transport.Fabric: stop accepting, tear down every
+// connection and wait for all fabric goroutines to exit. Safe to call
+// more than once.
+func (fab *Fabric) Close() error {
+	fab.closeOnce.Do(func() {
+		close(fab.done)
+		for _, ln := range fab.listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, l := range fab.links {
+			if l != nil {
+				l.closeConn()
+			}
+		}
+		fab.cmu.Lock()
+		for c := range fab.conns {
+			c.Close()
+		}
+		fab.cmu.Unlock()
+	})
+	fab.wg.Wait()
+	return nil
+}
+
+func (l *link) send(f *Frame) {
+	select {
+	case l.q <- f:
+	case <-l.fab.done:
+		// Fabric shut down under the sender; the run is over.
+	}
+}
+
+// run is the link's writer goroutine: drain the queue, coalesce queued
+// frames into one batch write, charge the bandwidth budget, put the
+// batch on the wire (reconnecting with backoff as needed).
+func (l *link) run() {
+	defer l.fab.wg.Done()
+	var buf []byte
+	for {
+		var f *Frame
+		select {
+		case f = <-l.q:
+		case <-l.fab.done:
+			return
+		}
+		buf = l.appendChecked(buf[:0], f)
+		nFrames := 1
+	drain:
+		for len(buf) < coalesceBytes && nFrames < coalesceFrames {
+			select {
+			case f2 := <-l.q:
+				buf = l.appendChecked(buf, f2)
+				nFrames++
+			default:
+				break drain
+			}
+		}
+		l.fab.budget.Take(len(buf))
+		if !l.write(buf) {
+			return
+		}
+		l.fab.frames.Add(int64(nFrames))
+		l.fab.batches.Add(1)
+		l.fab.wireBytes.Add(int64(len(buf)))
+	}
+}
+
+// appendChecked encodes one frame onto the batch, failing loudly on
+// encoding errors (an unregistered payload type is a wiring bug, not a
+// runtime condition) and on frames above the decoder's bound.
+func (l *link) appendChecked(buf []byte, f *Frame) []byte {
+	start := len(buf)
+	out, err := AppendFrame(buf, f)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: link %d→%d: %v", l.from, l.to, err))
+	}
+	if body := len(out) - start - prefixLen; body > l.fab.maxFrame {
+		panic(fmt.Sprintf("tcp: link %d→%d: frame body %d bytes exceeds MaxFrame %d (kind %d)",
+			l.from, l.to, body, l.fab.maxFrame, f.Kind))
+	}
+	return out
+}
+
+// write puts one batch on the wire, dialing or re-dialing with
+// exponential backoff. It returns false when the fabric is shutting
+// down. Delivery is at-least-once: a batch re-sent after a broken write
+// may duplicate frames the peer already read — message frames are
+// deduplicated by the receiver's wire-sequence check (Endpoint.WireDup)
+// and reply frames by the pending-table delete.
+func (l *link) write(buf []byte) bool {
+	backoff := l.fab.dialBackoff
+	for attempt := 1; ; attempt++ {
+		c := l.ensureConn()
+		if c != nil {
+			if _, err := c.Write(buf); err == nil {
+				return true
+			}
+			l.closeConn()
+		}
+		select {
+		case <-l.fab.done:
+			return false
+		default:
+		}
+		if attempt >= l.fab.dialAttempts {
+			panic(fmt.Sprintf("tcp: link %d→%d: peer unreachable after %d attempts", l.from, l.to, attempt))
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
+	}
+}
+
+// ensureConn returns the link's connection, dialing if needed; nil means
+// this dial attempt failed (the caller backs off and retries).
+func (l *link) ensureConn() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		return l.conn
+	}
+	c, err := net.Dial("tcp", l.fab.addrs[l.to])
+	if err != nil {
+		return nil
+	}
+	if l.everDialed {
+		l.fab.reconnects.Add(1)
+	}
+	l.everDialed = true
+	l.conn = c
+	return c
+}
+
+func (l *link) closeConn() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+func (fab *Fabric) acceptLoop(ln net.Listener) {
+	defer fab.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or broken; either way no more
+			// inbound connections arrive here.
+			return
+		}
+		fab.cmu.Lock()
+		fab.conns[c] = struct{}{}
+		fab.cmu.Unlock()
+		fab.wg.Add(1)
+		go fab.readLoop(c)
+	}
+}
+
+// readLoop decodes frames off one accepted connection. A decode or CRC
+// error poisons the connection: it is dropped, and the peer's writer
+// redials on its next write error. (On loopback TCP the CRC is an
+// end-to-end check against codec bugs, not a recovery mechanism.)
+func (fab *Fabric) readLoop(c net.Conn) {
+	defer fab.wg.Done()
+	defer func() {
+		fab.cmu.Lock()
+		delete(fab.conns, c)
+		fab.cmu.Unlock()
+		c.Close()
+	}()
+	r := bufio.NewReaderSize(c, 64<<10)
+	for {
+		f, err := ReadFrame(r, fab.maxFrame)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case frameMsg:
+			fab.injectMsg(f)
+		case frameReply:
+			fab.resolve(f)
+		}
+	}
+}
+
+// injectMsg reconstructs a message copy and ends its flight in the
+// destination inbox. Request copies get a local reply binding whose
+// forwarder ships the handler's reply back as a reply frame.
+func (fab *Fabric) injectMsg(f *Frame) {
+	m := transport.Message{
+		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
+		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
+		Payload: f.Payload, Seq: f.Seq, ReqID: f.ReqID,
+	}
+	m.SetWireExtras(simtime.Duration(f.ExtraDelay), f.DropReply)
+	if f.Pending != 0 {
+		ch := make(chan transport.Message, 1)
+		m.BindReply(ch)
+		fab.wg.Add(1)
+		go fab.forwardReply(f.From, f.Pending, ch)
+	}
+	fab.nw.Inject(m)
+}
+
+// forwardReply waits for the handler's reply to one reconstructed
+// request and ships it back to the requester. A reply the fault plan
+// dropped never arrives (the handler discards it, exactly as on the
+// in-process fabric); the goroutine then parks until shutdown.
+func (fab *Fabric) forwardReply(requester int32, pending uint64, ch chan transport.Message) {
+	defer fab.wg.Done()
+	select {
+	case r := <-ch:
+		extra, _ := r.WireExtras()
+		rf := &Frame{
+			Type: frameReply,
+			From: int32(r.From), To: requester, Kind: uint8(r.Kind),
+			SentAt: int64(r.SentAt), Size: int32(r.Size),
+			ExtraDelay: int64(extra),
+			Pending:    pending,
+			Payload:    r.Payload,
+		}
+		fab.link(r.From, int(requester)).send(rf)
+	case <-fab.done:
+	}
+}
+
+// resolve delivers a reply frame to the requester waiting on the pending
+// id. Duplicates (a batch retransmitted after a broken write) and
+// replies to abandoned requests (WaitRedirect failover) resolve to a
+// deleted or uninterested entry and are dropped.
+func (fab *Fabric) resolve(f *Frame) {
+	fab.pmu.Lock()
+	ch := fab.pending[f.Pending]
+	delete(fab.pending, f.Pending)
+	fab.pmu.Unlock()
+	if ch == nil {
+		return
+	}
+	m := transport.Message{
+		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
+		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
+		Payload: f.Payload,
+	}
+	m.SetWireExtras(simtime.Duration(f.ExtraDelay), false)
+	select {
+	case ch <- m:
+	default:
+	}
+}

@@ -1,0 +1,239 @@
+package tcp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdsm/internal/simtime"
+	"sdsm/internal/transport"
+)
+
+// newFabricNet builds a network with the TCP fabric installed.
+func newFabricNet(t *testing.T, n int, opts Options) (*transport.Network, *Fabric) {
+	t.Helper()
+	nw := transport.NewNetwork(n, simtime.DefaultCostModel())
+	if opts.Payloads == nil {
+		opts.Payloads = []any{&testPayload{}}
+	}
+	fab, err := New(nw, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	nw.SetFabric(fab)
+	t.Cleanup(func() { fab.Close() })
+	return nw, fab
+}
+
+func TestFabricSendReceive(t *testing.T) {
+	nw, fab := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	a.Clock().Advance(time.Millisecond)
+	a.Send(1, transport.Kind(7), 1000, &testPayload{A: 42, B: "over the wire"})
+	m := <-b.Inbox()
+	if m.From != 0 || m.To != 1 || m.Kind != 7 {
+		t.Fatalf("message = %+v", m)
+	}
+	p, ok := m.Payload.(*testPayload)
+	if !ok || p.A != 42 || p.B != "over the wire" {
+		t.Fatalf("payload = %#v", m.Payload)
+	}
+	if m.SentAt != simtime.Time(time.Millisecond) {
+		t.Fatalf("SentAt lost in transit: %v", m.SentAt)
+	}
+	b.Arrive(m)
+	min := m.SentAt + simtime.Time(nw.Model().MsgTime(1000))
+	if b.Clock().Now() < min {
+		t.Fatalf("receiver clock %v < causal minimum %v", b.Clock().Now(), min)
+	}
+	if s := fab.Stats(); s.Frames != 1 || s.WireBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFabricSelfSendBypasses(t *testing.T) {
+	nw, fab := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	// A self payload type deliberately NOT gob-registered: it must never
+	// touch the codec.
+	type local struct{ ch chan int }
+	a.Send(0, transport.Kind(1), 10, &local{ch: make(chan int)})
+	m := <-a.Inbox()
+	if _, ok := m.Payload.(*local); !ok {
+		t.Fatalf("self payload = %#v", m.Payload)
+	}
+	if s := fab.Stats(); s.Frames != 0 {
+		t.Fatalf("self send crossed the fabric: %+v", s)
+	}
+}
+
+func TestFabricCallReply(t *testing.T) {
+	nw, _ := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m := <-b.Inbox()
+		b.Arrive(m)
+		if !m.WantsReply() {
+			t.Error("request lost its reply binding in transit")
+			return
+		}
+		b.Reply(m, transport.Kind(2), 4096, &testPayload{Data: []byte("page")})
+	}()
+	resp := a.Call(1, transport.Kind(1), 64, &testPayload{A: 1})
+	<-done
+	p, ok := resp.Payload.(*testPayload)
+	if resp.Kind != 2 || !ok || string(p.Data) != "page" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	min := simtime.Time(nw.Model().RoundTrip(64, 4096))
+	if a.Clock().Now() < min {
+		t.Fatalf("caller clock %v < round trip %v", a.Clock().Now(), min)
+	}
+}
+
+// TestFabricFence sends a burst of one-way messages and fences: the
+// delivered counter is incremented before a copy enters the fabric, so
+// the fence must not pass until every in-flight frame has crossed the
+// socket and been handled.
+func TestFabricFence(t *testing.T) {
+	const burst = 400
+	nw, _ := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	var handled atomic.Int64
+	go func() {
+		for m := range b.Inbox() {
+			_ = m
+			handled.Add(1)
+			b.MarkHandled()
+		}
+	}()
+	for i := 0; i < burst; i++ {
+		a.Send(1, transport.Kind(3), 64, &testPayload{A: int32(i)})
+	}
+	b.FenceArrivalsBefore(1)
+	if got := handled.Load(); got != burst {
+		t.Fatalf("fence passed with %d of %d messages handled", got, burst)
+	}
+}
+
+// TestFabricReconnect breaks every established connection under live
+// links and verifies traffic resumes over fresh ones.
+func TestFabricReconnect(t *testing.T) {
+	nw, fab := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	a.Send(1, transport.Kind(1), 10, &testPayload{A: 1})
+	<-b.Inbox()
+	// Sever both sides of the established link.
+	fab.link(0, 1).closeConn()
+	fab.cmu.Lock()
+	for c := range fab.conns {
+		c.Close()
+	}
+	fab.cmu.Unlock()
+	a.Send(1, transport.Kind(1), 10, &testPayload{A: 2})
+	m := <-b.Inbox()
+	if p := m.Payload.(*testPayload); p.A != 2 {
+		t.Fatalf("payload after reconnect = %+v", p)
+	}
+	if s := fab.Stats(); s.Reconnects < 1 {
+		t.Fatalf("no reconnect counted: %+v", s)
+	}
+}
+
+// TestFabricBudget runs traffic under a tiny bandwidth budget: all
+// messages still arrive, some batch writes had to wait, and coalescing
+// packs queued frames into fewer batches.
+func TestFabricBudget(t *testing.T) {
+	const burst = 60
+	nw, fab := newFabricNet(t, 2, Options{
+		BudgetBytesPerSec: 4 << 20,
+		BudgetBurst:       8 << 10,
+	})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	got := make(chan transport.Message, burst)
+	go func() {
+		for m := range b.Inbox() {
+			got <- m
+		}
+	}()
+	for i := 0; i < burst; i++ {
+		a.Send(1, transport.Kind(5), 4096, &testPayload{A: int32(i), Data: make([]byte, 4096)})
+	}
+	for i := 0; i < burst; i++ {
+		select {
+		case <-got:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("message %d never arrived under budget", i)
+		}
+	}
+	s := fab.Stats()
+	if s.Frames != burst {
+		t.Fatalf("frames = %d, want %d", s.Frames, burst)
+	}
+	if s.BudgetWaits == 0 {
+		t.Fatalf("budget never throttled: %+v", s)
+	}
+	if s.Batches >= s.Frames {
+		t.Fatalf("no coalescing under back-pressure: %+v", s)
+	}
+}
+
+func TestBudgetTake(t *testing.T) {
+	if b := NewBudget(0, 0); b != nil {
+		t.Fatal("zero rate should be unlimited (nil)")
+	}
+	var nilBudget *Budget
+	nilBudget.Take(1 << 30) // must be free and not panic
+	b := NewBudget(1<<20, 64<<10)
+	start := time.Now()
+	b.Take(64 << 10) // drains the full bucket
+	b.Take(64 << 10) // must wait ~62ms for a refill
+	b.Take(64 << 10) // and again
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("three bucket-sized takes at 1MiB/s finished in %v", elapsed)
+	}
+	if b.Waits() < 2 {
+		t.Fatalf("waits = %d", b.Waits())
+	}
+	// An oversized request is admitted once the bucket is full.
+	done := make(chan struct{})
+	go func() {
+		b.Take(1 << 20)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversized take deadlocked")
+	}
+}
+
+func TestFabricWireDupAfterRetransmit(t *testing.T) {
+	// A batch retransmitted after a broken write may redeliver frames the
+	// peer already read; the endpoint's wire-sequence check must discard
+	// them. Simulate by injecting the same framed copy twice at the
+	// decode layer: same Seq → second copy is a duplicate.
+	nw, fab := newFabricNet(t, 2, Options{})
+	a := nw.NewEndpoint(0, simtime.NewClock(0))
+	b := nw.NewEndpoint(1, simtime.NewClock(0))
+	a.Send(1, transport.Kind(1), 10, &testPayload{A: 5})
+	m1 := <-b.Inbox()
+	// Re-inject the decoded copy as a redelivery would.
+	f := &Frame{Type: frameMsg, From: 0, To: 1, Kind: 1, Seq: m1.Seq, SentAt: int64(m1.SentAt),
+		Size: 10, Payload: m1.Payload}
+	fab.injectMsg(f)
+	m2 := <-b.Inbox()
+	if b.WireDup(m1) {
+		t.Fatal("first copy flagged as duplicate")
+	}
+	if !b.WireDup(m2) {
+		t.Fatal("redelivered copy not flagged as duplicate")
+	}
+}
