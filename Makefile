@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke bench-gate
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke telemetry-smoke bench-gate
 
 all: tier1 tier2
 
@@ -63,6 +63,22 @@ kv-smoke:
 	go run ./cmd/sdsminspect -mode audit -app kv -nodes 4 -transport sim
 	go run -race ./cmd/sdsminspect -mode audit -app kv -nodes 4 -transport tcp -churn
 	@echo "kv-smoke: OK"
+
+# End-to-end check of the live telemetry surface: run a short kv bench
+# (tcp cells included, so the per-link families are live) with the
+# Prometheus endpoint up and the slow-op log on. -telemetry-selfcheck
+# makes the bench scrape its own endpoint *while the run is in flight*
+# and fail unless every required metric family is present with live
+# counter evidence; afterwards one slow-op trace id is resolved back
+# into its span tree through sdsminspect -mode trace.
+telemetry-smoke:
+	go run ./cmd/sdsmbench -app kv -nodes 4 -kv-ops 60 \
+		-telemetry 127.0.0.1:0 -telemetry-selfcheck \
+		-slow-log /tmp/sdsm-slow-ops.jsonl -slow-threshold-us 500
+	@test -s /tmp/sdsm-slow-ops.jsonl || { echo "slow-op log is empty"; exit 1; }
+	go run ./cmd/sdsminspect -mode trace -nodes 4 -kv-ops 60 \
+		-trace-id $$(head -1 /tmp/sdsm-slow-ops.jsonl | sed 's/.*"trace":"\([0-9a-f]*\)".*/\1/')
+	@echo "telemetry-smoke: OK"
 
 # Throughput regression gate: regenerate the failure-free sweep at the
 # committed baseline's configuration and fail on any app x protocol cell

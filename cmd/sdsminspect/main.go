@@ -25,13 +25,22 @@
 //	          machine-readable sweep (-in BENCH_PR3.json)
 //	checkjson validate that -in is well-formed JSON (used by the
 //	          Makefile's trace smoke test)
+//	trace     re-run the kv serving workload (same seed => identical
+//	          deterministic trace ids) and reconstruct causal span
+//	          trees: with -trace-id, print the named op's cross-node
+//	          span tree and phase breakdown (this is how a slow-op log
+//	          line is resolved); without, print the per-op span-phase
+//	          attribution table (slowest traces plus per-tag aggregate)
 //
 // Usage:
 //
-//	sdsminspect [-mode volume|dump|audit|recovery|print|checkjson]
+//	sdsminspect [-mode volume|dump|audit|recovery|print|checkjson|trace]
 //	            [-app all|3d-fft|mg|shallow|water|kv] [-protocol ml|ccl]
 //	            [-nodes 8] [-scale small|medium|large] [-transport sim|tcp]
 //	            [-crash] [-churn] [-victim N] [-node N] [-max N] [-in file.json]
+//	            [-trace-id hex] [-trace-out trace.json]
+//	            [-kv-keys N] [-kv-value N] [-kv-ops N]
+//	            [-kv-readpct N] [-kv-zipf S] [-kv-seed N]
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"sdsm/internal/apps"
@@ -51,6 +61,7 @@ import (
 	"sdsm/internal/hlrc"
 	"sdsm/internal/logview"
 	"sdsm/internal/memory"
+	"sdsm/internal/obsv"
 	"sdsm/internal/recovery"
 	"sdsm/internal/simtime"
 	"sdsm/internal/wal"
@@ -78,7 +89,15 @@ func main() {
 	nodeFlag := flag.Int("node", -1, "dump mode: only this node's log")
 	max := flag.Int("max", 0, "dump mode: print at most this many records per node (0 = all)")
 	in := flag.String("in", "", "input file for print/checkjson modes")
-	transportFlag := flag.String("transport", "sim", "kv audit: wire backend, sim|tcp")
+	transportFlag := flag.String("transport", "sim", "kv audit/trace: wire backend, sim|tcp")
+	traceID := flag.String("trace-id", "", "trace mode: resolve this 16-hex-digit trace id into its span tree")
+	kvKeys := flag.Int("kv-keys", 0, "trace mode: kv table size (0 = default 64; match the run that minted the trace ids)")
+	kvValue := flag.Int("kv-value", 0, "trace mode: kv value bytes (0 = default 32)")
+	kvOps := flag.Int("kv-ops", 0, "trace mode: kv transactions per client (0 = default 160)")
+	kvReadPct := flag.Int("kv-readpct", 0, "trace mode: kv read percentage (0 = default 80)")
+	kvZipf := flag.Float64("kv-zipf", 1.2, "trace mode: kv zipf skew (sdsmbench's default)")
+	kvSeed := flag.Int64("kv-seed", 0, "trace mode: kv op-stream seed (0 = default 1)")
+	traceOut := flag.String("trace-out", "", "trace mode: also export the run as Chrome trace-event JSON (flow arrows included) to this file")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -116,6 +135,10 @@ func main() {
 		err = printMode(*in)
 	case "checkjson":
 		err = checkJSON(*in)
+	case "trace":
+		kvCfg := kv.Config{Keys: *kvKeys, ValueSize: *kvValue, Ops: *kvOps,
+			ReadPct: *kvReadPct, ZipfS: *kvZipf, Seed: *kvSeed}
+		err = traceMode(opts, *transportFlag, *churn, kvCfg, *traceID, *traceOut)
 	default:
 		log.Fatalf("unknown -mode %q", *mode)
 	}
@@ -304,6 +327,177 @@ func kvAuditMode(opts options, transport string, churn bool) error {
 		return err
 	}
 	fmt.Print(logview.FormatVolume(vol))
+	return nil
+}
+
+// traceMode re-runs the kv serving workload with tracing on — trace ids
+// are a pure function of (seed, node, op index), so the re-run mints
+// exactly the ids any earlier same-config run stamped into its slow-op
+// log or Chrome trace — and reconstructs causal span trees from the
+// collected events.
+func traceMode(opts options, transport string, churn bool, kvCfg kv.Config, traceIDHex, traceOut string) error {
+	tr, err := core.ParseTransport(transport)
+	if err != nil {
+		return err
+	}
+	if err := kvCfg.Validate(); err != nil {
+		return err
+	}
+	cc := bench.KVCoreConfig(opts.nodes, kvCfg, tr)
+	cc.Trace = obsv.NewCollector(opts.nodes)
+	if churn {
+		if opts.nodes < 2 {
+			return fmt.Errorf("kv churn trace needs at least 2 nodes")
+		}
+		_, err = core.RunWithChurn(cc, kv.Prog(kvCfg), core.ChurnPlan{
+			Victim:        opts.nodes - 1,
+			AtOp:          int32(kvCfg.WithDefaults().Ops),
+			Recovery:      recovery.CCLRecovery,
+			LeaseDuration: simtime.Duration(bench.KVLeaseMs * 1e6),
+		})
+	} else {
+		_, err = core.Run(cc, kv.Prog(kvCfg))
+	}
+	if err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obsv.WriteChromeTrace(f, cc.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n\n", traceOut, cc.Trace.EventCount())
+	}
+	if traceIDHex != "" {
+		return printSpanTree(cc.Trace, traceIDHex)
+	}
+	return printTraceTable(cc.Trace, opts.max)
+}
+
+func evName(ev obsv.Event) string {
+	if ev.Kind == obsv.EvRecv || ev.Kind == obsv.EvRecvDetached {
+		return "recv-" + obsv.KindName(uint8(ev.Arg1))
+	}
+	return ev.Kind.String()
+}
+
+func us(t simtime.Time) float64 { return float64(t) / 1e3 }
+
+// printSpanTree renders one trace's cross-node span tree: the op root,
+// its app-side phase spans, and (indented once more) the remote service
+// spans the op's messages opened, each with its parent edge.
+func printSpanTree(c *obsv.Collector, hex string) error {
+	id, err := obsv.ParseTraceID(hex)
+	if err != nil {
+		return err
+	}
+	evs := c.TraceEvents(id)
+	if len(evs) == 0 {
+		return fmt.Errorf("trace %s not found — pass the kv flags (-kv-seed etc.) of the run that minted it", hex)
+	}
+	var bd *obsv.TraceBreakdown
+	for _, b := range c.TraceBreakdowns() {
+		if b.Trace.TraceID == id {
+			bd = &b
+			break
+		}
+	}
+	fmt.Printf("trace %s: %d spans", obsv.FormatTraceID(id), len(evs))
+	if bd != nil {
+		fmt.Printf(", %s on node %d, %.1fus total, %d nodes touched",
+			obsv.TagName(bd.Trace.Tag), bd.Node, float64(bd.Total())/1e3, bd.NodesHit)
+	}
+	fmt.Println()
+	for _, ne := range evs {
+		ev := ne.Event
+		depth := 1
+		switch {
+		case ev.Kind == obsv.EvOp:
+			depth = 0
+		case ev.Flags&obsv.FlagSvc != 0 || ev.Tid == obsv.TidService:
+			depth = 2
+		}
+		fmt.Printf("%s%-22s node %d  [%10.1f %10.1f]us  span %s",
+			strings.Repeat("    ", depth), evName(ev), ne.Node, us(ev.T0), us(ev.T1),
+			obsv.FormatTraceID(ev.Trace.SpanID))
+		if ev.From >= 0 {
+			fmt.Printf("  <- node %d @ %.1fus", ev.From, us(ev.SentAt))
+		}
+		fmt.Println()
+	}
+	if bd != nil {
+		fmt.Printf("\nphase attribution (remote service time %.1fus overlaps the waits):\n",
+			float64(bd.SvcTime)/1e3)
+		for _, k := range obsv.PhaseKinds() {
+			if d := bd.Phase[k]; d > 0 {
+				fmt.Printf("  %-14s %10.1fus  %5.1f%%\n", k.String(), float64(d)/1e3,
+					100*float64(d)/float64(bd.Total()))
+			}
+		}
+	}
+	return nil
+}
+
+// printTraceTable renders the per-trace attribution table: the slowest
+// traces individually, then the per-tag aggregate phase breakdown (the
+// per-op extension of the critical-path walk).
+func printTraceTable(c *obsv.Collector, max int) error {
+	bds := c.TraceBreakdowns()
+	if len(bds) == 0 {
+		return fmt.Errorf("the run produced no traced ops")
+	}
+	if max <= 0 {
+		max = 10
+	}
+	sorted := append([]obsv.TraceBreakdown{}, bds...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Total() > sorted[j].Total() })
+	if len(sorted) > max {
+		sorted = sorted[:max]
+	}
+	fmt.Printf("%d traced ops; %d slowest:\n", len(bds), len(sorted))
+	fmt.Printf("%-18s %-9s %5s %10s %6s  %s\n", "trace", "tag", "node", "total us", "nodes", "dominant phase")
+	for _, b := range sorted {
+		k, d := b.Dominant()
+		fmt.Printf("%-18s %-9s %5d %10.1f %6d  %s (%.1fus)\n",
+			obsv.FormatTraceID(b.Trace.TraceID), obsv.TagName(b.Trace.Tag), b.Node,
+			float64(b.Total())/1e3, b.NodesHit, k.String(), float64(d)/1e3)
+	}
+	fmt.Printf("\nper-tag aggregate phase attribution (mean us per op):\n")
+	fmt.Printf("%-9s %6s %9s", "tag", "ops", "total")
+	for _, k := range obsv.PhaseKinds() {
+		fmt.Printf(" %13s", k.String())
+	}
+	fmt.Println()
+	for _, tag := range []uint8{obsv.TagKVRead, obsv.TagKVWrite} {
+		var n int
+		var total float64
+		phase := map[obsv.EventKind]float64{}
+		for _, b := range bds {
+			if b.Trace.Tag != tag {
+				continue
+			}
+			n++
+			total += float64(b.Total())
+			for k, d := range b.Phase {
+				phase[k] += float64(d)
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("%-9s %6d %9.1f", obsv.TagName(tag), n, total/float64(n)/1e3)
+		for _, k := range obsv.PhaseKinds() {
+			fmt.Printf(" %13.1f", phase[k]/float64(n)/1e3)
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

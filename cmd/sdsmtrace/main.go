@@ -13,7 +13,7 @@
 //	sdsmtrace [-app 3d-fft|mg|shallow|water] [-protocol none|ml|ccl]
 //	          [-nodes 8] [-scale small|medium|large]
 //	          [-crash] [-victim 7] [-recovery ml|ccl]
-//	          [-trace-out trace.json] [-breakdown]
+//	          [-trace-out trace.json] [-node N] [-kind event-name] [-breakdown]
 package main
 
 import (
@@ -43,7 +43,21 @@ func main() {
 	recFlag := flag.String("recovery", "", "recovery scheme: ml|ccl (default: match protocol)")
 	traceOut := flag.String("trace-out", "", "write the run as Chrome trace-event JSON to this file")
 	breakdown := flag.Bool("breakdown", false, "print the critical-path runtime breakdown")
+	nodeFilter := flag.Int("node", -1, "with -trace-out: export only this node's process")
+	kindFilter := flag.String("kind", "", "with -trace-out: export only events of this kind (e.g. lock-acquire, page-serve)")
 	flag.Parse()
+
+	filter := obsv.NoChromeFilter()
+	if *nodeFilter >= 0 {
+		filter.Node = *nodeFilter
+	}
+	if *kindFilter != "" {
+		k, ok := obsv.EventKindByName(*kindFilter)
+		if !ok {
+			log.Fatalf("unknown -kind %q (use an event name as it appears in the trace, e.g. lock-acquire)", *kindFilter)
+		}
+		filter.Kind = k
+	}
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
@@ -165,7 +179,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := obsv.WriteChromeTrace(f, cfg.Trace); err != nil {
+		if err := obsv.WriteChromeTraceFiltered(f, cfg.Trace, filter); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

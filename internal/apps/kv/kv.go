@@ -27,6 +27,7 @@ import (
 
 	"sdsm/internal/core"
 	"sdsm/internal/obsv"
+	"sdsm/internal/simtime"
 )
 
 // Config parameterizes the workload. The zero value of any field selects
@@ -52,6 +53,23 @@ type Config struct {
 	// points for online recovery. 0 keeps the default; -1 disables
 	// intermediate barriers.
 	BarrierEvery int
+	// OnOp, when non-nil, is called after every completed transaction
+	// with the op's trace context and virtual latency — the hook the
+	// slow-op log hangs off. It runs on each client's application
+	// goroutine; under churn the recovering client re-invokes it for the
+	// replayed prefix of its op stream.
+	OnOp func(OpRecord)
+}
+
+// OpRecord describes one completed transaction to Config.OnOp.
+type OpRecord struct {
+	Node    int              // client node id
+	Trace   obsv.TraceCtx    // the op's trace context (id is f(seed, node, seq))
+	Write   bool             // false = read transaction
+	Key     int              // key the transaction touched
+	Seq     int              // 1-based op index within the client's stream
+	Start   simtime.Time     // op entry on the client's virtual clock
+	Latency simtime.Duration // virtual ns, synchronization included
 }
 
 // WithDefaults returns the config with every zero field replaced by its
@@ -186,6 +204,18 @@ func Prog(cfg Config) core.Program {
 		val := make([]byte, cfg.ValueSize)
 		cfg.opStream(p.ID(), func(op, k int, isRead bool) {
 			t0 := p.Now()
+			// Every op runs under a deterministic trace context: the id is
+			// a pure function of (seed, node, op index), so same-seed runs
+			// mint identical ids on any backend, and the context rides every
+			// protocol message of the op (lock, fetch, flush) to form one
+			// cross-node span tree.
+			tag, hist := obsv.TagKVWrite, obsv.HistKVWrite
+			if isRead {
+				tag, hist = obsv.TagKVRead, obsv.HistKVRead
+			}
+			tc := obsv.TraceCtx{TraceID: obsv.NewTraceID(cfg.Seed, p.ID(), int64(op)), Tag: tag}
+			tc.SpanID = obsv.RootSpanID(tc.TraceID)
+			p.BeginOp(tc)
 			p.AcquireLock(k)
 			if isRead {
 				v := p.ReadI64(cfg.verAddr(k))
@@ -200,7 +230,6 @@ func Prog(cfg Config) core.Program {
 						panic(fmt.Sprintf("kv: client %d read key %d version %d: torn value at byte %d", p.ID(), k, v, j))
 					}
 				}
-				p.Observe(obsv.HistKVRead, int64(p.Now()-t0))
 			} else {
 				v := p.ReadI64(cfg.verAddr(k)) + 1
 				p.WriteI64(cfg.verAddr(k), v)
@@ -210,7 +239,15 @@ func Prog(cfg Config) core.Program {
 				writes++
 				p.WriteI64(cfg.counterAddr(p.ID()), writes)
 				p.ReleaseLock(k)
-				p.Observe(obsv.HistKVWrite, int64(p.Now()-t0))
+			}
+			lat := int64(p.Now() - t0)
+			p.Observe(hist, lat)
+			p.EndOp(t0, int64(k), int64(op))
+			if cfg.OnOp != nil {
+				cfg.OnOp(OpRecord{
+					Node: p.ID(), Trace: tc, Write: !isRead, Key: k, Seq: op,
+					Start: t0, Latency: simtime.Duration(lat),
+				})
 			}
 			if cfg.BarrierEvery > 0 && op%cfg.BarrierEvery == 0 {
 				p.Barrier(b)

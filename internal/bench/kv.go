@@ -13,6 +13,7 @@ import (
 	"sdsm/internal/obsv"
 	"sdsm/internal/recovery"
 	"sdsm/internal/simtime"
+	"sdsm/internal/telemetry"
 	"sdsm/internal/wal"
 )
 
@@ -85,11 +86,29 @@ func KVCoreConfig(nodes int, cfg kv.Config, tr core.Transport) core.Config {
 
 func usQ(h obsv.HistSnapshot, q float64) float64 { return float64(h.Quantile(q)) / 1e3 }
 
+// KVBenchOptions hooks the live telemetry surface into a kv bench run.
+// The zero value runs the bench exactly as before.
+type KVBenchOptions struct {
+	// Telemetry, when non-nil, is attached to each cell's cluster while
+	// it runs, so a concurrent HTTP scrape observes the live counters
+	// and (on TCP cells) the per-link wire gauges.
+	Telemetry *telemetry.Registry
+	// OnOp, when non-nil, receives every completed kv transaction (the
+	// slow-op log's feed).
+	OnOp func(kv.OpRecord)
+	// Collectors, when non-nil, receives each cell's trace collector
+	// after the cell completes (keyed by transport and churn), so
+	// drivers can post-process span trees without re-running.
+	OnCell func(tr core.Transport, churn bool, trace *obsv.Collector, rep *core.Report)
+}
+
 // runKVCell executes one matrix cell and fills a row. The caller owns
 // image verification.
-func runKVCell(nodes int, cfg kv.Config, tr core.Transport, churn bool) (*core.Report, KVRow, error) {
+func runKVCell(nodes int, cfg kv.Config, tr core.Transport, churn bool, opts KVBenchOptions) (*core.Report, KVRow, error) {
 	cc := KVCoreConfig(nodes, cfg, tr)
 	cc.Trace = obsv.NewCollector(nodes)
+	cc.Telemetry = opts.Telemetry
+	cfg.OnOp = opts.OnOp
 	var rep *core.Report
 	var err error
 	if churn {
@@ -148,6 +167,9 @@ func runKVCell(nodes int, cfg kv.Config, tr core.Transport, churn bool) (*core.R
 		row.RejoinSec = rep.Recovery.RejoinTime.Seconds()
 		row.CatchUpSec = rep.Recovery.ReplayTime.Seconds()
 	}
+	if opts.OnCell != nil {
+		opts.OnCell(tr, churn, cc.Trace, rep)
+	}
 	return rep, row, nil
 }
 
@@ -155,6 +177,11 @@ func runKVCell(nodes int, cfg kv.Config, tr core.Transport, churn bool) (*core.R
 // failure-free and with a crash-during-traffic churn cell, and verifies
 // that every cell converges to the same final memory image.
 func RunKVBench(nodes int, cfg kv.Config, transports []core.Transport) ([]KVRow, error) {
+	return RunKVBenchOpts(nodes, cfg, transports, KVBenchOptions{})
+}
+
+// RunKVBenchOpts is RunKVBench with the live telemetry surface hooked in.
+func RunKVBenchOpts(nodes int, cfg kv.Config, transports []core.Transport, opts KVBenchOptions) ([]KVRow, error) {
 	if nodes < 2 {
 		return nil, fmt.Errorf("bench: kv needs at least 2 nodes, got %d", nodes)
 	}
@@ -168,7 +195,7 @@ func RunKVBench(nodes int, cfg kv.Config, transports []core.Transport) ([]KVRow,
 	var baseline []byte
 	for _, tr := range transports {
 		for _, churn := range []bool{false, true} {
-			rep, row, err := runKVCell(nodes, cfg, tr, churn)
+			rep, row, err := runKVCell(nodes, cfg, tr, churn, opts)
 			if err != nil {
 				return nil, fmt.Errorf("bench: kv %s churn=%v: %w", tr, churn, err)
 			}

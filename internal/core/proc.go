@@ -93,6 +93,22 @@ func (p *Proc) WriteF64s(addr int, src []float64) {
 // the same obsv.Collector the protocol metrics flow through.
 func (p *Proc) Observe(id obsv.HistID, v int64) { p.nd.Tracer().Observe(id, v) }
 
+// BeginOp opens a traced application-level operation: tc is stamped into
+// every event this process records and piggybacked on every protocol
+// message it sends until EndOp. Workloads mint tc deterministically
+// (obsv.NewTraceID over seed, node and op sequence) so same-seed runs
+// carry identical trace ids. A no-op when tracing is disabled.
+func (p *Proc) BeginOp(tc obsv.TraceCtx) { p.nd.Tracer().SetTrace(tc) }
+
+// EndOp closes the operation opened by BeginOp: it emits the op's root
+// span (obsv.EvOp) covering [t0, now] with the op's key and sequence
+// number as args, then clears the trace context.
+func (p *Proc) EndOp(t0 simtime.Time, key, seq int64) {
+	trc := p.nd.Tracer()
+	trc.Span(obsv.EvOp, t0, p.nd.Clock().Now(), key, seq)
+	trc.SetTrace(obsv.TraceCtx{})
+}
+
 // F64 is a convenience for indexed access: the float64 at element i of an
 // array based at byte address base.
 func (p *Proc) F64(base, i int) float64 { return p.ReadF64(base + 8*i) }

@@ -69,6 +69,11 @@ func buildCluster(cfg Config) (*cluster, error) {
 			checkpoint.TakeInitial(c.nodes[i], c.depot.Store(i))
 		}
 	}
+	if cfg.Telemetry != nil {
+		// The stats slots outlive node incarnations (recovery reuses
+		// them), so the registry stays valid across a crash and rebuild.
+		cfg.Telemetry.Attach(c.stats, cfg.Trace, c.fabric)
+	}
 	return c, nil
 }
 

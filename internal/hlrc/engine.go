@@ -418,6 +418,18 @@ func (nd *Node) handle(m transport.Message) {
 	}
 }
 
+// svcTrace derives the trace context a handler span records for the
+// request it serves: the same trace, with a span id derived as a child
+// of the message's parent span. Zero in, zero out — untraced requests
+// stay free.
+func svcTrace(m transport.Message) obsv.TraceCtx {
+	tc := m.Trace
+	if tc.Valid() {
+		tc.SpanID = obsv.ChildSpanID(tc.SpanID, uint8(m.Kind))
+	}
+	return tc
+}
+
 // handlePageReq serves a remote miss: one round trip returns the current
 // home copy (HLRC's single-round-trip property).
 func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
@@ -436,7 +448,7 @@ func (nd *Node) handlePageReq(m transport.Message, at simtime.Time) {
 	ver := nd.ver[req.Page].Clone()
 	nd.mu.Unlock()
 	resp := &PageReply{Data: data, Ver: ver}
-	nd.trc.SvcSpan(obsv.EvPageServe, obsv.CatCoherence,
+	nd.trc.SvcSpanT(svcTrace(m), obsv.EvPageServe, obsv.CatCoherence,
 		at-simtime.Time(nd.cfg.Model.MsgHandling), at, m.From, m.SentAt,
 		int64(req.Page), int64(resp.WireSize()))
 	nd.ep.ReplyAt(at, m, KindPageReply, resp.WireSize(), resp)
@@ -478,10 +490,10 @@ func (nd *Node) handleDiffUpdate(m transport.Message, at simtime.Time) {
 	// handler's, not the application's.
 	arrival := at - simtime.Time(nd.cfg.Model.MsgHandling)
 	at += simtime.Time(nd.cfg.Model.CopyTime(copied))
-	nd.trc.SvcSpan(obsv.EvHomeUpdate, obsv.CatCoherence,
+	nd.trc.SvcSpanT(svcTrace(m), obsv.EvHomeUpdate, obsv.CatCoherence,
 		arrival, at, m.From, m.SentAt, int64(len(applied)), int64(copied))
 	for _, d := range applied {
-		nd.trc.SvcInstant(obsv.EvDiffApply, at, int64(d.Page), int64(d.DataBytes()))
+		nd.trc.SvcInstantT(svcTrace(m), obsv.EvDiffApply, at, int64(d.Page), int64(d.DataBytes()))
 	}
 	nd.ep.ReplyAt(at, m, KindDiffAck, DiffAck{}.WireSize(), DiffAck{})
 }

@@ -530,7 +530,7 @@ func (nd *Node) handleLockReq(m transport.Message, at simtime.Time) {
 	g := nd.grantLocked(req.VT)
 	nd.issueGrantLocked(ls, m.From, m.ReqID, g, at)
 	nd.mu.Unlock()
-	nd.trc.SvcSpan(obsv.EvLockGrant, obsv.CatCoherence,
+	nd.trc.SvcSpanT(svcTrace(m), obsv.EvLockGrant, obsv.CatCoherence,
 		at-simtime.Time(nd.cfg.Model.MsgHandling), at, m.From, m.SentAt,
 		int64(req.Lock), 0)
 	nd.ep.ReplyAt(at, m, KindLockGrant, g.WireSize(), g)
@@ -581,7 +581,10 @@ func (nd *Node) handleLockRelease(m transport.Message, at simtime.Time) {
 		if next.arrival > at {
 			edgeFrom, edgeSentAt = next.m.From, next.m.SentAt
 		}
-		nd.trc.SvcSpan(obsv.EvLockGrant, obsv.CatCoherence,
+		// The handoff grant belongs to the queued requester's op: its trace
+		// context (carried by the queued request copy) is what the grant
+		// span joins, not the releaser's.
+		nd.trc.SvcSpanT(svcTrace(next.m), obsv.EvLockGrant, obsv.CatCoherence,
 			at-simtime.Time(nd.cfg.Model.MsgHandling), grantAt, edgeFrom, edgeSentAt,
 			int64(rel.Lock), 0)
 		nd.ep.ReplyAt(grantAt, next.m, KindLockGrant, g.WireSize(), g)
@@ -667,7 +670,9 @@ func (nd *Node) handleBarrierCheckin(m transport.Message, at simtime.Time) {
 		outs = append(outs, out{m: w.m, rel: rel})
 	}
 	nd.mu.Unlock()
-	nd.trc.SvcSpan(obsv.EvBarrierRelease, obsv.CatCoherence,
+	// The release span joins the last arriver's trace: that check-in is the
+	// message the release causally waits for.
+	nd.trc.SvcSpanT(svcTrace(last.m), obsv.EvBarrierRelease, obsv.CatCoherence,
 		releaseAt-simtime.Time(nd.cfg.Model.MsgHandling), releaseAt,
 		last.m.From, last.m.SentAt, int64(ci.Barrier), int64(len(waiting)))
 	for _, o := range outs {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"sdsm/internal/simtime"
 )
 
 // sortCanonical orders events into the export/walk order: by start time,
@@ -36,7 +38,13 @@ func sortCanonical(evs []Event) {
 		if a.From != b.From {
 			return a.From < b.From
 		}
-		return a.SentAt < b.SentAt
+		if a.SentAt != b.SentAt {
+			return a.SentAt < b.SentAt
+		}
+		if a.Trace.TraceID != b.Trace.TraceID {
+			return a.Trace.TraceID < b.Trace.TraceID
+		}
+		return a.Trace.SpanID < b.Trace.SpanID
 	})
 }
 
@@ -48,12 +56,36 @@ func micros(t int64) string {
 	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
 }
 
+// ChromeFilter restricts which events WriteChromeTraceFiltered emits,
+// so large traces can be sliced without loading them into Perfetto.
+// The zero value passes everything.
+type ChromeFilter struct {
+	Node int       // keep only this node's process; -1 (or 0-value via NoChromeFilter) = all
+	Kind EventKind // keep only events of this kind; numEventKinds = all
+}
+
+// NoChromeFilter passes every node and every kind.
+func NoChromeFilter() ChromeFilter { return ChromeFilter{Node: -1, Kind: numEventKinds} }
+
+func (f ChromeFilter) keepNode(node int) bool { return f.Node < 0 || f.Node == node }
+func (f ChromeFilter) keepEvent(ev Event) bool {
+	return f.Kind >= numEventKinds || f.Kind == ev.Kind
+}
+
 // WriteChromeTrace writes the collector's events as Chrome trace-event
 // JSON (the format chrome://tracing and Perfetto load): one process per
 // node, with app/service/disk threads. The output is deterministic:
 // events are emitted in canonical per-node order and floats are
-// formatted with fixed precision.
+// formatted with fixed precision. Events that carry a trace context
+// additionally emit flow events (ph "s"/"f") binding the send side to
+// the receive side, which Perfetto renders as cross-process arrows.
 func WriteChromeTrace(w io.Writer, c *Collector) error {
+	return WriteChromeTraceFiltered(w, c, NoChromeFilter())
+}
+
+// WriteChromeTraceFiltered is WriteChromeTrace restricted to a node
+// and/or event-kind slice.
+func WriteChromeTraceFiltered(w io.Writer, c *Collector, f ChromeFilter) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[")
 	first := true
@@ -66,6 +98,9 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 		}
 	}
 	for node := 0; node < c.Nodes(); node++ {
+		if !f.keepNode(node) {
+			continue
+		}
 		sep()
 		bw.WriteString("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":")
 		bw.WriteString(strconv.Itoa(node))
@@ -84,13 +119,69 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 		}
 	}
 	for node := 0; node < c.Nodes(); node++ {
+		if !f.keepNode(node) {
+			continue
+		}
 		for _, ev := range c.Tracer(node).Events() {
+			if !f.keepEvent(ev) {
+				continue
+			}
 			sep()
 			writeChromeEvent(bw, node, ev)
+			if ev.Trace.Valid() && ev.From >= 0 && f.keepNode(int(ev.From)) {
+				writeFlowPair(bw, sep, node, ev)
+			}
 		}
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// writeFlowPair emits the flow start ("s", on the sending node at the
+// send stamp) and flow finish ("f", on the receiving event) for one
+// traced Lamport edge. Both halves are derived purely from the
+// receive-side event — which already carries From and SentAt — so the
+// racy send side contributes nothing and the canonical event order
+// alone fixes the byte layout. The flow id is a deterministic hash of
+// the edge's fields for the same reason.
+func writeFlowPair(bw *bufio.Writer, sep func(), node int, ev Event) {
+	id := mix64(ev.Trace.TraceID ^
+		mix64(uint64(ev.From+1)<<32|uint64(node+1)) ^
+		mix64(uint64(ev.SentAt)+uint64(ev.Kind)<<48))
+	// A reply received on the app track was sent by the peer's service
+	// goroutine; a request received on the service track was sent by
+	// the peer's app goroutine. (Heuristic — forwarded copies may
+	// differ — but it only picks which thread lane the arrow leaves.)
+	srcTid := TidService
+	if ev.Tid == TidService {
+		srcTid = TidApp
+	}
+	for _, half := range [2]struct {
+		ph       string
+		pid, tid int
+		ts       simtime.Time
+	}{
+		{"s", int(ev.From), srcTid, ev.SentAt},
+		{"f", node, int(ev.Tid), ev.T0},
+	} {
+		sep()
+		bw.WriteString("{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"")
+		bw.WriteString(half.ph)
+		if half.ph == "f" {
+			bw.WriteString("\",\"bp\":\"e")
+		}
+		bw.WriteString("\",\"id\":\"")
+		bw.WriteString(strconv.FormatUint(id, 16))
+		bw.WriteString("\",\"ts\":")
+		bw.WriteString(micros(int64(half.ts)))
+		bw.WriteString(",\"pid\":")
+		bw.WriteString(strconv.Itoa(half.pid))
+		bw.WriteString(",\"tid\":")
+		bw.WriteString(strconv.Itoa(half.tid))
+		bw.WriteString(",\"args\":{\"trace\":\"")
+		bw.WriteString(FormatTraceID(ev.Trace.TraceID))
+		bw.WriteString("\"}}")
+	}
 }
 
 func writeChromeEvent(bw *bufio.Writer, node int, ev Event) {
@@ -135,6 +226,13 @@ func writeChromeEvent(bw *bufio.Writer, node int, ev Event) {
 	if ev.From >= 0 {
 		writeArg("from", strconv.Itoa(int(ev.From)))
 		writeArg("sent_us", micros(int64(ev.SentAt)))
+	}
+	if ev.Trace.Valid() {
+		writeArg("trace", "\""+FormatTraceID(ev.Trace.TraceID)+"\"")
+		writeArg("span", "\""+FormatTraceID(ev.Trace.SpanID)+"\"")
+		if ev.Trace.Tag != 0 {
+			writeArg("tag", "\""+TagName(ev.Trace.Tag)+"\"")
+		}
 	}
 	bw.WriteString("}}")
 }

@@ -88,6 +88,32 @@ type CountersSnapshot struct {
 	BytesRetained int64 `json:"bytes_retained,omitempty"`
 }
 
+// Each calls fn for every counter in a fixed, stable order with its
+// snake_case export name (the JSON tag). Telemetry surfaces iterate
+// through this so the set of exposed counter families can never drift
+// from the registry.
+func (s CountersSnapshot) Each(fn func(name string, v int64)) {
+	fn("faults", s.Faults)
+	fn("page_fetches", s.PageFetches)
+	fn("twins_created", s.TwinsCreated)
+	fn("diffs_created", s.DiffsCreated)
+	fn("diff_bytes_sent", s.DiffBytesSent)
+	fn("diffs_applied", s.DiffsApplied)
+	fn("lock_acquires", s.LockAcquires)
+	fn("barriers", s.Barriers)
+	fn("intervals", s.Intervals)
+	fn("early_closes", s.EarlyCloses)
+	fn("log_appends", s.LogAppends)
+	fn("home_adoptions", s.HomeAdoptions)
+	fn("adopted_diffs", s.AdoptedDiffs)
+	fn("lock_revocations", s.LockRevocations)
+	fn("redirected_calls", s.RedirectedCalls)
+	fn("lease_waits_served", s.LeaseWaitsServed)
+	fn("fetch_rounds", s.FetchRounds)
+	fn("diffs_fetched", s.DiffsFetched)
+	fn("bytes_retained", s.BytesRetained)
+}
+
 // Add accumulates o into s.
 func (s *CountersSnapshot) Add(o CountersSnapshot) {
 	s.Faults += o.Faults

@@ -144,10 +144,18 @@ var (
 )
 
 // RegisterKindName associates a display name with a message kind byte.
+// Re-registering a kind with the name it already has is a no-op (package
+// init may legitimately run alongside tests that register the same
+// table); re-registering with a *different* name panics — silently
+// letting the last writer win would mislabel every export that keys off
+// the kind byte.
 func RegisterKindName(kind uint8, name string) {
 	kindNameMu.Lock()
+	defer kindNameMu.Unlock()
+	if prev, ok := kindNameTab[kind]; ok && prev != name {
+		panic(fmt.Sprintf("obsv: message kind %d already registered as %q, refusing conflicting name %q", kind, prev, name))
+	}
 	kindNameTab[kind] = name
-	kindNameMu.Unlock()
 }
 
 // KindName returns the registered display name for a message kind byte,

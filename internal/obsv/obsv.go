@@ -70,6 +70,7 @@ const (
 	EvObit                            // service instant: obituary processed (node declared dead)
 	EvAdoptServe                      // service span: custody copy rebuilt and served by adopter
 	EvLeaseWait                       // app seg: stall until a dead peer's lease expired
+	EvOp                              // decorative: one traced serving op, root of its span tree
 	numEventKinds
 )
 
@@ -80,6 +81,18 @@ var eventNames = [numEventKinds]string{
 	"log-flush", "flush-wait", "checkpoint", "arq-retry", "recv",
 	"recv-detached", "replay-op", "prefetch", "diff-fetch", "tail-fetch",
 	"home-rebuild", "catch-up", "obituary", "adopt-serve", "lease-wait",
+	"op",
+}
+
+// EventKindByName resolves a display name back to its kind (for the
+// CLI -kind filter). The second result is false for unknown names.
+func EventKindByName(name string) (EventKind, bool) {
+	for k, n := range eventNames {
+		if n == name {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
 }
 
 // argNames labels Arg1/Arg2 per kind in the Chrome export ("" = omit).
@@ -112,6 +125,7 @@ var argNames = [numEventKinds][2]string{
 	EvObit:           {"node", "at"},
 	EvAdoptServe:     {"page", "bytes"},
 	EvLeaseWait:      {"node", ""},
+	EvOp:             {"key", "seq"},
 }
 
 // String returns the event kind's stable display name.
@@ -170,13 +184,15 @@ const (
 
 // Event is one typed trace record. T0/T1 bound the event on the node's
 // virtual clock; From/SentAt carry the Lamport edge of the message that
-// produced the event (From < 0 when there is none).
+// produced the event (From < 0 when there is none); Trace is the causal
+// request context the event belongs to (zero when untraced).
 type Event struct {
 	T0     simtime.Time
 	T1     simtime.Time
 	SentAt simtime.Time
 	Arg1   int64
 	Arg2   int64
+	Trace  TraceCtx
 	From   int32
 	Kind   EventKind
 	Cat    Cat
@@ -191,6 +207,11 @@ type Tracer struct {
 	node   int
 	events []Event
 	hists  [numHists]Hist
+	// cur is the trace context of the in-flight application op,
+	// stamped into every app-side event and read by the endpoint's send
+	// path. It is owned by the node's application goroutine (see
+	// SetTrace), so it needs no lock.
+	cur TraceCtx
 }
 
 func (t *Tracer) append(ev Event) {
@@ -199,12 +220,13 @@ func (t *Tracer) append(ev Event) {
 	t.mu.Unlock()
 }
 
-// Seg records an application-timeline attribution segment [t0, t1).
+// Seg records an application-timeline attribution segment [t0, t1),
+// stamped with the current trace context.
 func (t *Tracer) Seg(kind EventKind, cat Cat, t0, t1 simtime.Time, a1, a2 int64) {
 	if t == nil || t1 <= t0 {
 		return
 	}
-	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, From: -1, Kind: kind, Cat: cat, Tid: TidApp, Flags: FlagSeg})
+	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, Trace: t.cur, From: -1, Kind: kind, Cat: cat, Tid: TidApp, Flags: FlagSeg})
 }
 
 // Recv records the app goroutine waiting on a message: the segment ends
@@ -213,7 +235,7 @@ func (t *Tracer) Recv(t0, t1 simtime.Time, from int, sentAt simtime.Time, msgKin
 	if t == nil || t1 <= t0 {
 		return
 	}
-	t.append(Event{T0: t0, T1: t1, SentAt: sentAt, Arg1: int64(msgKind), Arg2: int64(bytes), From: int32(from), Kind: EvRecv, Cat: CatCoherence, Tid: TidApp, Flags: FlagSeg})
+	t.append(Event{T0: t0, T1: t1, SentAt: sentAt, Arg1: int64(msgKind), Arg2: int64(bytes), Trace: t.cur, From: int32(from), Kind: EvRecv, Cat: CatCoherence, Tid: TidApp, Flags: FlagSeg})
 }
 
 // RecvDetached is Recv for recovery's detached waits; it is attributed
@@ -231,7 +253,7 @@ func (t *Tracer) Span(kind EventKind, t0, t1 simtime.Time, a1, a2 int64) {
 	if t == nil || t1 <= t0 {
 		return
 	}
-	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, From: -1, Kind: kind, Tid: TidApp})
+	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, Trace: t.cur, From: -1, Kind: kind, Tid: TidApp})
 }
 
 // DiskSpan records an overlapped disk write on the disk track.
@@ -239,24 +261,39 @@ func (t *Tracer) DiskSpan(kind EventKind, t0, t1 simtime.Time, a1, a2 int64) {
 	if t == nil || t1 <= t0 {
 		return
 	}
-	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, From: -1, Kind: kind, Cat: CatLogging, Tid: TidDisk})
+	t.append(Event{T0: t0, T1: t1, Arg1: a1, Arg2: a2, Trace: t.cur, From: -1, Kind: kind, Cat: CatLogging, Tid: TidDisk})
 }
 
 // SvcSpan records a service-side handler span ending at a reply stamp,
 // carrying the Lamport edge of the request that produced it.
 func (t *Tracer) SvcSpan(kind EventKind, cat Cat, t0, t1 simtime.Time, from int, sentAt simtime.Time, a1, a2 int64) {
+	t.SvcSpanT(TraceCtx{}, kind, cat, t0, t1, from, sentAt, a1, a2)
+}
+
+// SvcSpanT is SvcSpan with an explicit trace context: handlers pass the
+// context piggybacked on the request they are serving, which is what
+// joins the manager's grant span or the home's update span to the
+// requesting op's cross-node span tree. (Service handlers run off the
+// app goroutine, so they must not read the tracer's current context.)
+func (t *Tracer) SvcSpanT(tc TraceCtx, kind EventKind, cat Cat, t0, t1 simtime.Time, from int, sentAt simtime.Time, a1, a2 int64) {
 	if t == nil || t1 <= t0 {
 		return
 	}
-	t.append(Event{T0: t0, T1: t1, SentAt: sentAt, Arg1: a1, Arg2: a2, From: int32(from), Kind: kind, Cat: cat, Tid: TidService, Flags: FlagSvc})
+	t.append(Event{T0: t0, T1: t1, SentAt: sentAt, Arg1: a1, Arg2: a2, Trace: tc, From: int32(from), Kind: kind, Cat: cat, Tid: TidService, Flags: FlagSvc})
 }
 
 // SvcInstant records a zero-duration service-track marker.
 func (t *Tracer) SvcInstant(kind EventKind, at simtime.Time, a1, a2 int64) {
+	t.SvcInstantT(TraceCtx{}, kind, at, a1, a2)
+}
+
+// SvcInstantT is SvcInstant with an explicit trace context (see
+// SvcSpanT).
+func (t *Tracer) SvcInstantT(tc TraceCtx, kind EventKind, at simtime.Time, a1, a2 int64) {
 	if t == nil {
 		return
 	}
-	t.append(Event{T0: at, T1: at, Arg1: a1, Arg2: a2, From: -1, Kind: kind, Cat: CatCoherence, Tid: TidService})
+	t.append(Event{T0: at, T1: at, Arg1: a1, Arg2: a2, Trace: tc, From: -1, Kind: kind, Cat: CatCoherence, Tid: TidService})
 }
 
 // Observe adds one value to the tracer's histogram id.

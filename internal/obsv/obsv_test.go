@@ -116,4 +116,25 @@ func TestKindNameRegistry(t *testing.T) {
 	if KindName(251) != "kind-251" {
 		t.Fatalf("fallback name = %q", KindName(251))
 	}
+	// Re-registering the same name is a legal no-op (package init vs tests).
+	RegisterKindName(250, "test-kind")
+	if KindName(250) != "test-kind" {
+		t.Fatal("idempotent re-registration changed the name")
+	}
+}
+
+// A kind byte registered under two different names would mislabel every
+// export keyed off it; the registry must refuse instead of letting the
+// last writer win.
+func TestKindNameConflictPanics(t *testing.T) {
+	RegisterKindName(249, "first-name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting RegisterKindName did not panic")
+		}
+		if KindName(249) != "first-name" {
+			t.Fatalf("conflict clobbered the name: %q", KindName(249))
+		}
+	}()
+	RegisterKindName(249, "second-name")
 }

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+)
+
+// Server serves a registry's exposition page over HTTP while a run is
+// live. Stdlib-only: net/http with a single /metrics handler (also
+// mounted at / so a bare scrape of the root works).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (host:port; port 0 picks a free one)
+// and serves GET /metrics from the registry until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	handler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server actually listens on (resolved
+// port when Serve was given :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

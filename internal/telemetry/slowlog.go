@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"sdsm/internal/obsv"
+)
+
+// SlowOp is one slow-operation record, serialized as a single JSONL
+// line. Trace is the 16-hex-digit form sdsminspect -mode trace parses,
+// so a slow-op line resolves directly into its span tree.
+type SlowOp struct {
+	Trace     string `json:"trace"`
+	Tag       string `json:"tag"`
+	Node      int    `json:"node"`
+	Op        string `json:"op"` // "read" or "write"
+	Key       int    `json:"key"`
+	Seq       int    `json:"seq"` // op index within the node's stream
+	StartNS   int64  `json:"start_ns"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// SlowOpLog writes threshold-gated JSONL slow-op records: an op is
+// logged iff its virtual latency reaches the threshold. Safe for
+// concurrent use (every client goroutine reports through one log).
+type SlowOpLog struct {
+	mu          sync.Mutex
+	enc         *json.Encoder
+	thresholdNS int64
+	n           int
+}
+
+// NewSlowOpLog returns a log writing to w, keeping ops with virtual
+// latency >= thresholdNS.
+func NewSlowOpLog(w io.Writer, thresholdNS int64) *SlowOpLog {
+	return &SlowOpLog{enc: json.NewEncoder(w), thresholdNS: thresholdNS}
+}
+
+// Observe records one completed op if it crosses the threshold.
+func (l *SlowOpLog) Observe(node int, tc obsv.TraceCtx, write bool, key, seq int, startNS, latencyNS int64) {
+	if l == nil || latencyNS < l.thresholdNS {
+		return
+	}
+	op := "read"
+	if write {
+		op = "write"
+	}
+	rec := SlowOp{
+		Trace: obsv.FormatTraceID(tc.TraceID), Tag: obsv.TagName(tc.Tag),
+		Node: node, Op: op, Key: key, Seq: seq,
+		StartNS: startNS, LatencyNS: latencyNS,
+	}
+	l.mu.Lock()
+	l.enc.Encode(rec)
+	l.n++
+	l.mu.Unlock()
+}
+
+// Count returns the number of records written.
+func (l *SlowOpLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

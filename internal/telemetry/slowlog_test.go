@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdsm/internal/obsv"
+)
+
+func TestSlowOpLogThresholdAndShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowOpLog(&buf, 1000)
+	tc := obsv.TraceCtx{TraceID: obsv.NewTraceID(1, 0, 5), Tag: obsv.TagKVWrite}
+
+	l.Observe(0, tc, true, 12, 5, 100, 999) // below threshold: dropped
+	l.Observe(0, tc, true, 12, 5, 100, 1000)
+	l.Observe(2, obsv.TraceCtx{TraceID: 7, Tag: obsv.TagKVRead}, false, 3, 9, 200, 5000)
+
+	if l.Count() != 2 {
+		t.Fatalf("count = %d, want 2", l.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var rec SlowOp
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec.Trace != obsv.FormatTraceID(tc.TraceID) || rec.Tag != "kv-write" ||
+		rec.Node != 0 || rec.Op != "write" || rec.Key != 12 || rec.Seq != 5 ||
+		rec.StartNS != 100 || rec.LatencyNS != 1000 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// The stamped trace id must resolve back through the parser the
+	// inspector uses.
+	id, err := obsv.ParseTraceID(rec.Trace)
+	if err != nil || id != tc.TraceID {
+		t.Fatalf("trace id round trip: %x, %v", id, err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil || rec.Op != "read" {
+		t.Fatalf("line 1 = %+v, %v", rec, err)
+	}
+}
+
+func TestSlowOpLogNilSafe(t *testing.T) {
+	var l *SlowOpLog
+	l.Observe(0, obsv.TraceCtx{TraceID: 1}, false, 0, 0, 0, 1<<40) // must not panic
+	if l.Count() != 0 {
+		t.Fatal("nil log counted")
+	}
+}

@@ -37,14 +37,16 @@ const (
 )
 
 const (
-	frameMagic   = 0x5D53 // "S]" — stamps every frame body
-	frameVersion = 1
+	frameMagic = 0x5D53 // "S]" — stamps every frame body
+	// Version 2 extended the fixed header with the piggybacked trace
+	// context (trace id, parent span id, origin tag).
+	frameVersion = 2
 
 	// prefixLen is the length-prefix + CRC preamble: u32 body length,
 	// u32 IEEE CRC over the body.
 	prefixLen = 8
 	// headerLen is the fixed body header.
-	headerLen = 2 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8
+	headerLen = 2 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 1
 )
 
 // DefaultMaxFrame bounds a frame's body length. It must exceed the
@@ -66,7 +68,12 @@ type Frame struct {
 	ExtraDelay int64 // fault-injected extra latency (simtime.Duration)
 	DropReply  bool  // fault plan: reply to this copy is lost
 	Pending    uint64
-	Payload    any
+	// Piggybacked causal trace context (obsv.TraceCtx); all-zero when
+	// the originating op is untraced.
+	TraceID  uint64
+	SpanID   uint64
+	TraceTag uint8
+	Payload  any
 }
 
 // payloadBox wraps the message payload so gob encodes the interface
@@ -100,6 +107,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	binary.LittleEndian.PutUint32(h[38:], uint32(f.Size))
 	binary.LittleEndian.PutUint64(h[42:], uint64(f.ExtraDelay))
 	binary.LittleEndian.PutUint64(h[50:], f.Pending)
+	binary.LittleEndian.PutUint64(h[58:], f.TraceID)
+	binary.LittleEndian.PutUint64(h[66:], f.SpanID)
+	h[74] = f.TraceTag
 	dst = append(dst, h[:]...)
 	if f.Payload != nil {
 		var pb bytes.Buffer
@@ -145,6 +155,9 @@ func DecodeBody(body []byte) (*Frame, error) {
 	f.Size = int32(binary.LittleEndian.Uint32(body[38:]))
 	f.ExtraDelay = int64(binary.LittleEndian.Uint64(body[42:]))
 	f.Pending = binary.LittleEndian.Uint64(body[50:])
+	f.TraceID = binary.LittleEndian.Uint64(body[58:])
+	f.SpanID = binary.LittleEndian.Uint64(body[66:])
+	f.TraceTag = body[74]
 	rest := body[headerLen:]
 	if flags&flagHasPayload == 0 {
 		if len(rest) != 0 {

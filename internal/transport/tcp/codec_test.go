@@ -30,6 +30,13 @@ func TestFrameRoundTrip(t *testing.T) {
 		},
 		{Type: frameReply, From: 1, To: 0, Kind: 4, SentAt: 999, Size: 16, Pending: 77},
 		{Type: frameMsg, From: 2, To: 3, Kind: 1, Seq: 1, Size: 0},
+		// Piggybacked trace context must survive the wire intact.
+		{
+			Type: frameMsg, From: 3, To: 0, Kind: 7, Seq: 2, Size: 64,
+			TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef, TraceTag: 2,
+		},
+		{Type: frameReply, From: 0, To: 3, Kind: 8, Size: 8,
+			TraceID: 1, SpanID: ^uint64(0), TraceTag: 255},
 	}
 	var buf []byte
 	var err error

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdsm/internal/obsv"
 	"sdsm/internal/simtime"
 	"sdsm/internal/transport"
 )
@@ -86,6 +87,10 @@ type link struct {
 	from int
 	to   int
 	q    chan *Frame
+
+	// Per-link wire counters feeding the live telemetry gauges
+	// (LinkStats); the fabric-wide totals in Stats are kept separately.
+	frames, batches, wireBytes, redials atomic.Int64
 
 	mu         sync.Mutex
 	conn       net.Conn
@@ -177,6 +182,7 @@ func (fab *Fabric) Deliver(m transport.Message) {
 		Seq: m.Seq, ReqID: m.ReqID,
 		SentAt: int64(m.SentAt), Size: int32(m.Size),
 		ExtraDelay: int64(extra), DropReply: dropReply,
+		TraceID: m.Trace.TraceID, SpanID: m.Trace.SpanID, TraceTag: m.Trace.Tag,
 		Payload: m.Payload,
 	}
 	if ch := m.ReplyBinding(); ch != nil {
@@ -199,6 +205,45 @@ func (fab *Fabric) Stats() Stats {
 		BudgetWaits: fab.budget.Waits(),
 	}
 }
+
+// LinkStat is one ordered node pair's live wire state, the per-peer
+// granularity the telemetry endpoint exposes as gauges.
+type LinkStat struct {
+	From, To   int
+	Frames     int64 // frames written on this link
+	Batches    int64 // coalesced batch writes (Frames/Batches = coalesce ratio)
+	WireBytes  int64 // physical bytes written, headers included
+	Redials    int64 // reconnects after a successful first dial
+	QueueDepth int   // frames waiting in the outbound queue right now
+}
+
+// LinkStats snapshots every live link (ordered pairs, diagonal
+// excluded) in deterministic from-major order. Safe to call while the
+// run is in flight — that is its purpose.
+func (fab *Fabric) LinkStats() []LinkStat {
+	out := make([]LinkStat, 0, fab.n*(fab.n-1))
+	for from := 0; from < fab.n; from++ {
+		for to := 0; to < fab.n; to++ {
+			l := fab.links[from*fab.n+to]
+			if l == nil {
+				continue
+			}
+			out = append(out, LinkStat{
+				From: from, To: to,
+				Frames:     l.frames.Load(),
+				Batches:    l.batches.Load(),
+				WireBytes:  l.wireBytes.Load(),
+				Redials:    l.redials.Load(),
+				QueueDepth: len(l.q),
+			})
+		}
+	}
+	return out
+}
+
+// BudgetWaits exposes the shared token-bucket's wait count for live
+// telemetry (the budget is fabric-wide, not per-link).
+func (fab *Fabric) BudgetWaits() int64 { return fab.budget.Waits() }
 
 // Close implements transport.Fabric: stop accepting, tear down every
 // connection and wait for all fabric goroutines to exit. Safe to call
@@ -266,6 +311,9 @@ func (l *link) run() {
 		l.fab.frames.Add(int64(nFrames))
 		l.fab.batches.Add(1)
 		l.fab.wireBytes.Add(int64(len(buf)))
+		l.frames.Add(int64(nFrames))
+		l.batches.Add(1)
+		l.wireBytes.Add(int64(len(buf)))
 	}
 }
 
@@ -330,6 +378,7 @@ func (l *link) ensureConn() net.Conn {
 	}
 	if l.everDialed {
 		l.fab.reconnects.Add(1)
+		l.redials.Add(1)
 	}
 	l.everDialed = true
 	l.conn = c
@@ -396,6 +445,7 @@ func (fab *Fabric) injectMsg(f *Frame) {
 	m := transport.Message{
 		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
 		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
+		Trace:   obsv.TraceCtx{TraceID: f.TraceID, SpanID: f.SpanID, Tag: f.TraceTag},
 		Payload: f.Payload, Seq: f.Seq, ReqID: f.ReqID,
 	}
 	m.SetWireExtras(simtime.Duration(f.ExtraDelay), f.DropReply)
@@ -423,7 +473,8 @@ func (fab *Fabric) forwardReply(requester int32, pending uint64, ch chan transpo
 			SentAt: int64(r.SentAt), Size: int32(r.Size),
 			ExtraDelay: int64(extra),
 			Pending:    pending,
-			Payload:    r.Payload,
+			TraceID:    r.Trace.TraceID, SpanID: r.Trace.SpanID, TraceTag: r.Trace.Tag,
+			Payload: r.Payload,
 		}
 		fab.link(r.From, int(requester)).send(rf)
 	case <-fab.done:
@@ -445,6 +496,7 @@ func (fab *Fabric) resolve(f *Frame) {
 	m := transport.Message{
 		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
 		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
+		Trace:   obsv.TraceCtx{TraceID: f.TraceID, SpanID: f.SpanID, Tag: f.TraceTag},
 		Payload: f.Payload,
 	}
 	m.SetWireExtras(simtime.Duration(f.ExtraDelay), false)

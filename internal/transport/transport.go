@@ -51,6 +51,14 @@ type Message struct {
 	Size     int          // wire size in bytes, for cost accounting
 	Payload  any
 
+	// Trace is the causal request context piggybacked on the message
+	// (zero when the sending op is untraced). Requests carry the
+	// sender's current context; replies echo the request's context
+	// (see ReplyAt), so a grant, page reply or diff ack stays joined to
+	// the op that caused it across any number of nodes. A 17-byte value
+	// struct: piggybacking costs no allocation on any path.
+	Trace obsv.TraceCtx
+
 	// Seq is the per-link wire sequence number of this copy. A
 	// fault-injected duplicate carries the same Seq as the original;
 	// a retransmission carries a fresh one.
@@ -398,6 +406,7 @@ func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
 	m := Message{
 		From: e.id, To: to, Kind: kind,
 		SentAt: e.clock.Now(), Size: size, Payload: payload,
+		Trace: e.trc.Trace(),
 	}
 	f := nw.faults
 	if to == e.id || !f.Enabled() {
@@ -442,7 +451,8 @@ type Pending struct {
 	sentAt  simtime.Time // when the latest attempt left
 	reqSize int
 	model   simtime.CostModel
-	local   bool // request to self: no wire cost, only handling
+	trace   obsv.TraceCtx // stamped onto every attempt, incl. retransmissions
+	local   bool          // request to self: no wire cost, only handling
 	attempt int
 	live    bool // latest attempt's reply will arrive
 }
@@ -458,6 +468,7 @@ func (e *Endpoint) CallAsync(to int, kind Kind, size int, payload any) *Pending 
 		sentAt:  e.clock.Now(),
 		reqSize: size,
 		model:   e.nw.Model(),
+		trace:   e.trc.Trace(),
 		local:   to == e.id,
 		attempt: 1,
 	}
@@ -470,7 +481,9 @@ func (e *Endpoint) CallAsync(to int, kind Kind, size int, payload any) *Pending 
 // adopter rebuilding pages from writer logs inside a handler) use it so
 // their sub-requests are stamped from the triggering message's arrival,
 // not from the application clock — keeping the resulting timing a pure
-// function of virtual time.
+// function of virtual time. Such sub-requests carry no trace context:
+// the current context is owned by the application goroutine and must
+// not be read from service handlers.
 func (e *Endpoint) CallAsyncAt(at simtime.Time, to int, kind Kind, size int, payload any) *Pending {
 	p := &Pending{
 		ep: e, to: to, kind: kind, payload: payload,
@@ -496,7 +509,7 @@ func (e *Endpoint) attemptSend(p *Pending) {
 	m := Message{
 		From: e.id, To: p.to, Kind: p.kind,
 		SentAt: p.sentAt, Size: p.reqSize, Payload: p.payload,
-		ReqID: p.reqID, reply: p.ch,
+		Trace: p.trace, ReqID: p.reqID, reply: p.ch,
 	}
 	m.Seq = nw.nextSeq(e.id, p.to)
 	f := nw.faults
@@ -684,9 +697,16 @@ func (e *Endpoint) ReplyAt(at simtime.Time, m Message, kind Kind, size int, payl
 	if m.reply == nil {
 		panic(fmt.Sprintf("transport: reply to one-way message kind %d from %d", m.Kind, m.From))
 	}
+	// The reply inherits the request's trace context: the requester's op
+	// owns whatever work the handler did on its behalf. This also covers
+	// deferred replies answered through a different message copy (queued
+	// lock handoffs reply to the queued requester's copy, barrier
+	// releases to each waiter's check-in), so every hop of a traced op
+	// stays joined without the handler doing anything.
 	r := Message{
 		From: e.id, To: m.From, Kind: kind,
 		SentAt: at, Size: size, Payload: payload,
+		Trace: m.Trace,
 	}
 	if m.From != e.id && e.nw.faults.Enabled() {
 		if m.dropReply {
