@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke telemetry-smoke bench-gate
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke telemetry-smoke wal-smoke bench-gate
 
 all: tier1 tier2
 
@@ -79,6 +79,20 @@ telemetry-smoke:
 	go run ./cmd/sdsminspect -mode trace -nodes 4 -kv-ops 60 \
 		-trace-id $$(head -1 /tmp/sdsm-slow-ops.jsonl | sed 's/.*"trace":"\([0-9a-f]*\)".*/\1/')
 	@echo "telemetry-smoke: OK"
+
+# End-to-end check of the multi-stream WAL: the fault-soak suite at 4
+# streams (torn tails on every stream + group-commit deferred loss, both
+# recovered against the fault-free golden image), then fresh crash runs
+# under both protocols audited and dissected through sdsminspect — the
+# per-stream volume breakdown included — and the kv workload crashed
+# mid-traffic with online recovery at 4 streams.
+wal-smoke:
+	go test ./internal/core/ -run 'TestMultiStream' -count=1
+	go run ./cmd/sdsminspect -mode audit -app 3d-fft -nodes 4 -scale small -streams 4 -crash
+	go run ./cmd/sdsminspect -mode audit -app mg -nodes 4 -scale small -streams 4 -crash -protocol ml
+	go run ./cmd/sdsminspect -mode volume -app 3d-fft -nodes 4 -scale small -streams 4
+	go run ./cmd/sdsminspect -mode audit -app kv -nodes 4 -transport sim -streams 4 -churn
+	@echo "wal-smoke: OK"
 
 # Throughput regression gate: regenerate the failure-free sweep at the
 # committed baseline's configuration and fail on any app x protocol cell

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water|kv] [-transport both|sim|tcp] [-skip-recovery] [-ablations] [-faults] [-churn] [-json out.json]
+//	sdsmbench [-nodes 8] [-scale small|medium|large] [-app all|3d-fft|mg|shallow|water|kv] [-transport both|sim|tcp] [-skip-recovery] [-ablations] [-faults] [-churn] [-streams n] [-json out.json]
 //	sdsmbench -compare [-gate pct] [old.json] new.json
 package main
 
@@ -47,6 +47,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
 	churn := flag.Bool("churn", false, "run only the online-recovery churn sweep (surviving-cluster throughput and recovering-node catch-up); with -json, write the artifact instead")
+	streams := flag.Int("streams", 1, "parallel stable-log streams per node for the -json sweep (1 = classic single-stream WAL)")
 	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
 	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json (with one file, the baseline is the latest committed BENCH_*.json sweep)")
 	gate := flag.Float64("gate", 0, "with -compare: exit nonzero if any run's ops/s regressed by more than this percentage")
@@ -201,7 +202,7 @@ func main() {
 		return
 	}
 	if *jsonOut != "" {
-		sweep, err := bench.RunSweepJSON(*nodes, scale)
+		sweep, err := bench.RunSweepJSON(*nodes, scale, *streams)
 		if err != nil {
 			log.Fatal(err)
 		}

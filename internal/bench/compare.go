@@ -36,11 +36,12 @@ func LoadSweepJSON(path string) (*SweepJSON, error) {
 // are listed separately rather than silently dropped.
 func FormatSweepComparison(oldS, newS *SweepJSON) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep comparison (nodes %d→%d, scale %s→%s)\n",
-		oldS.Nodes, newS.Nodes, oldS.Scale, newS.Scale)
-	fmt.Fprintf(&b, "%-10s %-5s %12s %12s %8s %14s %14s %8s %10s %10s\n",
+	fmt.Fprintf(&b, "sweep comparison (nodes %d→%d, scale %s→%s, streams %d→%d)\n",
+		oldS.Nodes, newS.Nodes, oldS.Scale, newS.Scale, oldS.LogStreams, newS.LogStreams)
+	fmt.Fprintf(&b, "%-10s %-5s %12s %12s %8s %14s %14s %8s %10s %10s %12s %12s %8s\n",
 		"app", "proto", "exec old(s)", "exec new(s)", "Δexec",
-		"log old(B)", "log new(B)", "Δlog", "flush old", "flush new")
+		"log old(B)", "log new(B)", "Δlog", "flush old", "flush new",
+		"stall old(s)", "stall new(s)", "Δstall")
 
 	type key struct{ app, proto string }
 	oldRuns := make(map[key]RunJSONResult, len(oldS.Runs))
@@ -56,11 +57,12 @@ func FormatSweepComparison(oldS, newS *SweepJSON) string {
 			continue
 		}
 		matched[k] = true
-		fmt.Fprintf(&b, "%-10s %-5s %12.4f %12.4f %7s %14d %14d %7s %10d %10d\n",
+		fmt.Fprintf(&b, "%-10s %-5s %12.4f %12.4f %7s %14d %14d %7s %10d %10d %12.6f %12.6f %7s\n",
 			n.App, n.Protocol, o.ExecSec, n.ExecSec, pctDelta(o.ExecSec, n.ExecSec),
 			o.TotalLogBytes, n.TotalLogBytes,
 			pctDelta(float64(o.TotalLogBytes), float64(n.TotalLogBytes)),
-			o.TotalFlushes, n.TotalFlushes)
+			o.TotalFlushes, n.TotalFlushes,
+			o.FlushStallSec, n.FlushStallSec, pctDelta(o.FlushStallSec, n.FlushStallSec))
 	}
 	for _, o := range oldS.Runs {
 		if !matched[key{o.App, o.Protocol}] {

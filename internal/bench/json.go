@@ -11,8 +11,10 @@ import (
 // SchemaVersion identifies the JSON layout of SweepJSON. Bump it on any
 // change that breaks consumers of the committed BENCH_*.json artifacts.
 // Version 3 added schema_version itself and the per-run dissected
-// log_volume accounting.
-const SchemaVersion = 3
+// log_volume accounting. Version 4 added the sweep-wide log_streams
+// knob, the per-run flush_stall_sec release-path stall total, and the
+// multi-stream group-commit counters inside the counters snapshot.
+const SchemaVersion = 4
 
 // CatShareJSON is one critical-path category's attribution.
 type CatShareJSON struct {
@@ -46,17 +48,22 @@ func NewBreakdownJSON(pr *obsv.PathReport) *BreakdownJSON {
 
 // RunJSON is one app × protocol cell of the machine-readable sweep.
 type RunJSONResult struct {
-	App            string                `json:"app"`
-	Protocol       string                `json:"protocol"`
-	ExecSec        float64               `json:"exec_sec"`
-	TotalLogBytes  int64                 `json:"total_log_bytes"`
-	TotalFlushes   int64                 `json:"total_flushes"`
-	MeanFlushBytes float64               `json:"mean_flush_bytes"`
-	NetMsgs        int64                 `json:"net_msgs"`
-	NetBytes       int64                 `json:"net_bytes"`
-	MsgKinds       []obsv.KindCount      `json:"msg_kinds"`
-	Counters       obsv.CountersSnapshot `json:"counters"`
-	Breakdown      *BreakdownJSON        `json:"breakdown,omitempty"`
+	App            string           `json:"app"`
+	Protocol       string           `json:"protocol"`
+	ExecSec        float64          `json:"exec_sec"`
+	TotalLogBytes  int64            `json:"total_log_bytes"`
+	TotalFlushes   int64            `json:"total_flushes"`
+	MeanFlushBytes float64          `json:"mean_flush_bytes"`
+	NetMsgs        int64            `json:"net_msgs"`
+	NetBytes       int64            `json:"net_bytes"`
+	MsgKinds       []obsv.KindCount `json:"msg_kinds"`
+	// FlushStallSec is the run's total release-path stall on stable
+	// flushes (the flush-stall-ns histogram summed over nodes): the time
+	// synchronization operations spent waiting on the log, the quantity
+	// multi-stream group commit exists to shrink.
+	FlushStallSec float64               `json:"flush_stall_sec"`
+	Counters      obsv.CountersSnapshot `json:"counters"`
+	Breakdown     *BreakdownJSON        `json:"breakdown,omitempty"`
 	// LogVolume is the dissected per-kind/per-node log accounting
 	// (reconciled exactly against the depot's flush charges before
 	// export). Omitted when the protocol logged nothing.
@@ -65,10 +72,13 @@ type RunJSONResult struct {
 
 // SweepJSON is the full machine-readable failure-free sweep (BENCH_PR2.json).
 type SweepJSON struct {
-	SchemaVersion int             `json:"schema_version"`
-	Nodes         int             `json:"nodes"`
-	Scale         string          `json:"scale"`
-	Runs          []RunJSONResult `json:"runs"`
+	SchemaVersion int    `json:"schema_version"`
+	Nodes         int    `json:"nodes"`
+	Scale         string `json:"scale"`
+	// LogStreams is the per-node stable-log stream count every run of the
+	// sweep used (1 = the classic single-stream WAL).
+	LogStreams int             `json:"log_streams"`
+	Runs       []RunJSONResult `json:"runs"`
 }
 
 func (s Scale) String() string {
@@ -84,14 +94,20 @@ func (s Scale) String() string {
 
 // RunSweepJSON runs every application under every protocol failure-free
 // with tracing on and returns the machine-readable results, including the
-// critical-path breakdown of every run.
-func RunSweepJSON(nodes int, scale Scale) (*SweepJSON, error) {
-	out := &SweepJSON{SchemaVersion: SchemaVersion, Nodes: nodes, Scale: scale.String()}
+// critical-path breakdown of every run. logStreams (0 or 1 = classic
+// single stream) selects the stable-log stream count, so two sweeps at
+// different stream counts can be compared with `sdsmbench -compare`.
+func RunSweepJSON(nodes int, scale Scale, logStreams int) (*SweepJSON, error) {
+	if logStreams == 0 {
+		logStreams = 1
+	}
+	out := &SweepJSON{SchemaVersion: SchemaVersion, Nodes: nodes, Scale: scale.String(), LogStreams: logStreams}
 	for _, w := range Workloads(nodes, scale) {
 		for _, proto := range Protocols {
 			cfg := w.BaseConfig(nodes)
 			cfg.Protocol = proto
 			cfg.SkipInitialCheckpoint = true
+			cfg.LogStreams = logStreams
 			cfg.Trace = obsv.NewCollector(nodes)
 			rep, err := core.Run(cfg, w.Prog)
 			if err != nil {
@@ -114,6 +130,7 @@ func RunSweepJSON(nodes int, scale Scale) (*SweepJSON, error) {
 				NetMsgs:        rep.NetMsgs,
 				NetBytes:       rep.NetBytes,
 				MsgKinds:       rep.MsgKinds,
+				FlushStallSec:  float64(cfg.Trace.MergedHist(obsv.HistFlushStall).Sum) / 1e9,
 				Counters:       agg,
 			}
 			pr, err := cfg.Trace.CriticalPath(rep.NodeTimes)

@@ -80,7 +80,7 @@ func TestSweepJSONSchemaAndLogVolume(t *testing.T) {
 		t.Skip("full sweep is slow under -short")
 	}
 	const nodes = 8
-	sweep, err := RunSweepJSON(nodes, ScaleSmall)
+	sweep, err := RunSweepJSON(nodes, ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestSweepJSONSchemaAndLogVolume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(data, []byte(`"schema_version":3`)) {
+	if !bytes.Contains(data, []byte(`"schema_version":4`)) {
 		t.Errorf("marshaled sweep missing schema_version field")
 	}
 	ccl := map[string]int64{}

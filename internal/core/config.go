@@ -84,6 +84,16 @@ type Config struct {
 	// frames into fewer, larger writes under pressure). 0 = unlimited.
 	// Ignored by TransportSim.
 	NetBudgetBytesPerSec int64
+	// LogStreams is the number of parallel log streams per node's stable
+	// store (0 or 1 = the classic single stream, whose on-disk format is
+	// byte-identical to earlier versions). With more than one stream,
+	// records are routed by page/home hash, each record carries an
+	// LSN-vector deriving the cross-stream total order, CCL group-commits
+	// flushes across diff-less releases behind a durability fence at
+	// diff-carrying releases, and tail-mode recovery is always enabled
+	// (deferred records lost to a crash recover exactly like a torn
+	// final flush).
+	LogStreams int
 	// Faults is the deterministic fault-injection plan: seeded message
 	// loss, duplication and delay on the transport, and torn log writes on
 	// crash. The zero value injects nothing. The same seed always yields
@@ -170,6 +180,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.NetBudgetBytesPerSec < 0 {
 		return c, fmt.Errorf("core: NetBudgetBytesPerSec must be non-negative, got %d", c.NetBudgetBytesPerSec)
+	}
+	if c.LogStreams == 0 {
+		c.LogStreams = 1
+	}
+	if c.LogStreams < 1 || c.LogStreams > 64 {
+		return c, fmt.Errorf("core: LogStreams must be in [1,64], got %d", c.LogStreams)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return c, fmt.Errorf("core: %w", err)

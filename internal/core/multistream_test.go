@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sdsm/internal/recovery"
+	"sdsm/internal/wal"
+)
+
+// The multi-stream WAL soak: with LogStreams > 1 the logging layer
+// routes records across parallel streams, stamps LSN-vectors, and (under
+// CCL) group-commits across diff-less releases — none of which may
+// change the memory image a run produces, failure-free or crashed.
+
+// TestMultiStreamImageMatchesSingleStream runs the fuzz program under
+// both protocols at 1, 2 and 4 streams: every image must equal the
+// fault-free golden, and every depot must pass the consistency auditor.
+func TestMultiStreamImageMatchesSingleStream(t *testing.T) {
+	const seed, phases = 5, 6
+	prog := fuzzProgram(seed, phases)
+	golden, err := Run(fuzzCfg(wal.ProtocolNone), prog)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	for _, proto := range []wal.Protocol{wal.ProtocolML, wal.ProtocolCCL} {
+		for _, streams := range []int{1, 2, 4} {
+			cfg := fuzzCfg(proto)
+			cfg.LogStreams = streams
+			rep, err := Run(cfg, prog)
+			if err != nil {
+				t.Fatalf("%v/%d streams: %v", proto, streams, err)
+			}
+			if !bytes.Equal(rep.MemoryImage(), golden.MemoryImage()) {
+				t.Errorf("%v/%d streams: image differs from golden", proto, streams)
+			}
+			auditDepot(t, rep, false)
+		}
+	}
+}
+
+// TestMultiStreamCrashDeferredLoss crashes a CCL run at 4 streams with
+// NO torn-write injection: the only crash loss is group-commit deferral
+// (records staged but never flushed), which leaves no torn evidence on
+// disk. Forced tail-mode recovery must still reproduce the golden image.
+func TestMultiStreamCrashDeferredLoss(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	const phases = 6
+	cases := []struct {
+		proto wal.Protocol
+		rec   recovery.Kind
+	}{
+		{wal.ProtocolCCL, recovery.CCLRecovery},
+		{wal.ProtocolML, recovery.MLRecovery},
+	}
+	for _, seed := range seeds {
+		prog := fuzzProgram(seed, phases)
+		golden, err := Run(fuzzCfg(wal.ProtocolNone), prog)
+		if err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		for _, tc := range cases {
+			cfg := fuzzCfg(tc.proto)
+			cfg.LogStreams = 4
+			rep, err := RunWithCrash(cfg, prog, CrashPlan{
+				Victim:   1 + int(seed)%3,
+				AtOp:     int32(10 + seed*3),
+				Recovery: tc.rec,
+			})
+			if err != nil {
+				t.Fatalf("seed %d proto %v: %v", seed, tc.proto, err)
+			}
+			if !bytes.Equal(rep.MemoryImage(), golden.MemoryImage()) {
+				t.Errorf("seed %d proto %v: post-recovery image differs from golden", seed, tc.proto)
+			}
+			checkFuzzImage(t, rep.MemoryImage(), phases)
+			auditDepot(t, rep, false)
+		}
+	}
+}
+
+// TestMultiStreamCrashTornTail combines the two loss mechanisms: torn
+// final flushes on every stream AND group-commit deferral, under message
+// faults, across seeds and both protocols.
+func TestMultiStreamCrashTornTail(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	const phases = 6
+	cases := []struct {
+		proto wal.Protocol
+		rec   recovery.Kind
+	}{
+		{wal.ProtocolCCL, recovery.CCLRecovery},
+		{wal.ProtocolML, recovery.MLRecovery},
+	}
+	for _, seed := range seeds {
+		prog := fuzzProgram(seed, phases)
+		golden, err := Run(fuzzCfg(wal.ProtocolNone), prog)
+		if err != nil {
+			t.Fatalf("seed %d: golden: %v", seed, err)
+		}
+		for _, tc := range cases {
+			cfg := fuzzCfg(tc.proto)
+			cfg.LogStreams = 4
+			cfg.Faults = soakPlan(seed)
+			cfg.Faults.TornWriteOnCrash = true
+			rep, err := RunWithCrash(cfg, prog, CrashPlan{
+				Victim:   1 + int(seed)%3,
+				AtOp:     int32(10 + seed*3),
+				Recovery: tc.rec,
+			})
+			if err != nil {
+				t.Fatalf("seed %d proto %v: %v", seed, tc.proto, err)
+			}
+			if !bytes.Equal(rep.MemoryImage(), golden.MemoryImage()) {
+				t.Errorf("seed %d proto %v: post-recovery image differs from golden (torn=%v)",
+					seed, tc.proto, rep.Recovery.TornTail)
+			}
+			checkFuzzImage(t, rep.MemoryImage(), phases)
+			auditDepot(t, rep, true)
+		}
+	}
+}
+
+// TestMultiStreamDeterminism repeats one 4-stream crash configuration:
+// the image must be bit-identical across identical runs.
+func TestMultiStreamDeterminism(t *testing.T) {
+	const seed, phases = 3, 6
+	prog := fuzzProgram(seed, phases)
+	run := func() *Report {
+		cfg := fuzzCfg(wal.ProtocolCCL)
+		cfg.LogStreams = 4
+		rep, err := RunWithCrash(cfg, prog, CrashPlan{
+			Victim: 2, AtOp: 12, Recovery: recovery.CCLRecovery,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.MemoryImage(), b.MemoryImage()) {
+		t.Errorf("memory images differ across identical 4-stream crash runs")
+	}
+	if a.Recovery.CrashOp != b.Recovery.CrashOp || a.Recovery.Victim != b.Recovery.Victim {
+		t.Errorf("crash points differ: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+}
+
+// TestMultiStreamFewerFlushes is the perf claim at test scale: under CCL
+// the 4-stream group commit must issue strictly fewer stable flushes
+// than the single-stream configuration on the same program.
+func TestMultiStreamFewerFlushes(t *testing.T) {
+	const seed, phases = 6, 6
+	prog := fuzzProgram(seed, phases)
+	flushes := func(streams int) int64 {
+		cfg := fuzzCfg(wal.ProtocolCCL)
+		cfg.LogStreams = streams
+		rep, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatalf("%d streams: %v", streams, err)
+		}
+		return rep.TotalFlushes
+	}
+	one, four := flushes(1), flushes(4)
+	if four >= one {
+		t.Errorf("4-stream run flushed %d times, single-stream %d — group commit coalesced nothing", four, one)
+	}
+}

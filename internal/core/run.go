@@ -44,7 +44,7 @@ func buildCluster(cfg Config) (*cluster, error) {
 	c := &cluster{
 		cfg:   cfg,
 		nw:    transport.NewNetwork(cfg.Nodes, *cfg.Model),
-		depot: stable.NewDepot(cfg.Nodes),
+		depot: stable.NewDepotStreams(cfg.Nodes, cfg.LogStreams),
 		nodes: make([]*hlrc.Node, cfg.Nodes),
 		stats: make([]*hlrc.Stats, cfg.Nodes),
 	}
@@ -73,6 +73,8 @@ func buildCluster(cfg Config) (*cluster, error) {
 		// The stats slots outlive node incarnations (recovery reuses
 		// them), so the registry stays valid across a crash and rebuild.
 		cfg.Telemetry.Attach(c.stats, cfg.Trace, c.fabric)
+		// The depot outlives incarnations too; per-stream WAL families.
+		cfg.Telemetry.AttachDepot(c.depot)
 	}
 	return c, nil
 }
@@ -80,9 +82,20 @@ func buildCluster(cfg Config) (*cluster, error) {
 // newIncarnation builds a (fresh or recovered) node attached to slot id.
 func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock) *hlrc.Node {
 	wopts := wal.Options{LegacyDiffRecords: c.cfg.LegacyWire}
+	if c.cfg.LogStreams > 1 && c.cfg.LeaseDuration > 0 {
+		// Online (churn) recovery replays concurrently with the live
+		// cluster and has no tail-mode path to rebuild group-commit
+		// deferrals lost to the crash, so multi-stream churn runs flush
+		// at every release like the single-stream protocol (streams still
+		// write in parallel). 1 byte pending is already over threshold.
+		wopts.GroupCommitBytes = 1
+	}
 	// Torn-tail recovery needs the hardened log layout (ML logs its
-	// own diffs too) and manager sender logs to replay from.
-	hardened := c.cfg.Faults.TornWriteOnCrash
+	// own diffs too) and manager sender logs to replay from. Multi-stream
+	// stores need the same machinery even without torn-write injection:
+	// a crash silently discards group-commit deferrals, and offline
+	// recovery rebuilds them from the sender logs (tail mode).
+	hardened := c.cfg.Faults.TornWriteOnCrash || c.cfg.LogStreams > 1
 	hooks := wal.NewWithOptions(c.cfg.Protocol, c.depot.Store(id), stats, hardened, wopts)
 	trc := c.cfg.Trace.Tracer(id)
 	c.depot.Store(id).ObserveFlushes(trc.Hist(obsv.HistFlushBytes))
@@ -97,7 +110,7 @@ func (c *cluster) newIncarnation(id int, stats *hlrc.Stats, clock *simtime.Clock
 		NoFlushOverlap:     c.cfg.NoFlushOverlap,
 		DistributedLocks:   c.cfg.DistributedLocks,
 		LegacyDiffUpdates:  c.cfg.LegacyWire,
-		SenderLogs:         c.cfg.Faults.TornWriteOnCrash,
+		SenderLogs:         c.cfg.Faults.TornWriteOnCrash || c.cfg.LogStreams > 1,
 		LeaseDuration:      c.cfg.LeaseDuration,
 		Tracer:             trc,
 	}, c.nw, clock, hooks, stats)
@@ -358,9 +371,11 @@ func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
 	if plan.Recovery == recovery.CCLRecovery {
 		cfg.HomeUndo = true // versioned home fetches need the undo history
 	}
-	if plan.Recovery == recovery.MLRecovery && cfg.Faults.TornWriteOnCrash {
+	if plan.Recovery == recovery.MLRecovery && (cfg.Faults.TornWriteOnCrash || cfg.LogStreams > 1) {
 		// An ML victim whose torn log lost page copies falls back to
-		// versioned fetches from the live homes, which need undo.
+		// versioned fetches from the live homes, which need undo. A
+		// multi-stream victim always replays its final logged op in tail
+		// mode (group-commit deferrals vanish with the crash).
 		cfg.HomeUndo = true
 	}
 	cfg.SkipInitialCheckpoint = false
@@ -448,8 +463,16 @@ func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryRepor
 	if _, ok := checkpoint.RestoreInitial(nd, store); !ok {
 		return fmt.Errorf("core: victim %d has no checkpoint", plan.Victim)
 	}
-	rep := recovery.NewReplayer(plan.Recovery, store, crashOp, *c.cfg.Model)
-	if c.cfg.Faults.TornWriteOnCrash {
+	var rep *recovery.Replayer
+	if c.cfg.LogStreams > 1 {
+		// A multi-stream victim's final logged op is distrusted even with
+		// an intact log: the crash silently discards any group-commit
+		// deferrals, so the tail replays from the sender logs.
+		rep = recovery.NewReplayerTail(plan.Recovery, store, crashOp, *c.cfg.Model)
+	} else {
+		rep = recovery.NewReplayer(plan.Recovery, store, crashOp, *c.cfg.Model)
+	}
+	if c.cfg.Faults.TornWriteOnCrash || c.cfg.LogStreams > 1 {
 		rep.EnableTailMode(c.cfg.LockManagerNode, c.cfg.BarrierManagerNode)
 	}
 	rep.OnDetach = func() {

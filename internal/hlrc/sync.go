@@ -316,6 +316,9 @@ func (nd *Node) closeAndPropagate(op int32) {
 			t0, t1 := nd.clock.AdvanceSpan(d)
 			nd.trc.Seg(obsv.EvLogFlush, obsv.CatLogging, t0, t1, int64(n), 0)
 			nd.trc.Observe(obsv.HistFlushDisk, int64(d))
+			// With no diffs to send there is no round trip to hide behind:
+			// the whole flush is release-path stall.
+			nd.trc.Observe(obsv.HistFlushStall, int64(d))
 		}
 		return
 	}
@@ -467,6 +470,7 @@ func (nd *Node) closeAndPropagate(op int32) {
 	// the critical path.
 	wt0, wt1 := nd.clock.MergePlusSpan(flushDone, 0)
 	nd.trc.Seg(obsv.EvFlushWait, obsv.CatLogging, wt0, wt1, flushBytes, 0)
+	nd.trc.Observe(obsv.HistFlushStall, int64(wt1-wt0))
 }
 
 // Manager-side handlers ------------------------------------------------

@@ -24,16 +24,29 @@ type KindVolume struct {
 	Bytes   int64  `json:"bytes"`
 }
 
+// StreamVolume is the count and byte accounting of one log stream of a
+// multi-stream store (dissected valid-prefix records routed there, plus
+// the stream's share of any torn tail).
+type StreamVolume struct {
+	Stream    int   `json:"stream"`
+	Records   int64 `json:"records"`
+	Bytes     int64 `json:"bytes"`
+	TornRecs  int64 `json:"torn_records,omitempty"`
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+}
+
 // NodeVolume is one node's log accounting, per kind. Torn records (the
 // invalid tail a mid-flush crash leaves) are counted separately and not
-// dissected: their payloads are untrustworthy.
+// dissected: their payloads are untrustworthy. Streams is populated only
+// for multi-stream stores, so single-stream JSON output is unchanged.
 type NodeVolume struct {
-	Node      int          `json:"node"`
-	Records   int64        `json:"records"`
-	Bytes     int64        `json:"bytes"`
-	TornRecs  int64        `json:"torn_records,omitempty"`
-	TornBytes int64        `json:"torn_bytes,omitempty"`
-	Kinds     []KindVolume `json:"kinds"`
+	Node      int            `json:"node"`
+	Records   int64          `json:"records"`
+	Bytes     int64          `json:"bytes"`
+	TornRecs  int64          `json:"torn_records,omitempty"`
+	TornBytes int64          `json:"torn_bytes,omitempty"`
+	Kinds     []KindVolume   `json:"kinds"`
+	Streams   []StreamVolume `json:"streams,omitempty"`
 }
 
 // Volume is a whole depot's log accounting: totals, per kind, and per
@@ -75,16 +88,28 @@ func (t *kindTally) slice() []KindVolume {
 // prefix — the torn tail — are tallied by size only.
 func DissectStore(node int, s *stable.Store) (NodeVolume, error) {
 	nv := NodeVolume{Node: node}
+	multi := s.Streams() > 1
+	var streams []StreamVolume
+	if multi {
+		streams = make([]StreamVolume, s.Streams())
+		for i := range streams {
+			streams[i].Stream = i
+		}
+	}
 	prefix, dropped := s.ValidPrefix()
 	var kinds kindTally
 	for i, r := range prefix {
 		d, err := wal.DissectRecord(r)
 		if err != nil {
-			return nv, fmt.Errorf("logview: node %d record %d: %w", node, i, err)
+			return nv, fmt.Errorf("logview: node %d record %d (stream %d): %w", node, i, r.Stream, err)
 		}
 		nv.Records++
 		nv.Bytes += int64(d.Wire)
 		kinds.add(r.Kind, d.Wire)
+		if multi {
+			streams[r.Stream].Records++
+			streams[r.Stream].Bytes += int64(d.Wire)
+		}
 	}
 	nv.Kinds = kinds.slice()
 	if dropped > 0 {
@@ -92,8 +117,13 @@ func DissectStore(node int, s *stable.Store) (NodeVolume, error) {
 		for _, r := range full[len(prefix):] {
 			nv.TornRecs++
 			nv.TornBytes += int64(r.WireSize())
+			if multi {
+				streams[r.Stream].TornRecs++
+				streams[r.Stream].TornBytes += int64(r.WireSize())
+			}
 		}
 	}
+	nv.Streams = streams
 	return nv, nil
 }
 

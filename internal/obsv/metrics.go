@@ -22,6 +22,11 @@ const (
 	// included). Appended so every pre-existing id keeps its value.
 	HistKVRead  // kv workload: read transaction latency (ns)
 	HistKVWrite // kv workload: write transaction latency (ns)
+	// HistFlushStall is the release-path stall waiting for the overlapped
+	// log flush to settle (ns): how much of the flush the diff/ack round
+	// trip failed to hide. Appended so every pre-existing id keeps its
+	// value.
+	HistFlushStall
 	numHists
 )
 
@@ -29,6 +34,7 @@ var histNames = [numHists]string{
 	"fetch-latency-ns", "lock-stall-ns", "barrier-stall-ns",
 	"flush-disk-ns", "flush-bytes",
 	"kv-read-ns", "kv-write-ns",
+	"flush-stall-ns",
 }
 
 // String returns the histogram's stable display name.

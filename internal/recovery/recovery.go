@@ -257,6 +257,21 @@ type Replayer struct {
 // (and everything after it) are distrusted, and the replayer requires
 // EnableTailMode to recover them from live nodes.
 func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.CostModel) *Replayer {
+	return newReplayer(kind, store, crashOp, model, false)
+}
+
+// NewReplayerTail is NewReplayer with the log's final op distrusted even
+// when every record verifies. A multi-stream store's group commit may
+// have deferred records that the crash then lost without leaving torn
+// evidence on disk (they were simply never written), so offline recovery
+// of a multi-stream victim always replays the last logged op — and
+// everything after it — from the managers' sender logs, exactly as it
+// would a torn tail. Requires EnableTailMode.
+func NewReplayerTail(kind Kind, store *stable.Store, crashOp int32, model simtime.CostModel) *Replayer {
+	return newReplayer(kind, store, crashOp, model, true)
+}
+
+func newReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.CostModel, forceTail bool) *Replayer {
 	if kind != MLRecovery && kind != CCLRecovery {
 		panic(fmt.Sprintf("recovery: no replayer for %v", kind))
 	}
@@ -279,7 +294,7 @@ func NewReplayer(kind Kind, store *stable.Store, crashOp int32, model simtime.Co
 			maxOp = rec.Op
 		}
 	}
-	if dropped > 0 {
+	if dropped > 0 || forceTail {
 		r.torn = true
 		r.tailFromOp = maxOp
 		if maxOp < 0 {
@@ -544,12 +559,29 @@ func (r *Replayer) enterPhase(nd *hlrc.Node, op int32, isAcquire bool) {
 	// access frequency"); ML reads its (bigger) batch the same way, and
 	// pays again at every miss. The stream is sequential, so only the
 	// first read pays the positioning latency.
-	batch := 0
-	for _, rec := range recs {
-		batch += rec.WireSize()
+	batch, crit := 0, 0
+	if streams := r.store.Streams(); streams > 1 {
+		// Parallel streams are read concurrently: the charged time is the
+		// largest single stream's share of the batch; the byte accounting
+		// keeps the total.
+		perStream := make([]int, streams)
+		for _, rec := range recs {
+			w := rec.WireSize()
+			batch += w
+			perStream[rec.Stream] += w
+			if perStream[rec.Stream] > crit {
+				crit = perStream[rec.Stream]
+			}
+		}
+	} else {
+		for _, rec := range recs {
+			batch += rec.WireSize()
+		}
+		crit = batch
 	}
 	if batch > 0 {
-		cost := r.model.DiskTime(r.store.NoteRead(batch))
+		r.store.NoteRead(batch)
+		cost := r.model.DiskTime(crit)
 		if r.seeked {
 			cost -= r.model.DiskSeek
 		}

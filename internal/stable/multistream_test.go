@@ -1,0 +1,265 @@
+package stable
+
+import (
+	"testing"
+)
+
+// groupFlush builds a 3-record group spread over the first three streams.
+func groupFlush(op int32) []Record {
+	return []Record{
+		{Kind: 1, Op: op, Data: []byte{byte(op), 1}, Stream: 0},
+		{Kind: 2, Op: op, Data: []byte{byte(op), 2, 3}, Stream: 1},
+		{Kind: 3, Op: op, Data: []byte{byte(op)}, Stream: 2},
+	}
+}
+
+func TestFlushGroupStampsLSNVectors(t *testing.T) {
+	s := NewStoreStreams(4)
+	s.FlushGroup(groupFlush(0))
+	s.FlushGroup(groupFlush(1))
+	recs := s.Records()
+	if len(recs) != 6 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if len(r.Vec) != 4 {
+			t.Fatalf("record %d has LSN-vector %v, want 4 entries", i, r.Vec)
+		}
+		if got := r.VecSum(); got != i {
+			t.Fatalf("record %d has VecSum %d: merged order must equal append order", i, got)
+		}
+		if !r.Verify() {
+			t.Fatalf("record %d fails its checksum", i)
+		}
+	}
+	// The merged order interleaves streams in append order, so ops are
+	// nondecreasing exactly as on a single stream.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Op < recs[i-1].Op {
+			t.Fatalf("merged record %d regresses op %d -> %d", i, recs[i-1].Op, recs[i].Op)
+		}
+	}
+}
+
+func TestFlushGroupCritIsLargestStreamShare(t *testing.T) {
+	s := NewStoreStreams(2)
+	a := Record{Kind: 1, Data: make([]byte, 10), Stream: 0}
+	b := Record{Kind: 1, Data: make([]byte, 100), Stream: 1}
+	total, crit := s.FlushGroup([]Record{a, b})
+	wantA := HeaderSize + LSNVecSize([]uint32{0, 0}) + 10
+	wantB := HeaderSize + LSNVecSize([]uint32{1, 0}) + 100
+	if total != wantA+wantB {
+		t.Fatalf("total = %d, want %d", total, wantA+wantB)
+	}
+	if crit != wantB {
+		t.Fatalf("crit = %d, want the larger stream share %d", crit, wantB)
+	}
+	if st := s.Stats(); st.Flushes != 1 {
+		t.Fatalf("one group must count one flush, got %d", st.Flushes)
+	}
+}
+
+func TestFlushGroupBadStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range stream")
+		}
+	}()
+	NewStoreStreams(2).FlushGroup([]Record{{Kind: 1, Stream: 2}})
+}
+
+// Streams tear independently: each stream with a non-empty share of the
+// final flush rolls its own tear, so one stream can lose its whole share
+// while another keeps it intact. The valid prefix is the longest
+// VecSum-contiguous verified run of the merged log, so a record that
+// survived on one stream is still dropped if an earlier-VecSum record on
+// another stream was destroyed.
+func TestTearTailIndependentPerStream(t *testing.T) {
+	for _, r := range []uint64{0, 1, 2, 3, 7, 12345, 1 << 40} {
+		s := NewStoreStreams(3)
+		s.FlushGroup(groupFlush(0))
+		s.FlushGroup(groupFlush(1))
+		destroyed := s.TearTail(r)
+		if destroyed < 0 || destroyed > 3 {
+			t.Fatalf("r=%d: destroyed %d of a 3-record final flush", r, destroyed)
+		}
+		prefix, dropped := s.ValidPrefix()
+		if len(prefix) < 3 {
+			t.Fatalf("r=%d: tear reached past the final flush (%d valid)", r, len(prefix))
+		}
+		if destroyed == 0 && (dropped != 0 || len(prefix) != 6) {
+			t.Fatalf("r=%d: nothing destroyed but prefix %d/%d dropped", r, len(prefix), dropped)
+		}
+		// Contiguity: the prefix is exactly VecSums 0..len-1.
+		for i, rec := range prefix {
+			if rec.VecSum() != i {
+				t.Fatalf("r=%d: prefix record %d has VecSum %d", r, i, rec.VecSum())
+			}
+			if !rec.Verify() {
+				t.Fatalf("r=%d: prefix record %d fails verification", r, i)
+			}
+		}
+	}
+}
+
+// A tear on one stream must also drop later-VecSum survivors on other
+// streams from the valid prefix: recovery cannot use a record whose
+// cross-stream predecessors are gone.
+func TestValidPrefixStopsAtCrossStreamHole(t *testing.T) {
+	found := false
+	for r := uint64(0); r < 64 && !found; r++ {
+		s := NewStoreStreams(3)
+		s.FlushGroup(groupFlush(0))
+		s.FlushGroup(groupFlush(1))
+		s.TearTail(r)
+		prefix, dropped := s.ValidPrefix()
+		if dropped > 0 && len(prefix) > 3 {
+			t.Fatalf("r=%d: prefix %d extends past a hole (%d dropped)", r, len(prefix), dropped)
+		}
+		// Look for the interesting shape: stream holding VecSum 3 torn,
+		// but a later record on another stream intact on disk.
+		if dropped >= 2 && len(prefix) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no tear roll produced a cross-stream hole; the test lost its teeth")
+	}
+}
+
+func TestMultiStreamEmptyStream(t *testing.T) {
+	s := NewStoreStreams(4)
+	// Everything routed to stream 2; streams 0, 1, 3 stay empty.
+	s.FlushGroup([]Record{
+		{Kind: 1, Op: 0, Data: []byte{1}, Stream: 2},
+		{Kind: 1, Op: 0, Data: []byte{2}, Stream: 2},
+	})
+	prefix, dropped := s.ValidPrefix()
+	if len(prefix) != 2 || dropped != 0 {
+		t.Fatalf("prefix %d/%d dropped", len(prefix), dropped)
+	}
+	ss := s.StreamStats()
+	if len(ss) != 4 {
+		t.Fatalf("StreamStats has %d entries", len(ss))
+	}
+	for i, st := range ss {
+		wantRecs := 0
+		if i == 2 {
+			wantRecs = 2
+		}
+		if st.Records != wantRecs {
+			t.Fatalf("stream %d has %d records, want %d", i, st.Records, wantRecs)
+		}
+	}
+	if s.TearTail(5) == 0 {
+		t.Fatal("final flush on stream 2 must be tearable")
+	}
+}
+
+// A single-stream store built through the streams constructor must be
+// byte-identical to the classic store: no LSN-vector on disk, same
+// checksums, same accounting.
+func TestSingleStreamBitIdentical(t *testing.T) {
+	classic, one := NewStore(), NewStoreStreams(1)
+	batch := func() []Record {
+		return []Record{
+			{Kind: 1, Op: 0, Data: []byte{9, 8, 7}},
+			{Kind: 2, Op: 1, Data: []byte{6}},
+		}
+	}
+	classic.Flush(batch())
+	one.Flush(batch())
+	a, b := classic.Records(), one.Records()
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Sum != b[i].Sum || a[i].Vec != nil || b[i].Vec != nil {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].WireSize() != b[i].WireSize() {
+			t.Fatalf("record %d wire size differs", i)
+		}
+	}
+	if classic.Stats() != one.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", classic.Stats(), one.Stats())
+	}
+}
+
+func TestLSNVecRoundTrip(t *testing.T) {
+	for _, vec := range [][]uint32{
+		{0},
+		{0, 0, 0, 0},
+		{1, 1 << 7, 1 << 14, 1<<32 - 1},
+		{42, 0, 300},
+	} {
+		enc := AppendLSNVec(nil, vec)
+		if len(enc) != LSNVecSize(vec) {
+			t.Fatalf("vec %v: encoded %d bytes, LSNVecSize says %d", vec, len(enc), LSNVecSize(vec))
+		}
+		enc = append(enc, 0xAA, 0xBB) // trailing payload must be left alone
+		dec, n, err := DecodeLSNVec(enc)
+		if err != nil {
+			t.Fatalf("vec %v: %v", vec, err)
+		}
+		if n != len(enc)-2 {
+			t.Fatalf("vec %v: consumed %d of %d bytes", vec, n, len(enc)-2)
+		}
+		if len(dec) != len(vec) {
+			t.Fatalf("vec %v: decoded %v", vec, dec)
+		}
+		for i := range vec {
+			if dec[i] != vec[i] {
+				t.Fatalf("vec %v: decoded %v", vec, dec)
+			}
+		}
+	}
+	if enc := AppendLSNVec(nil, nil); len(enc) != 0 || LSNVecSize(nil) != 0 {
+		t.Fatal("nil vector must encode to nothing")
+	}
+}
+
+func TestDecodeLSNVecErrors(t *testing.T) {
+	for _, b := range [][]byte{
+		{},                                      // no count byte
+		{3, 1},                                  // truncated entries
+		{1, 0x80},                               // dangling uvarint continuation
+		{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // overflows uint32
+	} {
+		if _, _, err := DecodeLSNVec(b); err == nil {
+			t.Fatalf("DecodeLSNVec(%v) accepted malformed input", b)
+		}
+	}
+}
+
+// Fuzz seed for the LSN-vector decoder: it must never panic, and any
+// vector it accepts must survive an encode/decode round trip. (The byte
+// form need not round-trip: uvarints admit non-canonical encodings the
+// decoder tolerates but the encoder never emits.)
+func FuzzDecodeLSNVec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(AppendLSNVec(nil, []uint32{1, 2, 3}))
+	f.Add(AppendLSNVec(nil, []uint32{0, 1 << 31, 1<<32 - 1}))
+	f.Add([]byte{4, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		vec, n, err := DecodeLSNVec(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		re := AppendLSNVec(nil, vec)
+		dec, m, err := DecodeLSNVec(re)
+		if err != nil || m != len(re) || len(dec) != len(vec) {
+			t.Fatalf("re-decode of %v -> %v failed: %v (consumed %d of %d, got %v)",
+				vec, re, err, m, len(re), dec)
+		}
+		for i := range vec {
+			if dec[i] != vec[i] {
+				t.Fatalf("value round trip: %v -> %v", vec, dec)
+			}
+		}
+	})
+}

@@ -9,12 +9,22 @@
 // CostModel.DiskTime according to the protocol's overlap policy (ML pays
 // on the critical path; CCL overlaps the flush with the release's
 // diff/ack round trip).
+//
+// A Store may be built with more than one log stream (Taurus-style
+// parallel logging): records are routed to streams by the logging layer
+// and each appended record is stamped with an LSN-vector — its per-stream
+// append positions at the moment it hit the disk — whose sum is a unique
+// global sequence number. Streams model independent disks: a group flush
+// writes every stream's share in parallel, so its critical-path cost is
+// the largest per-stream share, while total bytes and the flush count
+// stay comparable with the single-stream configuration.
 package stable
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 
 	"sdsm/internal/obsv"
@@ -31,37 +41,124 @@ type Record struct {
 	Kind RecordKind
 	Op   int32  // synchronization-operation index the record belongs to
 	Data []byte // serialized payload
-	// Sum is the CRC32 of (Kind, Op, Data), stamped by Flush. A crash in
-	// the middle of a flush leaves the torn record's checksum mismatched,
-	// which is how ValidPrefix finds the end of the intact log.
+	// Sum is the CRC32 of (Kind, Op, Vec, Data), stamped by Flush. A
+	// crash in the middle of a flush leaves the torn record's checksum
+	// mismatched, which is how ValidPrefix finds the end of the intact
+	// log.
 	Sum uint32
+	// Stream is the log stream the record was routed to. Always 0 on a
+	// single-stream store.
+	Stream int
+	// Vec is the record's LSN-vector, stamped by Flush on multi-stream
+	// stores: Vec[j] is the number of records stream j held when this
+	// record was appended. The sum of its entries is therefore the
+	// record's unique global append index, which is how readers rebuild
+	// the cross-stream total order. Nil on single-stream stores, keeping
+	// their wire format byte-identical to the pre-stream layout.
+	Vec []uint32
 }
 
 // HeaderSize is the accounted per-record on-disk header size: kind (1),
-// op (4), length (4), crc (4).
+// op (4), length (4), crc (4). Multi-stream records additionally carry
+// their LSN-vector (LSNVecSize) between the header and the payload.
 const HeaderSize = 13
 
 // WireSize is the accounted on-disk size of the record.
-func (r Record) WireSize() int { return HeaderSize + len(r.Data) }
+func (r Record) WireSize() int { return HeaderSize + LSNVecSize(r.Vec) + len(r.Data) }
+
+// VecSum returns the sum of the record's LSN-vector entries — its unique
+// global append index on a multi-stream store, 0 when the vector is nil.
+func (r Record) VecSum() int {
+	n := 0
+	for _, v := range r.Vec {
+		n += int(v)
+	}
+	return n
+}
 
 // Verify reports whether the record's stamped checksum matches its
 // contents. Records that never went through Flush (Sum zero) fail unless
 // their contents happen to sum to zero, which is what readers want: an
 // unstamped record is as untrustworthy as a torn one.
-func (r Record) Verify() bool { return r.Sum == checksum(r.Kind, r.Op, r.Data) }
+func (r Record) Verify() bool { return r.Sum == checksum(r.Kind, r.Op, r.Vec, r.Data) }
+
+// LSNVecSize is the accounted on-disk size of an LSN-vector: one count
+// byte plus a uvarint per entry. A nil vector (single-stream store)
+// occupies no bytes at all, so the single-stream format is unchanged.
+func LSNVecSize(vec []uint32) int {
+	if vec == nil {
+		return 0
+	}
+	n := 1
+	for _, v := range vec {
+		n++
+		for v >= 0x80 {
+			n++
+			v >>= 7
+		}
+	}
+	return n
+}
+
+// AppendLSNVec appends the wire encoding of vec to dst: a count byte
+// followed by one uvarint per entry. Appends nothing for a nil vector.
+func AppendLSNVec(dst []byte, vec []uint32) []byte {
+	if vec == nil {
+		return dst
+	}
+	dst = append(dst, byte(len(vec)))
+	for _, v := range vec {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeLSNVec decodes an LSN-vector encoded by AppendLSNVec from the
+// front of b, returning the vector and the number of bytes consumed.
+func DecodeLSNVec(b []byte) ([]uint32, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("stable: truncated LSN-vector (no count byte)")
+	}
+	n := int(b[0])
+	off := 1
+	vec := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		v, w := binary.Uvarint(b[off:])
+		if w <= 0 {
+			return nil, 0, fmt.Errorf("stable: truncated LSN-vector entry %d/%d", i, n)
+		}
+		if v > 1<<32-1 {
+			return nil, 0, fmt.Errorf("stable: LSN-vector entry %d overflows uint32 (%d)", i, v)
+		}
+		vec[i] = uint32(v)
+		off += w
+	}
+	return vec, off, nil
+}
 
 // checksum computes the integrity sum Flush stamps into each record:
-// the IEEE CRC32 of (kind, op, data). The five header bytes run through
-// the table by hand — passing a stack array to crc32.Update (or a
-// crc32.New digest) heap-allocates it, one allocation per record on the
-// release flush path.
-func checksum(kind RecordKind, op int32, data []byte) uint32 {
+// the IEEE CRC32 of (kind, op, lsn-vector, data). The header bytes and
+// the vector run through the table by hand — passing a stack array to
+// crc32.Update (or a crc32.New digest) heap-allocates it, one allocation
+// per record on the release flush path.
+func checksum(kind RecordKind, op int32, vec []uint32, data []byte) uint32 {
 	var hdr [5]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(op))
 	s := ^uint32(0)
 	for _, b := range hdr {
 		s = crc32.IEEETable[byte(s)^b] ^ (s >> 8)
+	}
+	if vec != nil {
+		s = crc32.IEEETable[byte(s)^byte(len(vec))] ^ (s >> 8)
+		for _, v := range vec {
+			u := uint64(v)
+			for u >= 0x80 {
+				s = crc32.IEEETable[byte(s)^byte(u|0x80)] ^ (s >> 8)
+				u >>= 7
+			}
+			s = crc32.IEEETable[byte(s)^byte(u)] ^ (s >> 8)
+		}
 	}
 	return crc32.Update(^s, crc32.IEEETable, data)
 }
@@ -77,23 +174,35 @@ type Checkpoint struct {
 	Bytes int    // accounted on-disk size
 }
 
-// Store is one node's stable storage.
+// stream is one log stream's disk state: its record sequence, its
+// contiguous on-disk image, and its share of the accounting.
+type stream struct {
+	log       []Record
+	lastFlush int // records this stream received in the most recent group flush that touched it
+	bytes     int64
+	writes    int64
+	// disk is the stream's contiguous on-disk image. Each flush frames
+	// its records into it as one buffered write; the log's Record.Data
+	// slices alias it. It grows geometrically, so steady-state flushes
+	// are amortized allocation-free; growth leaves earlier records
+	// pointing into the old (immutable) array, which stays correct.
+	disk []byte
+}
+
+// Store is one node's stable storage: one or more parallel log streams
+// plus the checkpoint area.
 type Store struct {
 	mu          sync.Mutex
-	log         []Record
-	lastFlush   int // records in the most recent non-empty flush
+	streams     []stream
 	logBytes    int64
 	flushes     int64
 	reads       int64
 	readBytes   int64
 	checkpoints []Checkpoint
 	flushHist   *obsv.Hist // per-flush byte sizes; nil when metrics are off
-	// disk is the contiguous on-disk log image. Each flush frames all of
-	// its records into it as one buffered write; the log's Record.Data
-	// slices alias it. It grows geometrically, so steady-state flushes
-	// are amortized allocation-free; growth leaves earlier records
-	// pointing into the old (immutable) array, which stays correct.
-	disk []byte
+	// perStream is flush scratch: per-stream byte tallies, reused across
+	// group flushes so the steady state stays allocation-free.
+	perStream []int
 }
 
 // ObserveFlushes registers h to receive the byte size of every
@@ -105,74 +214,182 @@ func (s *Store) ObserveFlushes(h *obsv.Hist) {
 	s.mu.Unlock()
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+// NewStore returns an empty single-stream store.
+func NewStore() *Store { return NewStoreStreams(1) }
 
-// Flush appends records to the log as one flush operation and returns the
-// number of bytes written. A flush with no records still counts (it still
-// costs a disk access in the ML protocol), unless recs is empty and
-// countEmpty is false — callers that suppress empty flushes simply don't
-// call Flush.
-// Callers regain ownership of the record payload slices when Flush
-// returns: the flush copies every payload into the store's contiguous
-// disk image (one buffered write per flush, however many records), so
-// pooled encode buffers can be recycled immediately.
+// NewStoreStreams returns an empty store with n parallel log streams.
+func NewStoreStreams(n int) *Store {
+	if n <= 0 {
+		panic(fmt.Sprintf("stable: invalid stream count %d", n))
+	}
+	return &Store{streams: make([]stream, n)}
+}
+
+// Streams returns the number of parallel log streams.
+func (s *Store) Streams() int { return len(s.streams) }
+
+// Flush appends records to the log as one flush operation and returns
+// the number of bytes written. A flush with no records still counts (it
+// still costs a disk access in the ML protocol). See FlushGroup for the
+// multi-stream critical-path accounting; Flush is its total-bytes
+// shorthand.
 func (s *Store) Flush(recs []Record) int {
+	n, _ := s.FlushGroup(recs)
+	return n
+}
+
+// FlushGroup appends records to the log as one group flush: each record
+// goes to the stream its Stream field names, every touched stream's
+// share is written in parallel (streams model independent disks), and
+// the whole group counts as ONE flush. Returns the total bytes written
+// and the critical-path bytes — the largest single stream's share, which
+// is what the caller charges its virtual clock with. On a single-stream
+// store the two are equal and the record layout is byte-identical to the
+// pre-stream format (no LSN-vector is stamped).
+//
+// Callers regain ownership of the record payload slices when FlushGroup
+// returns: the flush copies every payload into the owning stream's
+// contiguous disk image (one buffered write per stream per group), so
+// pooled encode buffers can be recycled immediately.
+func (s *Store) FlushGroup(recs []Record) (total, crit int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for i := range recs {
-		n += recs[i].WireSize()
+	multi := len(s.streams) > 1
+	if cap(s.perStream) < len(s.streams) {
+		s.perStream = make([]int, len(s.streams))
 	}
-	// One write: reserve the flush's full extent up front so the framing
-	// loop below never reallocates mid-flush.
-	if need := len(s.disk) + n; need > cap(s.disk) {
-		grow := 2 * cap(s.disk)
-		if grow < need {
-			grow = need
+	// Tally each stream's byte share (and record count, packed into the
+	// same pass via startLen deltas below) so the disk extents can be
+	// reserved up front and the framing loop never reallocates mid-flush.
+	tally := s.perStream[:len(s.streams)]
+	for i := range tally {
+		tally[i] = 0
+	}
+	vecWire := 0
+	if multi {
+		// Every multi-stream record carries a same-shape vector; its
+		// exact wire size varies with the entry values, so reserve the
+		// worst case (count byte + 5 bytes per uvarint entry).
+		vecWire = 1 + 5*len(s.streams)
+	}
+	for i := range recs {
+		st := recs[i].Stream
+		if st < 0 || st >= len(s.streams) {
+			panic(fmt.Sprintf("stable: record routed to stream %d of %d", st, len(s.streams)))
 		}
-		fresh := make([]byte, len(s.disk), grow)
-		copy(fresh, s.disk)
-		s.disk = fresh
+		tally[st] += HeaderSize + vecWire + len(recs[i].Data)
+	}
+	for i := range s.streams {
+		str := &s.streams[i]
+		if need := len(str.disk) + tally[i]; need > cap(str.disk) {
+			grow := 2 * cap(str.disk)
+			if grow < need {
+				grow = need
+			}
+			fresh := make([]byte, len(str.disk), grow)
+			copy(fresh, str.disk)
+			str.disk = fresh
+		}
+		tally[i] = 0 // reset: refilled with exact wire bytes below
+	}
+	var startLen []int
+	if multi {
+		startLen = make([]int, len(s.streams))
+		for i := range s.streams {
+			startLen[i] = len(s.streams[i].log)
+		}
 	}
 	for _, r := range recs {
-		r.Sum = checksum(r.Kind, r.Op, r.Data)
+		str := &s.streams[r.Stream]
+		if multi {
+			vec := make([]uint32, len(s.streams))
+			for j := range s.streams {
+				vec[j] = uint32(len(s.streams[j].log))
+			}
+			r.Vec = vec
+		}
+		r.Sum = checksum(r.Kind, r.Op, r.Vec, r.Data)
 		var hdr [HeaderSize]byte
 		hdr[0] = byte(r.Kind)
 		binary.LittleEndian.PutUint32(hdr[1:], uint32(r.Op))
 		binary.LittleEndian.PutUint32(hdr[5:], uint32(len(r.Data)))
 		binary.LittleEndian.PutUint32(hdr[9:], r.Sum)
-		s.disk = append(s.disk, hdr[:]...)
-		start := len(s.disk)
-		s.disk = append(s.disk, r.Data...)
-		r.Data = s.disk[start:len(s.disk):len(s.disk)]
-		s.log = append(s.log, r)
+		str.disk = append(str.disk, hdr[:]...)
+		str.disk = AppendLSNVec(str.disk, r.Vec)
+		start := len(str.disk)
+		str.disk = append(str.disk, r.Data...)
+		r.Data = str.disk[start:len(str.disk):len(str.disk)]
+		str.log = append(str.log, r)
+		tally[r.Stream] += r.WireSize()
 	}
-	if len(recs) > 0 {
-		s.lastFlush = len(recs)
+	for i := range s.streams {
+		str := &s.streams[i]
+		n := tally[i]
+		got := len(recs)
+		if multi {
+			got = len(str.log) - startLen[i]
+		}
+		if got > 0 || !multi {
+			// Single-stream keeps the historical behavior: even an empty
+			// flush is one write op. Multi-stream only touches streams
+			// that received records.
+			str.writes++
+		}
+		if got > 0 {
+			str.lastFlush = got
+		}
+		str.bytes += int64(n)
+		total += n
+		if n > crit {
+			crit = n
+		}
 	}
-	s.logBytes += int64(n)
+	s.logBytes += int64(total)
 	s.flushes++
-	s.flushHist.Observe(int64(n))
-	return n
+	s.flushHist.Observe(int64(total))
+	return total, crit
 }
 
 // TearTail simulates a torn write: the final (non-empty) flush was in
 // flight when the node crashed, so only a prefix of its records reached
 // the disk intact. r deterministically picks how many survive; the first
-// lost record stays in place with a corrupted payload (a torn sector) and
-// the rest vanish. At least one record of the final flush is destroyed.
-// Returns the number of records destroyed; a store that never flushed a
-// record is left untouched.
+// lost record stays in place with a corrupted payload (a torn sector)
+// and the rest vanish. At least one record of the final flush is
+// destroyed. On a multi-stream store every stream that received records
+// in its final flush is torn independently, each with its own roll
+// derived from r (stream 0 uses r itself, so the single-stream behavior
+// is unchanged bit for bit). Returns the total number of records
+// destroyed; a store that never flushed a record is left untouched.
 func (s *Store) TearTail(r uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.lastFlush == 0 || len(s.log) < s.lastFlush {
+	destroyed := 0
+	for i := range s.streams {
+		roll := r
+		if i > 0 {
+			roll = mixRoll(r, i)
+		}
+		destroyed += s.streams[i].tearTail(roll)
+	}
+	return destroyed
+}
+
+// mixRoll derives stream i's independent tear roll from the plan's roll
+// (splitmix64 finalizer over r xor the stream index).
+func mixRoll(r uint64, i int) uint64 {
+	z := r ^ (uint64(i) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (str *stream) tearTail(r uint64) int {
+	if str.lastFlush == 0 || len(str.log) < str.lastFlush {
 		return 0
 	}
-	keep := int(r % uint64(s.lastFlush)) // 0..lastFlush-1 intact records
-	start := len(s.log) - s.lastFlush
-	torn := s.log[start+keep]
+	keep := int(r % uint64(str.lastFlush)) // 0..lastFlush-1 intact records
+	start := len(str.log) - str.lastFlush
+	torn := str.log[start+keep]
 	// Corrupt a copy of the payload (the caller may share the slice), or
 	// the checksum itself when there is no payload to damage.
 	if len(torn.Data) > 0 {
@@ -183,40 +400,64 @@ func (s *Store) TearTail(r uint64) int {
 	} else {
 		torn.Sum ^= 0xdeadbeef
 	}
-	destroyed := s.lastFlush - keep
-	s.log = append(s.log[:start+keep], torn)
-	s.lastFlush = keep + 1
+	destroyed := str.lastFlush - keep
+	str.log = append(str.log[:start+keep], torn)
+	str.lastFlush = keep + 1
 	return destroyed
 }
 
-// ValidPrefix returns the longest log prefix whose records all pass their
-// integrity check, plus the number of trailing records discarded (the
-// torn tail). Recovery readers use this instead of Records whenever torn
-// writes are possible.
+// mergedLocked returns all streams' records merged into the global
+// append order (ascending LSN-vector sum). On a single-stream store
+// this is simply the log.
+func (s *Store) mergedLocked() []Record {
+	if len(s.streams) == 1 {
+		out := make([]Record, len(s.streams[0].log))
+		copy(out, s.streams[0].log)
+		return out
+	}
+	total := 0
+	for i := range s.streams {
+		total += len(s.streams[i].log)
+	}
+	out := make([]Record, 0, total)
+	for i := range s.streams {
+		out = append(out, s.streams[i].log...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].VecSum() < out[b].VecSum() })
+	return out
+}
+
+// ValidPrefix returns the longest global-order log prefix whose records
+// all pass their integrity check, plus the number of trailing records
+// discarded (the torn tail). On a multi-stream store the global order is
+// the merged LSN-vector order, and the prefix additionally requires the
+// append indices to be contiguous: a record destroyed inside any stream
+// leaves a hole in the global sequence, and everything ordered after the
+// hole is discarded exactly as a single stream discards everything after
+// its first torn record. Recovery readers use this instead of Records
+// whenever torn writes are possible.
 func (s *Store) ValidPrefix() ([]Record, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	valid := len(s.log)
-	for i, r := range s.log {
-		if !r.Verify() {
+	all := s.mergedLocked()
+	multi := len(s.streams) > 1
+	valid := len(all)
+	for i, r := range all {
+		if !r.Verify() || (multi && r.VecSum() != i) {
 			valid = i
 			break
 		}
 	}
-	out := make([]Record, valid)
-	copy(out, s.log[:valid])
-	return out, len(s.log) - valid
+	return all[:valid:valid], len(all) - valid
 }
 
-// Records returns the full log. The returned slice must be treated as
-// read-only; recovery readers account their read costs explicitly via
-// NoteRead.
+// Records returns the full log in global append order. The returned
+// slice must be treated as read-only; recovery readers account their
+// read costs explicitly via NoteRead.
 func (s *Store) Records() []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Record, len(s.log))
-	copy(out, s.log)
-	return out
+	return s.mergedLocked()
 }
 
 // NoteRead accounts one read operation of n bytes against the store's
@@ -273,26 +514,57 @@ func (s *Store) CheckpointBytes() int64 {
 
 // Stats is a snapshot of the store's accounting counters.
 type Stats struct {
-	Flushes     int64 // number of flush operations
-	LoggedBytes int64 // total bytes written to the log
-	Records     int   // records currently in the log
-	Reads       int64 // number of read operations (recovery)
-	ReadBytes   int64 // bytes read (recovery)
-	Checkpoints int   // checkpoints stored
+	Flushes      int64 // number of (group) flush operations
+	StreamWrites int64 // per-stream write ops summed over streams (== Flushes when single-stream)
+	LoggedBytes  int64 // total bytes written to the log
+	Records      int   // records currently in the log
+	Reads        int64 // number of read operations (recovery)
+	ReadBytes    int64 // bytes read (recovery)
+	Checkpoints  int   // checkpoints stored
+}
+
+// StreamStats is one stream's share of the store's accounting.
+type StreamStats struct {
+	Records int   // records currently on the stream
+	Bytes   int64 // bytes written to the stream
+	Writes  int64 // write ops issued to the stream
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
-		Flushes:     s.flushes,
-		LoggedBytes: s.logBytes,
-		Records:     len(s.log),
-		Reads:       s.reads,
-		ReadBytes:   s.readBytes,
-		Checkpoints: len(s.checkpoints),
+	recs := 0
+	var writes int64
+	for i := range s.streams {
+		recs += len(s.streams[i].log)
+		writes += s.streams[i].writes
 	}
+	return Stats{
+		Flushes:      s.flushes,
+		StreamWrites: writes,
+		LoggedBytes:  s.logBytes,
+		Records:      recs,
+		Reads:        s.reads,
+		ReadBytes:    s.readBytes,
+		Checkpoints:  len(s.checkpoints),
+	}
+}
+
+// StreamStats returns every stream's share of the accounting, indexed by
+// stream id.
+func (s *Store) StreamStats() []StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StreamStats, len(s.streams))
+	for i := range s.streams {
+		out[i] = StreamStats{
+			Records: len(s.streams[i].log),
+			Bytes:   s.streams[i].bytes,
+			Writes:  s.streams[i].writes,
+		}
+	}
+	return out
 }
 
 // MeanFlushBytes returns the mean number of bytes per flush, or 0 when no
@@ -306,15 +578,15 @@ func (s *Store) MeanFlushBytes() float64 {
 	return float64(s.logBytes) / float64(s.flushes)
 }
 
-// Reset clears the log, checkpoints and counters. Used between benchmark
-// configurations, never by the protocols (stable storage survives
-// crashes by definition).
+// Reset clears the log, checkpoints and counters (the stream count is
+// kept). Used between benchmark configurations, never by the protocols
+// (stable storage survives crashes by definition).
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.log = nil
-	s.disk = nil
-	s.lastFlush = 0
+	for i := range s.streams {
+		s.streams[i] = stream{}
+	}
 	s.logBytes = 0
 	s.flushes = 0
 	s.reads = 0
@@ -329,14 +601,18 @@ type Depot struct {
 	stores []*Store
 }
 
-// NewDepot creates a depot for n nodes with empty stores.
-func NewDepot(n int) *Depot {
+// NewDepot creates a depot for n nodes with empty single-stream stores.
+func NewDepot(n int) *Depot { return NewDepotStreams(n, 1) }
+
+// NewDepotStreams creates a depot for n nodes whose stores each carry
+// the given number of parallel log streams.
+func NewDepotStreams(n, streams int) *Depot {
 	if n <= 0 {
 		panic(fmt.Sprintf("stable: invalid depot size %d", n))
 	}
 	d := &Depot{stores: make([]*Store, n)}
 	for i := range d.stores {
-		d.stores[i] = NewStore()
+		d.stores[i] = NewStoreStreams(streams)
 	}
 	return d
 }

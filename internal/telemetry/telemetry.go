@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"sdsm/internal/obsv"
+	"sdsm/internal/stable"
 	"sdsm/internal/transport/tcp"
 )
 
@@ -29,6 +30,7 @@ type Registry struct {
 	counters []*obsv.Counters
 	trace    *obsv.Collector
 	fabric   *tcp.Fabric
+	depot    *stable.Depot
 }
 
 // NewRegistry returns an empty registry.
@@ -47,17 +49,27 @@ func (r *Registry) Attach(counters []*obsv.Counters, trace *obsv.Collector, fabr
 	r.mu.Unlock()
 }
 
+// AttachDepot binds the registry to a run's stable-storage depot, adding
+// the per-node/per-stream WAL families (stream bytes, stream writes,
+// group flushes) to the page. The depot outlives node incarnations, so
+// the binding stays valid across crashes and recoveries. Nil detaches.
+func (r *Registry) AttachDepot(d *stable.Depot) {
+	r.mu.Lock()
+	r.depot = d
+	r.mu.Unlock()
+}
+
 // snapshot reads the sources once under the lock.
-func (r *Registry) snapshot() (sum obsv.CountersSnapshot, trace *obsv.Collector, fabric *tcp.Fabric) {
+func (r *Registry) snapshot() (sum obsv.CountersSnapshot, trace *obsv.Collector, fabric *tcp.Fabric, depot *stable.Depot) {
 	r.mu.Lock()
 	for _, c := range r.counters {
 		if c != nil {
 			sum.Add(c.Snapshot())
 		}
 	}
-	trace, fabric = r.trace, r.fabric
+	trace, fabric, depot = r.trace, r.fabric, r.depot
 	r.mu.Unlock()
-	return sum, trace, fabric
+	return sum, trace, fabric, depot
 }
 
 // metricName maps an obsv display name ("fetch-latency-ns") to a
@@ -70,7 +82,7 @@ func metricName(s string) string { return strings.ReplaceAll(s, "-", "_") }
 // order, histograms the id order, links the fabric's from-major order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	sum, trace, fabric := r.snapshot()
+	sum, trace, fabric, depot := r.snapshot()
 
 	sum.Each(func(name string, v int64) {
 		fam := "sdsm_" + name + "_total"
@@ -83,6 +95,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	fmt.Fprintf(bw, "# TYPE sdsm_trace_events gauge\nsdsm_trace_events %d\n", trace.EventCount())
+
+	if depot != nil {
+		bw.WriteString("# TYPE sdsm_wal_flushes_total counter\n")
+		for n := 0; n < depot.Nodes(); n++ {
+			fmt.Fprintf(bw, "sdsm_wal_flushes_total{node=\"%d\"} %d\n", n, depot.Store(n).Stats().Flushes)
+		}
+		bw.WriteString("# TYPE sdsm_wal_stream_bytes_total counter\n")
+		for n := 0; n < depot.Nodes(); n++ {
+			for s, st := range depot.Store(n).StreamStats() {
+				fmt.Fprintf(bw, "sdsm_wal_stream_bytes_total{node=\"%d\",stream=\"%d\"} %d\n", n, s, st.Bytes)
+			}
+		}
+		bw.WriteString("# TYPE sdsm_wal_stream_writes_total counter\n")
+		for n := 0; n < depot.Nodes(); n++ {
+			for s, st := range depot.Store(n).StreamStats() {
+				fmt.Fprintf(bw, "sdsm_wal_stream_writes_total{node=\"%d\",stream=\"%d\"} %d\n", n, s, st.Writes)
+			}
+		}
+	}
 
 	if fabric != nil {
 		links := fabric.LinkStats()
@@ -149,9 +180,13 @@ var RequiredFamilies = []string{
 	"sdsm_lock_acquires_total",
 	"sdsm_barriers_total",
 	"sdsm_diff_bytes_sent_total",
+	"sdsm_wal_coalesced_total",
+	"sdsm_wal_fence_flushes_total",
 	"sdsm_kv_read_ns",
 	"sdsm_kv_write_ns",
+	"sdsm_flush_stall_ns",
 	"sdsm_trace_events",
+	"sdsm_wal_stream_bytes_total",
 }
 
 // RequiredLinkFamilies is the additional floor when the run uses the

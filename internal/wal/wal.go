@@ -80,6 +80,11 @@ const (
 	RecDiffBatch
 )
 
+// DefaultGroupCommitBytes is the per-stream staging threshold that
+// forces a group-commit flush at a diff-less release on a multi-stream
+// store when no explicit Options.GroupCommitBytes is set.
+const DefaultGroupCommitBytes = 16 << 10
+
 // Options tunes the log layout without changing the protocol.
 type Options struct {
 	// LegacyDiffRecords restores the pre-batching layout: one RecDiff
@@ -88,6 +93,12 @@ type Options struct {
 	// knob exists for the batched-vs-legacy equivalence tests and for
 	// reading the layout the paper's per-diff accounting describes.
 	LegacyDiffRecords bool
+	// GroupCommitBytes is the per-stream pending-byte threshold above
+	// which a diff-less release flushes the staged records anyway
+	// instead of deferring them into the next durability fence. Only
+	// meaningful on multi-stream stores; 0 means
+	// DefaultGroupCommitBytes.
+	GroupCommitBytes int
 }
 
 // New returns the LogHooks implementation for protocol p writing to
@@ -107,18 +118,47 @@ func NewHardened(p Protocol, store *stable.Store, ctrs *obsv.Counters) hlrc.LogH
 	return NewWithOptions(p, store, ctrs, true, Options{})
 }
 
-// NewWithOptions is New/NewHardened with explicit layout options.
+// NewWithOptions is New/NewHardened with explicit layout options. The
+// stream count is taken from the store: a multi-stream store gets
+// stream-routed records and (under CCL) group-committed flushes.
 func NewWithOptions(p Protocol, store *stable.Store, ctrs *obsv.Counters, hardened bool, opts Options) hlrc.LogHooks {
+	streams := 1
+	if store != nil {
+		streams = store.Streams()
+	}
+	if opts.GroupCommitBytes == 0 {
+		opts.GroupCommitBytes = DefaultGroupCommitBytes
+	}
 	switch p {
 	case ProtocolNone:
 		return hlrc.NopHooks{}
 	case ProtocolML:
-		return &MLHooks{store: store, ctrs: ctrs, logOwnDiffs: hardened, opts: opts}
+		return &MLHooks{store: store, ctrs: ctrs, logOwnDiffs: hardened, opts: opts, streams: streams}
 	case ProtocolCCL:
-		return &CCLHooks{store: store, ctrs: ctrs, opts: opts}
+		return &CCLHooks{store: store, ctrs: ctrs, opts: opts, streams: streams}
 	default:
 		panic(fmt.Sprintf("wal: unknown protocol %d", int(p)))
 	}
+}
+
+// routePage maps a page to the log stream its records belong to. The
+// page→stream map must be stable across incarnations (recovery re-reads
+// by content, but the auditor's per-stream accounting assumes routing is
+// a pure function of the page).
+func routePage(page memory.PageID, streams int) int {
+	if streams <= 1 {
+		return 0
+	}
+	return int(uint32(page) % uint32(streams))
+}
+
+// routeOp maps records with no page affinity (acquire notices) to a
+// stream by their synchronization-operation index.
+func routeOp(op int32, streams int) int {
+	if streams <= 1 {
+		return 0
+	}
+	return int(uint32(op) % uint32(streams))
 }
 
 // countAppends bumps the shared LogAppends counter, tolerating a nil
@@ -299,16 +339,20 @@ type stagedRec struct {
 // cutoff — so the flush composition (and its disk time) is a function of
 // virtual time, not of which goroutine ran first.
 type CCLHooks struct {
-	mu     sync.Mutex
-	store  *stable.Store
-	ctrs   *obsv.Counters
-	staged []stagedRec
-	opts   Options
+	mu      sync.Mutex
+	store   *stable.Store
+	ctrs    *obsv.Counters
+	staged  []stagedRec
+	opts    Options
+	streams int
 	// flushScratch is the reusable record slice AtRelease composes each
 	// flush into; only the application goroutine touches it (AtRelease is
 	// never concurrent with itself). Record payloads are arena buffers,
 	// returned to the arena once the flush has copied them to disk.
 	flushScratch []stable.Record
+	// pendScratch is per-stream pending-byte scratch for the group-commit
+	// threshold check (multi-stream only).
+	pendScratch []int
 }
 
 // OnAcquireNotices stages the received write-invalidation notices for the
@@ -320,7 +364,7 @@ func (h *CCLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 	data := hlrc.EncodeNotices(notices, arena.Get(hlrc.NoticesWireSize(notices))[:0])
 	h.mu.Lock()
 	h.staged = append(h.staged, stagedRec{
-		rec:     stable.Record{Kind: RecNotices, Op: op, Data: data},
+		rec:     stable.Record{Kind: RecNotices, Op: op, Data: data, Stream: routeOp(op, h.streams)},
 		arrival: ownRec,
 	})
 	h.mu.Unlock()
@@ -338,25 +382,99 @@ func (h *CCLHooks) OnIncomingDiffs(op int32, arrival simtime.Time, events []hlrc
 	if len(events) == 0 {
 		return
 	}
-	data := EncodeEventsRecord(arena.Get(EventsRecordSize(events))[:0], events)
-	h.mu.Lock()
-	h.staged = append(h.staged, stagedRec{
-		rec:     stable.Record{Kind: RecEvents, Op: op, Data: data},
-		arrival: arrival,
-	})
-	h.mu.Unlock()
-	countAppends(h.ctrs, 1)
+	if h.streams <= 1 {
+		data := EncodeEventsRecord(arena.Get(EventsRecordSize(events))[:0], events)
+		h.mu.Lock()
+		h.staged = append(h.staged, stagedRec{
+			rec:     stable.Record{Kind: RecEvents, Op: op, Data: data},
+			arrival: arrival,
+		})
+		h.mu.Unlock()
+		countAppends(h.ctrs, 1)
+		return
+	}
+	// Split the message's events by their pages' streams: one RecEvents
+	// record per touched stream, all with the same op and arrival.
+	staged := 0
+	for s := 0; s < h.streams; s++ {
+		var grp []hlrc.UpdateEvent
+		for _, e := range events {
+			if routePage(e.Page, h.streams) == s {
+				grp = append(grp, e)
+			}
+		}
+		if len(grp) == 0 {
+			continue
+		}
+		data := EncodeEventsRecord(arena.Get(EventsRecordSize(grp))[:0], grp)
+		h.mu.Lock()
+		h.staged = append(h.staged, stagedRec{
+			rec:     stable.Record{Kind: RecEvents, Op: op, Data: data, Stream: s},
+			arrival: arrival,
+		})
+		h.mu.Unlock()
+		staged++
+	}
+	countAppends(h.ctrs, staged)
 }
 
 // AtSyncEntry flushes nothing: CCL's only flush point is the release.
 func (h *CCLHooks) AtSyncEntry(int32) int { return 0 }
 
 // AtRelease flushes the staged records that arrived by the cutoff plus
-// this interval's own diffs — by default one RecDiffBatch record for the
-// whole interval. Later-staged records stay for the next flush: their
-// messages raced past the previous synchronization point, so no
-// deterministic rule could put them in this one.
+// this interval's own diffs — by default one RecDiffBatch record per
+// touched stream for the interval. Later-staged records stay for the
+// next flush: their messages raced past the previous synchronization
+// point, so no deterministic rule could put them in this one.
+//
+// On a multi-stream store AtRelease is a group-commit scheduler. A
+// release that created diffs is a durability fence: everything eligible
+// is flushed (in parallel across streams) before the diffs leave the
+// node, preserving the CCL logged-before-released guarantee for the
+// records other nodes' recoveries read (own diffs are only ever written
+// under a fence). A diff-less release defers its flush — the staged
+// notices and event records are only ever read by this node's own
+// replay, and losing them to a crash is recovered exactly like a torn
+// final flush (multi-stream runs always enable tail-mode recovery) —
+// unless some stream's pending bytes crossed the group-commit
+// threshold. The decision is a pure function of virtual time (staged
+// composition + cutoff), so same-seed runs keep identical logs.
+//
+// The returned byte count is the flush's critical-path size: the
+// largest single stream's share, which is what the engine charges the
+// virtual clock with (equal to the total on a single-stream store).
 func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Time, created []memory.Diff) int {
+	if h.streams > 1 && len(created) == 0 {
+		// Candidate deferral: tally eligible per-stream pending bytes.
+		if cap(h.pendScratch) < h.streams {
+			h.pendScratch = make([]int, h.streams)
+		}
+		pend := h.pendScratch[:h.streams]
+		for i := range pend {
+			pend[i] = 0
+		}
+		h.mu.Lock()
+		eligible, maxPend := 0, 0
+		for _, s := range h.staged {
+			if s.arrival == ownRec || s.arrival <= cutoff {
+				eligible++
+				pend[s.rec.Stream] += s.rec.WireSize()
+				if pend[s.rec.Stream] > maxPend {
+					maxPend = pend[s.rec.Stream]
+				}
+			}
+		}
+		h.mu.Unlock()
+		if eligible == 0 {
+			return 0
+		}
+		if maxPend < h.opts.GroupCommitBytes {
+			if h.ctrs != nil {
+				h.ctrs.WalCoalesced.Add(1)
+			}
+			return 0
+		}
+	}
 	recs := h.flushScratch[:0]
 	h.mu.Lock()
 	kept := h.staged[:0]
@@ -371,16 +489,23 @@ func (h *CCLHooks) AtRelease(op int32, seq int32, vtSum int64, cutoff simtime.Ti
 	h.mu.Unlock()
 	if len(created) > 0 {
 		// writer -1: the log owner.
-		recs = appendDiffRecords(recs, op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords)
-		countAppends(h.ctrs, diffRecordCount(created, h.opts.LegacyDiffRecords))
+		recs = appendDiffRecords(recs, op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords, h.streams)
+		countAppends(h.ctrs, diffRecordCount(created, h.opts.LegacyDiffRecords, h.streams))
 	}
 	if len(recs) == 0 {
 		return 0
 	}
-	n := h.store.Flush(recs)
+	_, crit := h.store.FlushGroup(recs)
+	if h.streams > 1 && h.ctrs != nil {
+		if len(created) > 0 {
+			h.ctrs.WalFenceFlushes.Add(1)
+		} else {
+			h.ctrs.WalGroupCommits.Add(1)
+		}
+	}
 	releaseScratch(recs)
 	h.flushScratch = recs[:0]
-	return n
+	return crit
 }
 
 // DeterministicFlush implements LogHooks: the engine must fence arrivals
@@ -389,31 +514,64 @@ func (h *CCLHooks) DeterministicFlush() bool { return true }
 
 // appendDiffRecords appends one (writer, seq) diff group to recs: a
 // single RecDiffBatch record by default, one RecDiff per diff in legacy
-// layout. Payloads are drawn from the arena; releaseScratch returns them
-// once flushed.
-func appendDiffRecords(recs []stable.Record, op, writer, seq int32, vtSum int64, diffs []memory.Diff, legacy bool) []stable.Record {
+// layout. On a multi-stream store the group is split by the diffs'
+// pages' streams — one RecDiffBatch per touched stream, every piece
+// carrying the same (writer, seq, vtSum) prefix, so readers still see
+// one logical interval group. Payloads are drawn from the arena;
+// releaseScratch returns them once flushed.
+func appendDiffRecords(recs []stable.Record, op, writer, seq int32, vtSum int64, diffs []memory.Diff, legacy bool, streams int) []stable.Record {
 	if legacy {
 		for _, d := range diffs {
 			recs = append(recs, stable.Record{
-				Kind: RecDiff, Op: op,
+				Kind: RecDiff, Op: op, Stream: routePage(d.Page, streams),
 				Data: EncodeDiffRecord(arena.Get(DiffRecordSize(d))[:0], writer, seq, vtSum, d),
 			})
 		}
 		return recs
 	}
-	return append(recs, stable.Record{
-		Kind: RecDiffBatch, Op: op,
-		Data: EncodeDiffBatchRecord(arena.Get(DiffBatchRecordSize(diffs))[:0], writer, seq, vtSum, diffs),
-	})
+	if streams <= 1 {
+		return append(recs, stable.Record{
+			Kind: RecDiffBatch, Op: op,
+			Data: EncodeDiffBatchRecord(arena.Get(DiffBatchRecordSize(diffs))[:0], writer, seq, vtSum, diffs),
+		})
+	}
+	for s := 0; s < streams; s++ {
+		var grp []memory.Diff
+		for _, d := range diffs {
+			if routePage(d.Page, streams) == s {
+				grp = append(grp, d)
+			}
+		}
+		if len(grp) == 0 {
+			continue
+		}
+		recs = append(recs, stable.Record{
+			Kind: RecDiffBatch, Op: op, Stream: s,
+			Data: EncodeDiffBatchRecord(arena.Get(DiffBatchRecordSize(grp))[:0], writer, seq, vtSum, grp),
+		})
+	}
+	return recs
 }
 
 // diffRecordCount is the number of records appendDiffRecords emits for a
 // group (the LogAppends accounting).
-func diffRecordCount(diffs []memory.Diff, legacy bool) int {
+func diffRecordCount(diffs []memory.Diff, legacy bool, streams int) int {
 	if legacy {
 		return len(diffs)
 	}
-	return 1
+	if streams <= 1 {
+		return 1
+	}
+	n := 0
+	seen := make(map[int]bool, streams)
+	for _, d := range diffs {
+		s := routePage(d.Page, streams)
+		if !seen[s] {
+			seen[s] = true
+			n++
+		}
+	}
+	return n
 }
 
 // releaseScratch returns the flushed records' payload buffers to the
@@ -442,6 +600,7 @@ type MLHooks struct {
 	// keeps only incoming messages.
 	logOwnDiffs bool
 	opts        Options
+	streams     int
 	// releaseScratch backs the hardened-mode own-diff flush; only the
 	// application goroutine touches it.
 	releaseScratchRecs []stable.Record
@@ -454,7 +613,7 @@ func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 	}
 	data := hlrc.EncodeNotices(notices, arena.Get(hlrc.NoticesWireSize(notices))[:0])
 	h.mu.Lock()
-	h.volatile = append(h.volatile, stable.Record{Kind: RecNotices, Op: op, Data: data})
+	h.volatile = append(h.volatile, stable.Record{Kind: RecNotices, Op: op, Data: data, Stream: routeOp(op, h.streams)})
 	h.mu.Unlock()
 	countAppends(h.ctrs, 1)
 }
@@ -464,7 +623,7 @@ func (h *MLHooks) OnAcquireNotices(op int32, notices []hlrc.Notice) {
 func (h *MLHooks) OnPageFetched(op int32, page memory.PageID, data []byte) {
 	rec := EncodePageRecord(arena.Get(PageRecordSize(data))[:0], page, data)
 	h.mu.Lock()
-	h.volatile = append(h.volatile, stable.Record{Kind: RecPage, Op: op, Data: rec})
+	h.volatile = append(h.volatile, stable.Record{Kind: RecPage, Op: op, Data: rec, Stream: routePage(page, h.streams)})
 	h.mu.Unlock()
 	countAppends(h.ctrs, 1)
 }
@@ -477,12 +636,14 @@ func (h *MLHooks) OnIncomingDiffs(op int32, _ simtime.Time, events []hlrc.Update
 		return
 	}
 	h.mu.Lock()
-	h.volatile = appendDiffRecords(h.volatile, op, events[0].Writer, events[0].Seq, 0, diffs, h.opts.LegacyDiffRecords)
+	h.volatile = appendDiffRecords(h.volatile, op, events[0].Writer, events[0].Seq, 0, diffs, h.opts.LegacyDiffRecords, h.streams)
 	h.mu.Unlock()
-	countAppends(h.ctrs, diffRecordCount(diffs, h.opts.LegacyDiffRecords))
+	countAppends(h.ctrs, diffRecordCount(diffs, h.opts.LegacyDiffRecords, h.streams))
 }
 
-// AtSyncEntry flushes the volatile log on the critical path.
+// AtSyncEntry flushes the volatile log on the critical path. On a
+// multi-stream store the streams are written in parallel and the
+// returned (charged) byte count is the largest single stream's share.
 func (h *MLHooks) AtSyncEntry(int32) int {
 	h.mu.Lock()
 	recs := h.volatile
@@ -491,14 +652,14 @@ func (h *MLHooks) AtSyncEntry(int32) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	n := h.store.Flush(recs)
+	_, crit := h.store.FlushGroup(recs)
 	releaseScratch(recs)
 	h.mu.Lock()
 	if h.volatile == nil {
 		h.volatile = recs[:0] // recycle the slice backing too
 	}
 	h.mu.Unlock()
-	return n
+	return crit
 }
 
 // AtRelease flushes nothing extra under plain ML (it already flushed at
@@ -509,12 +670,12 @@ func (h *MLHooks) AtRelease(op int32, seq int32, vtSum int64, _ simtime.Time, cr
 		return 0
 	}
 	// writer -1: the log owner.
-	recs := appendDiffRecords(h.releaseScratchRecs[:0], op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords)
+	recs := appendDiffRecords(h.releaseScratchRecs[:0], op, -1, seq, vtSum, created, h.opts.LegacyDiffRecords, h.streams)
 	countAppends(h.ctrs, len(recs))
-	n := h.store.Flush(recs)
+	_, crit := h.store.FlushGroup(recs)
 	releaseScratch(recs)
 	h.releaseScratchRecs = recs[:0]
-	return n
+	return crit
 }
 
 // DeterministicFlush implements LogHooks: ML flushes everything staged at
