@@ -5,7 +5,7 @@
 # tier2 adds the race detector; -short skips the heavier fault-soak and
 # crash sweeps so the race run stays fast.
 
-.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke kv-smoke telemetry-smoke wal-smoke bench-gate
+.PHONY: all tier1 tier2 bench bench-faults trace-smoke inspect-volume churn-smoke rejoin-smoke kv-smoke telemetry-smoke wal-smoke bench-gate
 
 all: tier1 tier2
 
@@ -51,6 +51,17 @@ churn-smoke:
 	go run ./cmd/sdsmbench -nodes 4 -churn
 	go run ./cmd/sdsminspect -mode audit -churn -nodes 4
 	@echo "churn-smoke: OK"
+
+# Partition-heal + rejoin soak under the race detector: the core
+# partition tests (wrong death declaration, post-heal fencing, epoch
+# bump, log truncation, rejoin replay, failure-free image equality on
+# both wire backends) repeated, then the churn sweep's partition cells
+# and the partition-aware adopted-home audit.
+rejoin-smoke:
+	go test -race ./internal/core/ -run 'Partition' -count=5
+	go run -race ./cmd/sdsmbench -nodes 4 -churn
+	go run -race ./cmd/sdsminspect -mode audit -churn -nodes 4
+	@echo "rejoin-smoke: OK"
 
 # End-to-end check of the kv serving workload over both wire backends:
 # the sim cell runs the full matrix (failure-free + crash-during-traffic

@@ -46,7 +46,7 @@ func main() {
 	skipRecovery := flag.Bool("skip-recovery", false, "skip the Figure 5 recovery experiments")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies (overlap, placement, page size, scaling, checkpoints)")
 	faults := flag.Bool("faults", false, "run only the fault-injection sweep (execution time under seeded message loss)")
-	churn := flag.Bool("churn", false, "run only the online-recovery churn sweep (surviving-cluster throughput and recovering-node catch-up); with -json, write the artifact instead")
+	churn := flag.Bool("churn", false, "run only the online-recovery churn sweep (surviving-cluster throughput, recovering-node catch-up, and the partition/rejoin availability cells); with -json, write the artifact instead")
 	streams := flag.Int("streams", 1, "parallel stable-log streams per node for the -json sweep (1 = classic single-stream WAL)")
 	jsonOut := flag.String("json", "", "run the machine-readable sweep (all apps × protocols with tracing) and write it to this file")
 	compare := flag.Bool("compare", false, "compare two sweep artifacts: sdsmbench -compare old.json new.json (with one file, the baseline is the latest committed BENCH_*.json sweep)")

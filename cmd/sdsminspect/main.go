@@ -535,6 +535,32 @@ func churnAuditMode(opts options) error {
 		fmt.Printf("%v: log audit OK (%d records); adopted-home audit OK: %d migrated pages, %d custody entries matched the writers' logs, %d replay-only entries, rebuilt images match\n",
 			point, audit.Records, sum.pages, sum.matched, sum.replayOnly)
 	}
+	// Partition-rejoin scenarios: the victim is wrongly declared dead
+	// while merely cut off, fenced on heal, and re-admitted at a fresh
+	// epoch. The same two audits must reconcile — the truncated stale log
+	// suffix and the re-executed ops must leave logs and custody records
+	// that rebuild the authoritative image.
+	for _, partMs := range bench.ChurnPartitionsMs {
+		rep, err := bench.RunChurnPartitionScenario(opts.nodes, partMs)
+		if err != nil {
+			return err
+		}
+		audit, err := logview.Audit(rep.Depot, logview.AuditOptions{})
+		if err != nil {
+			return fmt.Errorf("partition %gms: %w", partMs, err)
+		}
+		sum, err := auditAdoptedHomes(rep)
+		if err != nil {
+			return fmt.Errorf("partition %gms: adopted-home audit: %w", partMs, err)
+		}
+		var fenced int64
+		for _, s := range rep.Stats {
+			fenced += s.FencedMsgs
+		}
+		fmt.Printf("partition %gms: log audit OK (%d records, %d stale truncated); adopted-home audit OK: %d migrated pages, %d custody entries matched, %d replay-only; rejoined at epoch %d, %d stale messages fenced, rebuilt images match\n",
+			partMs, audit.Records, rep.Recovery.TruncatedRecords, sum.pages, sum.matched, sum.replayOnly,
+			rep.Recovery.RejoinEpoch, fenced)
+	}
 	return nil
 }
 

@@ -36,7 +36,8 @@ type ChurnRow struct {
 	Point        fault.CrashPoint
 	LeaseMs      float64
 	RestartMs    float64
-	CrashSec     float64 // victim clock at the fail-stop
+	PartitionMs  float64 // 0: fail-stop; >0: partition window, node rejoins
+	CrashSec     float64 // victim clock at the fail-stop / partition onset
 	DeclareSec   float64 // lease expiry: survivors may act on the death
 	RejoinSec    float64 // victim resumes live operation
 	CatchUpSec   float64 // replay duration (RejoinSec - restart)
@@ -50,6 +51,12 @@ type ChurnRow struct {
 	Redirects    int64
 	AdoptedDiffs int64
 	LeaseWaits   int64
+	// Partition-rejoin cells only (zero on fail-stop rows):
+	FencedMsgs    int64   // stale-epoch messages survivors fenced post-heal
+	EpochBumps    int64   // membership-epoch adoptions across the cluster
+	TruncatedRecs int     // stale log records discarded at rejoin
+	VictimServed  int64   // sync ops the rejoined node completed live
+	AvailablePct  float64 // VictimServed over the victim's total sync ops
 }
 
 // churnWorkload builds the gated lock-phase program. stamps[node][round]
@@ -118,12 +125,43 @@ func RunChurnScenario(nodes int, point fault.CrashPoint) (*core.Report, error) {
 	return core.RunWithChurn(churnConfig(nodes), churnWorkload(stamps), plan)
 }
 
+// RunChurnPartitionScenario runs the churn workload with a partition
+// instead of a fail-stop: the victim is cut off for partitionMs, wrongly
+// declared dead inside the window, fenced after the heal, and re-admitted
+// through the rejoin protocol. sdsminspect's adopted-home audit drives it
+// alongside the fail-stop scenarios.
+func RunChurnPartitionScenario(nodes int, partitionMs float64) (*core.Report, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("bench: churn needs at least 2 nodes, got %d", nodes)
+	}
+	stamps := make([][]simtime.Time, nodes)
+	for i := range stamps {
+		stamps[i] = make([]simtime.Time, ChurnRounds)
+	}
+	plan := core.ChurnPlan{
+		Victim:        nodes - 1,
+		AtOp:          2 * churnCrashRound,
+		Recovery:      recovery.CCLRecovery,
+		LeaseDuration: simtime.Duration(churnLeaseMs * 1e6),
+		RestartDelay:  simtime.Duration(10 * 1e6),
+		PartitionFor:  simtime.Duration(partitionMs * 1e6),
+		Rejoin:        nodes - 1,
+	}
+	return core.RunWithChurn(churnConfig(nodes), churnWorkload(stamps), plan)
+}
+
 // ChurnPoints are the swept crash points.
 var ChurnPoints = []fault.CrashPoint{fault.PointSyncExit, fault.PointHoldingLock, fault.PointDirtyHome}
 
 // ChurnRestartsMs are the swept restart delays (reboot time) in
 // virtual milliseconds.
 var ChurnRestartsMs = []float64{10, 40}
+
+// ChurnPartitionsMs are the swept partition-window lengths (virtual
+// milliseconds) for the rejoin cells. Each must exceed the lease — the
+// wrong death declaration has to land inside the window — and stay well
+// under the transport's retransmission budget of a few virtual seconds.
+var ChurnPartitionsMs = []float64{20, 60}
 
 // churnLeaseMs is the lease duration used by every sweep point.
 const churnLeaseMs = 3.0
@@ -206,6 +244,74 @@ func RunChurnBench(nodes int) ([]ChurnRow, error) {
 			rows = append(rows, row)
 		}
 	}
+	// Partition-rejoin cells: the same workload, but the victim is merely
+	// cut off and re-admitted after the heal. Availability is the fraction
+	// of the victim's sync ops it served live (everything past the onset
+	// op ran against the healed cluster, not from the log).
+	for _, partMs := range ChurnPartitionsMs {
+		stamps := make([][]simtime.Time, nodes)
+		for i := range stamps {
+			stamps[i] = make([]simtime.Time, ChurnRounds)
+		}
+		plan := core.ChurnPlan{
+			Victim:        victim,
+			AtOp:          2 * churnCrashRound,
+			Recovery:      recovery.CCLRecovery,
+			LeaseDuration: simtime.Duration(churnLeaseMs * 1e6),
+			RestartDelay:  simtime.Duration(10 * 1e6),
+			PartitionFor:  simtime.Duration(partMs * 1e6),
+			Rejoin:        victim,
+		}
+		rep, err := core.RunWithChurn(churnConfig(nodes), churnWorkload(stamps), plan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: churn partition %gms: %w", partMs, err)
+		}
+		if _, err := logview.Audit(rep.Depot, logview.AuditOptions{}); err != nil {
+			return nil, fmt.Errorf("bench: churn partition %gms: log audit: %w", partMs, err)
+		}
+		rec := rep.Recovery
+		row := ChurnRow{
+			Point:         fault.PointSyncExit,
+			LeaseMs:       churnLeaseMs,
+			RestartMs:     10,
+			PartitionMs:   partMs,
+			CrashSec:      rec.CrashTime.Seconds(),
+			DeclareSec:    rec.DeclareTime.Seconds(),
+			RejoinSec:     rec.RejoinTime.Seconds(),
+			CatchUpSec:    rec.ReplayTime.Seconds(),
+			ExecSec:       rep.ExecTime.Seconds(),
+			BaselineSec:   baseSec,
+			OverheadPct:   (rep.ExecTime.Seconds()/baseSec - 1) * 100,
+			TruncatedRecs: rec.TruncatedRecords,
+		}
+		for id, nodeStamps := range stamps {
+			if id == victim {
+				continue
+			}
+			for _, at := range nodeStamps {
+				if at > rec.CrashTime && at <= rec.RejoinTime {
+					row.SurvivorOps++
+				}
+			}
+		}
+		if window := rec.RejoinTime - rec.CrashTime; window > 0 {
+			row.SurvivorRate = float64(row.SurvivorOps) / window.Seconds()
+		}
+		for _, s := range rep.Stats {
+			row.Adoptions += s.HomeAdoptions
+			row.Revocations += s.LockRevocations
+			row.Redirects += s.RedirectedCalls
+			row.AdoptedDiffs += s.AdoptedDiffs
+			row.LeaseWaits += s.LeaseWaitsServed
+			row.FencedMsgs += s.FencedMsgs
+			row.EpochBumps += s.EpochBumps
+			row.VictimServed += s.RejoinServed
+		}
+		if total := rep.NodeOps[victim]; total > 0 {
+			row.AvailablePct = float64(row.VictimServed) / float64(total) * 100
+		}
+		rows = append(rows, row)
+	}
 	return rows, nil
 }
 
@@ -214,6 +320,7 @@ type ChurnRowJSON struct {
 	Point           string  `json:"crash_point"`
 	LeaseMs         float64 `json:"lease_ms"`
 	RestartMs       float64 `json:"restart_ms"`
+	PartitionMs     float64 `json:"partition_ms,omitempty"`
 	CrashSec        float64 `json:"crash_sec"`
 	DeclareSec      float64 `json:"declare_sec"`
 	RejoinSec       float64 `json:"rejoin_sec"`
@@ -227,6 +334,11 @@ type ChurnRowJSON struct {
 	Redirects       int64   `json:"redirected_calls"`
 	AdoptedDiffs    int64   `json:"adopted_diffs"`
 	LeaseWaits      int64   `json:"lease_waits_served"`
+	FencedMsgs      int64   `json:"fenced_msgs,omitempty"`
+	EpochBumps      int64   `json:"epoch_bumps,omitempty"`
+	TruncatedRecs   int     `json:"truncated_records,omitempty"`
+	VictimServed    int64   `json:"victim_ops_served,omitempty"`
+	AvailablePct    float64 `json:"victim_availability_pct,omitempty"`
 }
 
 // ChurnJSON is the committed churn artifact.
@@ -248,6 +360,7 @@ func ChurnToJSON(nodes int, rows []ChurnRow) *ChurnJSON {
 			Point:           r.Point.String(),
 			LeaseMs:         r.LeaseMs,
 			RestartMs:       r.RestartMs,
+			PartitionMs:     r.PartitionMs,
 			CrashSec:        r.CrashSec,
 			DeclareSec:      r.DeclareSec,
 			RejoinSec:       r.RejoinSec,
@@ -261,6 +374,11 @@ func ChurnToJSON(nodes int, rows []ChurnRow) *ChurnJSON {
 			Redirects:       r.Redirects,
 			AdoptedDiffs:    r.AdoptedDiffs,
 			LeaseWaits:      r.LeaseWaits,
+			FencedMsgs:      r.FencedMsgs,
+			EpochBumps:      r.EpochBumps,
+			TruncatedRecs:   r.TruncatedRecs,
+			VictimServed:    r.VictimServed,
+			AvailablePct:    r.AvailablePct,
 		})
 	}
 	return out
@@ -275,10 +393,31 @@ func FormatChurn(nodes int, rows []ChurnRow) string {
 	b.WriteString(" catch-up is the victim's concurrent replay; overhead is vs the crash-free run)\n\n")
 	fmt.Fprintf(&b, "%-13s %8s %9s %9s %9s %9s %10s %9s %7s %6s %6s\n",
 		"crash point", "lease", "restart", "crash s", "rejoin s", "catchup s", "surv ops/s", "exec s", "ovh%", "adopt", "revoke")
+	partitions := false
 	for _, r := range rows {
+		if r.PartitionMs > 0 {
+			partitions = true
+			continue
+		}
 		fmt.Fprintf(&b, "%-13s %6gms %7gms %9.4f %9.4f %9.4f %10.0f %9.4f %6.1f%% %6d %6d\n",
 			r.Point, r.LeaseMs, r.RestartMs, r.CrashSec, r.RejoinSec, r.CatchUpSec,
 			r.SurvivorRate, r.ExecSec, r.OverheadPct, r.Adoptions, r.Revocations)
+	}
+	if !partitions {
+		return b.String()
+	}
+	b.WriteString("\nPartition-rejoin cells: the victim is cut off (not crashed), wrongly declared\n")
+	b.WriteString("dead inside the window, fenced on heal, and re-admitted at a fresh epoch;\n")
+	b.WriteString("availability is the share of the victim's sync ops it served live.\n\n")
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %7s %7s %6s %7s %7s\n",
+		"partition", "onset s", "rejoin s", "catchup s", "surv ops/s", "fenced", "epochs", "trunc", "served", "avail%")
+	for _, r := range rows {
+		if r.PartitionMs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%8gms %9.4f %9.4f %9.4f %10.0f %7d %7d %6d %7d %6.1f%%\n",
+			r.PartitionMs, r.CrashSec, r.RejoinSec, r.CatchUpSec, r.SurvivorRate,
+			r.FencedMsgs, r.EpochBumps, r.TruncatedRecs, r.VictimServed, r.AvailablePct)
 	}
 	return b.String()
 }

@@ -14,7 +14,7 @@ func TestChurnBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(ChurnPoints) * len(ChurnRestartsMs); len(rows) != want {
+	if want := len(ChurnPoints)*len(ChurnRestartsMs) + len(ChurnPartitionsMs); len(rows) != want {
 		t.Fatalf("got %d rows, want %d", len(rows), want)
 	}
 	for _, r := range rows {
@@ -29,6 +29,16 @@ func TestChurnBench(t *testing.T) {
 		}
 		if r.Adoptions < 1 {
 			t.Errorf("%v restart %gms: victim's homes were never adopted", r.Point, r.RestartMs)
+		}
+		if r.PartitionMs > 0 {
+			// Rejoin cells: the split-brain window must have been fenced and
+			// the re-admitted node must have served ops inside the window.
+			if r.FencedMsgs < 1 || r.EpochBumps < 2 || r.TruncatedRecs < 1 {
+				t.Errorf("partition %gms: fencing/rejoin counters not exercised: %+v", r.PartitionMs, r)
+			}
+			if r.VictimServed < 1 || r.AvailablePct <= 0 || r.AvailablePct > 100 {
+				t.Errorf("partition %gms: bad availability: served %d, %.1f%%", r.PartitionMs, r.VictimServed, r.AvailablePct)
+			}
 		}
 	}
 	js := ChurnToJSON(nodes, rows)

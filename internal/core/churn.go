@@ -42,6 +42,26 @@ type ChurnPlan struct {
 	// incarnation starting its replay (reboot / redeploy time). The
 	// replay clock starts at CrashTime + RestartDelay.
 	RestartDelay simtime.Duration
+	// PartitionFor, when positive, turns the injected fault into a
+	// network partition instead of a fail-stop: at the crash point the
+	// victim is cut off from every peer for this much virtual time while
+	// staying up. Its lease expires inside the window, so the survivors
+	// wrongly declare it dead, bump the membership epoch, and fail its
+	// homes and locks over exactly as for a real death; when the window
+	// heals, the victim's stale-epoch traffic is fenced (split-brain
+	// prevention) and the runner re-admits it through the rejoin
+	// protocol: membership re-admission at a fresh epoch, truncation of
+	// the unacknowledged log suffix, concurrent replay, live catch-up.
+	// Must exceed LeaseDuration — the wrong death declaration has to land
+	// inside the window — and should stay well under the transport's
+	// total retransmission budget (a few virtual seconds), which the
+	// victim's in-window sends burn against the cut.
+	PartitionFor simtime.Duration
+	// Rejoin names the node the rejoin protocol re-admits after the
+	// partition heals. Only meaningful with PartitionFor > 0, where it
+	// must equal Victim: re-admitting a node that was never declared
+	// dead is a plan error.
+	Rejoin int
 }
 
 // validate checks the plan against a defaults-resolved config. All
@@ -76,6 +96,14 @@ func (p ChurnPlan) validate(cfg Config) error {
 	}
 	if cfg.Nodes < 2 {
 		return fmt.Errorf("core: online recovery needs a successor to adopt the victim's homes")
+	}
+	if p.PartitionFor > 0 {
+		if p.PartitionFor <= p.LeaseDuration {
+			return fmt.Errorf("core: PartitionFor (%v) must exceed LeaseDuration (%v): the wrong death declaration has to land inside the partition window", p.PartitionFor, p.LeaseDuration)
+		}
+		if p.Rejoin != p.Victim {
+			return fmt.Errorf("core: rejoin of node %d, which never crashed (the partition victim is %d)", p.Rejoin, p.Victim)
+		}
 	}
 	if p.Point == fault.PointDirtyHome {
 		homesAny := false
@@ -113,11 +141,12 @@ func RunWithChurn(cfg Config, prog Program, plan ChurnPlan) (*Report, error) {
 	victim := c.nodes[plan.Victim]
 	victim.CrashOp = plan.AtOp
 	victim.CrashPoint = plan.Point
+	victim.PartitionFor = plan.PartitionFor
 
 	for _, nd := range c.nodes {
 		nd.StartService()
 	}
-	recReport := &RecoveryReport{Victim: plan.Victim, Kind: plan.Recovery, Online: true}
+	recReport := &RecoveryReport{Victim: plan.Victim, Kind: plan.Recovery, Online: true, Partitioned: plan.PartitionFor > 0}
 	victimCrashed := false
 	// Unlike RunWithCrash, the survivors are never blocked on the victim's
 	// recovery (leases unblock them), but a recovery failure still strands
@@ -129,9 +158,17 @@ func RunWithChurn(cfg Config, prog Program, plan ChurnPlan) (*Report, error) {
 	ch := make(chan done, c.cfg.Nodes)
 	for i, nd := range c.nodes {
 		go func(i int, nd *hlrc.Node) {
-			crashed, err := runNode(nd, prog)
+			crashed, fenced, err := runNode(nd, prog)
+			if err == nil && fenced {
+				if i != plan.Victim || plan.PartitionFor <= 0 {
+					err = fmt.Errorf("node %d was fenced but no partition plan names it", i)
+				} else {
+					victimCrashed = true
+					err = c.rejoinVictim(prog, plan, recReport)
+				}
+			}
 			if err == nil && crashed {
-				if i != plan.Victim {
+				if i != plan.Victim || plan.PartitionFor > 0 {
 					err = fmt.Errorf("node %d crashed but victim is %d", i, plan.Victim)
 				} else {
 					victimCrashed = true
@@ -204,16 +241,105 @@ func (c *cluster) recoverVictimOnline(prog Program, plan ChurnPlan, out *Recover
 	}
 	nd.SetDelegate(rep)
 
-	crashed, err := runNode(nd, prog)
+	crashed, fenced, err := runNode(nd, prog)
 	if err != nil {
 		return err
 	}
-	if crashed {
+	if crashed || fenced {
 		return fmt.Errorf("core: victim %d crashed again during recovery", plan.Victim)
 	}
 	if !rep.Detached() {
 		return fmt.Errorf("core: victim %d finished without completing replay", plan.Victim)
 	}
+	out.ReplayTime = rep.ReplayTime()
+	out.RejoinTime = restart + rep.ReplayTime()
+	out.Phases = rep.Phases()
+	return nil
+}
+
+// rejoinVictim re-admits a node that was wrongly declared dead while
+// merely partitioned. The stale incarnation just unwound with ErrFenced:
+// its post-onset work never landed anywhere (cut inside the window,
+// fenced after the heal), but it kept logging locally, so the rejoin
+// protocol (1) stops the stale service loop, (2) re-admits the node into
+// the membership at a fresh epoch — everything the new incarnation sends
+// is now fence-proof while the buried incarnation's leftovers stay
+// fenceable forever, (3) truncates the unacknowledged log suffix the
+// stale incarnation wrote, and (4) rebuilds the node and replays it
+// concurrently with the surviving cluster exactly like online crash
+// recovery, re-executing the onset op live (it never completed
+// cluster-visibly) and resuming service at detach. The victim's former
+// homes stay migrated at their adopters — permanent migration keeps
+// routing decisions stable, so a rejoin changes membership, never page
+// custody.
+func (c *cluster) rejoinVictim(prog Program, plan ChurnPlan, out *RecoveryReport) error {
+	old := c.nodes[plan.Victim]
+	old.StopService()
+	crashOp := old.CrashedAtOp()
+	if crashOp < 0 {
+		return fmt.Errorf("core: victim %d has no recorded partition-onset op", plan.Victim)
+	}
+	out.CrashOp = crashOp
+	tc, ever := c.nw.EverCrashed(plan.Victim)
+	if !ever {
+		return fmt.Errorf("core: victim %d was fenced but is not in the liveness registry", plan.Victim)
+	}
+	out.CrashTime = tc
+	out.DeclareTime = tc + simtime.Time(plan.LeaseDuration)
+	out.HealTime = tc + simtime.Time(plan.PartitionFor)
+	// The stale incarnation's clock at the fence carries every
+	// retransmission timeout it burned against the cut; the node was up
+	// the whole time, so the "restart" is just the re-admission delay.
+	fencedAt := old.Clock().Now()
+	out.FencedTime = fencedAt
+	restart := fencedAt + simtime.Time(plan.RestartDelay)
+	out.RestartTime = restart
+
+	// Membership re-admission: epoch bump past the death epoch. The new
+	// incarnation's view starts at the rejoin epoch, so nothing it sends
+	// can be fenced, while DeathEpoch keeps fencing whatever the buried
+	// incarnation still has in flight.
+	out.RejoinEpoch = c.nw.Rejoin(plan.Victim)
+	c.stats[plan.Victim].EpochBumps.Add(1)
+
+	store := c.depot.Store(plan.Victim)
+	out.TruncatedRecords = store.TruncateFromOp(crashOp)
+
+	nd := c.newIncarnation(plan.Victim, c.stats[plan.Victim], simtime.NewClock(restart))
+	c.nodes[plan.Victim] = nd
+	if _, ok := checkpoint.RestoreInitial(nd, store); !ok {
+		return fmt.Errorf("core: victim %d has no checkpoint", plan.Victim)
+	}
+	rep := recovery.NewReplayer(plan.Recovery, store, crashOp, *c.cfg.Model)
+	rep.EnableOnline(restart)
+	// The onset op never completed cluster-visibly — its diffs were cut
+	// or fenced and its log record was truncated above — so it is always
+	// re-executed live, whatever the crash point.
+	rep.ReexecuteCrashOp(nd)
+	rep.OnDetach = func() {
+		c.stats[plan.Victim].RejoinPhases.Add(1) // catch-up done, serving live
+		nd.StartService()
+	}
+	nd.SetDelegate(rep)
+	c.stats[plan.Victim].RejoinPhases.Add(1) // replay phase entered
+
+	crashed, fenced, err := runNode(nd, prog)
+	if err != nil {
+		return err
+	}
+	if fenced {
+		return fmt.Errorf("core: victim %d was fenced again after rejoining at epoch %d", plan.Victim, out.RejoinEpoch)
+	}
+	if crashed {
+		return fmt.Errorf("core: victim %d crashed during rejoin", plan.Victim)
+	}
+	if !rep.Detached() {
+		return fmt.Errorf("core: victim %d finished without completing rejoin replay", plan.Victim)
+	}
+	// Availability: sync ops the re-admitted node completed live, inside
+	// the benchmark window, after the onset op (everything past crashOp
+	// ran against the healed cluster, not from the log).
+	c.stats[plan.Victim].RejoinServed.Add(int64(nd.OpIndex() - crashOp))
 	out.ReplayTime = rep.ReplayTime()
 	out.RejoinTime = restart + rep.ReplayTime()
 	out.Phases = rep.Phases()

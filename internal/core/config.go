@@ -187,7 +187,10 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LogStreams < 1 || c.LogStreams > 64 {
 		return c, fmt.Errorf("core: LogStreams must be in [1,64], got %d", c.LogStreams)
 	}
-	if err := c.Faults.Validate(); err != nil {
+	if err := c.Faults.ValidateNodes(c.Nodes); err != nil {
+		// Node-aware validation: partition link-groups must name nodes of
+		// this cluster. Catching it here turns what the transport would
+		// panic on into a config error.
 		return c, fmt.Errorf("core: %w", err)
 	}
 	if c.Trace != nil && c.Trace.Nodes() != c.Nodes {

@@ -140,20 +140,25 @@ func (c *cluster) installCheckpointing(nd *hlrc.Node) {
 	}
 }
 
-// runNode executes prog on one node, translating the injected-crash panic
-// into a flag and letting real bugs propagate as errors.
-func runNode(nd *hlrc.Node, prog Program) (crashed bool, err error) {
+// runNode executes prog on one node, translating the injected-crash and
+// membership-fence panics into flags and letting real bugs propagate as
+// errors. A fenced node unwound with its state intact: the runner decides
+// whether a rejoin plan covers it.
+func runNode(nd *hlrc.Node, prog Program) (crashed, fenced bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if r == hlrc.ErrCrashed {
+			switch r {
+			case hlrc.ErrCrashed:
 				crashed = true
-				return
+			case hlrc.ErrFenced:
+				fenced = true
+			default:
+				err = fmt.Errorf("node %d panicked: %v", nd.ID(), r)
 			}
-			err = fmt.Errorf("node %d panicked: %v", nd.ID(), r)
 		}
 	}()
 	prog(&Proc{nd: nd})
-	return false, nil
+	return false, false, nil
 }
 
 // Report summarizes one run.
@@ -238,6 +243,19 @@ type RecoveryReport struct {
 	DeclareTime simtime.Time
 	RestartTime simtime.Time
 	RejoinTime  simtime.Time
+	// Partition churn (ChurnPlan.PartitionFor > 0 only): the victim was
+	// merely partitioned, not dead. Partitioned is true for such runs.
+	// HealTime is when the partition window closed; FencedTime is the
+	// victim's clock when its first post-heal request was fenced (the
+	// stale incarnation's end); RejoinEpoch is the membership epoch the
+	// re-admission bumped the cluster to; TruncatedRecords counts the
+	// stale incarnation's unacknowledged log records the rejoin protocol
+	// discarded before replay.
+	Partitioned      bool
+	HealTime         simtime.Time
+	FencedTime       simtime.Time
+	RejoinEpoch      int64
+	TruncatedRecords int
 }
 
 // MemoryImage returns the authoritative final shared-memory image,
@@ -305,9 +323,12 @@ func Run(cfg Config, prog Program) (*Report, error) {
 		wg.Add(1)
 		go func(i int, nd *hlrc.Node) {
 			defer wg.Done()
-			crashed, err := runNode(nd, prog)
+			crashed, fenced, err := runNode(nd, prog)
 			if crashed {
 				err = fmt.Errorf("node %d crashed without a crash plan", i)
+			}
+			if fenced {
+				err = fmt.Errorf("node %d was fenced without a partition plan", i)
 			}
 			errs[i] = err
 		}(i, nd)
@@ -406,7 +427,10 @@ func RunWithCrash(cfg Config, prog Program, plan CrashPlan) (*Report, error) {
 	ch := make(chan done, c.cfg.Nodes)
 	for i, nd := range c.nodes {
 		go func(i int, nd *hlrc.Node) {
-			crashed, err := runNode(nd, prog)
+			crashed, fenced, err := runNode(nd, prog)
+			if err == nil && fenced {
+				err = fmt.Errorf("node %d was fenced without a partition plan", i)
+			}
 			if err == nil && crashed {
 				if i != plan.Victim {
 					err = fmt.Errorf("node %d crashed but victim is %d", i, plan.Victim)
@@ -482,11 +506,11 @@ func (c *cluster) recoverVictim(prog Program, plan CrashPlan, out *RecoveryRepor
 	}
 	nd.SetDelegate(rep)
 
-	crashed, err := runNode(nd, prog)
+	crashed, fenced, err := runNode(nd, prog)
 	if err != nil {
 		return err
 	}
-	if crashed {
+	if crashed || fenced {
 		return fmt.Errorf("core: victim %d crashed again during recovery", plan.Victim)
 	}
 	if !rep.Detached() {

@@ -61,6 +61,134 @@ type Plan struct {
 	// MaxAttempts bounds send attempts per request. Zero selects
 	// DefaultMaxAttempts.
 	MaxAttempts int
+
+	// Partitions splits the cluster into link-groups for virtual-time
+	// windows. A copy whose departure falls inside a window and whose
+	// endpoints sit in different groups is lost exactly like a drop
+	// fault; the sender's ARQ burns retransmission timeouts until the
+	// window heals. Like every other fate the decision is a pure
+	// function of virtual time, so the schedule replays identically.
+	Partitions PartitionPlan
+}
+
+// PartitionWindow isolates link-groups of the cluster for one
+// virtual-time window [Start, Start+Duration). Nodes listed in different
+// groups cannot exchange messages during the window; nodes not listed in
+// any group form one implicit group of their own (they stay connected to
+// each other but are cut from every explicit group).
+type PartitionWindow struct {
+	Start    simtime.Time
+	Duration simtime.Duration
+	Groups   [][]int
+}
+
+// End returns the first instant after the window has healed.
+func (w PartitionWindow) End() simtime.Time { return w.Start + simtime.Time(w.Duration) }
+
+// groupOf returns the index of the explicit group containing the node,
+// or -1 when the node is unlisted (the implicit group).
+func (w PartitionWindow) groupOf(node int) int {
+	for gi, g := range w.Groups {
+		for _, n := range g {
+			if n == node {
+				return gi
+			}
+		}
+	}
+	return -1
+}
+
+// Cuts reports whether the window severs the link between the two nodes
+// at the given instant.
+func (w PartitionWindow) Cuts(from, to int, at simtime.Time) bool {
+	if at < w.Start || at >= w.End() {
+		return false
+	}
+	return w.groupOf(from) != w.groupOf(to)
+}
+
+// PartitionPlan is a validated schedule of partition windows. The zero
+// value injects nothing.
+type PartitionPlan struct {
+	Windows []PartitionWindow
+}
+
+// Enabled reports whether the plan contains any window.
+func (pp PartitionPlan) Enabled() bool { return len(pp.Windows) > 0 }
+
+// Validate rejects structurally malformed plans: non-positive windows,
+// overlapping windows, fewer than two groups, empty groups, and nodes
+// appearing in more than one group of the same window.
+func (pp PartitionPlan) Validate() error {
+	for i, w := range pp.Windows {
+		if w.Start < 0 {
+			return fmt.Errorf("fault: partition window %d: negative start %d", i, w.Start)
+		}
+		if w.Duration <= 0 {
+			return fmt.Errorf("fault: partition window %d: non-positive duration %d", i, w.Duration)
+		}
+		if len(w.Groups) < 2 {
+			return fmt.Errorf("fault: partition window %d: needs at least 2 groups, got %d", i, len(w.Groups))
+		}
+		seen := map[int]bool{}
+		for gi, g := range w.Groups {
+			if len(g) == 0 {
+				return fmt.Errorf("fault: partition window %d: group %d is empty", i, gi)
+			}
+			for _, n := range g {
+				if n < 0 {
+					return fmt.Errorf("fault: partition window %d: negative node %d", i, n)
+				}
+				if seen[n] {
+					return fmt.Errorf("fault: partition window %d: node %d in more than one group", i, n)
+				}
+				seen[n] = true
+			}
+		}
+		for j, v := range pp.Windows {
+			if j <= i {
+				continue
+			}
+			if w.Start < v.End() && v.Start < w.End() {
+				return fmt.Errorf("fault: partition windows %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateNodes additionally rejects windows naming nodes outside
+// [0, n). It is split from Validate because the fault package does not
+// know the cluster size; the run layer calls it with the configured
+// node count.
+func (pp PartitionPlan) ValidateNodes(n int) error {
+	if err := pp.Validate(); err != nil {
+		return err
+	}
+	for i, w := range pp.Windows {
+		for _, g := range w.Groups {
+			for _, node := range g {
+				if node >= n {
+					return fmt.Errorf("fault: partition window %d: node %d outside cluster of %d", i, node, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Cut reports whether any window severs the link from→to at the given
+// instant. Self-links are never cut.
+func (pp PartitionPlan) Cut(from, to int, at simtime.Time) bool {
+	if from == to {
+		return false
+	}
+	for _, w := range pp.Windows {
+		if w.Cuts(from, to, at) {
+			return true
+		}
+	}
+	return false
 }
 
 // CrashPoint selects where, relative to a synchronization operation, an
@@ -121,7 +249,8 @@ const (
 
 // Enabled reports whether the plan injects any fault at all.
 func (p Plan) Enabled() bool {
-	return p.DropProb > 0 || p.DupProb > 0 || p.DelayProb > 0 || p.TornWriteOnCrash
+	return p.DropProb > 0 || p.DupProb > 0 || p.DelayProb > 0 || p.TornWriteOnCrash ||
+		p.Partitions.Enabled()
 }
 
 // Validate rejects probabilities outside [0, 1] and negative knobs.
@@ -137,7 +266,16 @@ func (p Plan) Validate() error {
 	if p.MaxDelay < 0 || p.RetryTimeout < 0 || p.MaxAttempts < 0 {
 		return fmt.Errorf("fault: negative retry/delay parameter")
 	}
-	return nil
+	return p.Partitions.Validate()
+}
+
+// ValidateNodes is Validate plus the cluster-size check on the partition
+// schedule (see PartitionPlan.ValidateNodes).
+func (p Plan) ValidateNodes(n int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return p.Partitions.ValidateNodes(n)
 }
 
 // RetryBase returns the effective base retransmission timeout.

@@ -71,6 +71,11 @@ func (nd *Node) fetchPage(p memory.PageID) {
 				home = nd.effectiveNode(home)
 				continue
 			}
+			if m.Kind == KindFenced {
+				// This incarnation was declared dead while partitioned:
+				// unwind to the runner for re-admission via rejoin.
+				panic(ErrFenced)
+			}
 			if m.Kind == KindRedirectHome {
 				nd.stats.RedirectedCalls.Add(1)
 				home = int(m.Payload.(*RedirectHome).Home)

@@ -139,6 +139,13 @@ func (nd *Node) handleObit(m transport.Message, at simtime.Time) {
 	dead := int(ob.Node)
 	d := nd.leaseExpiry(ob.At)
 	nd.trc.SvcInstant(obsv.EvObit, at, int64(dead), int64(ob.At))
+	if ob.Epoch > 0 && nd.ep.AdoptEpoch(ob.Epoch) {
+		// Partition-flow obituary: carries the membership epoch the
+		// death declaration bumped the cluster to. Adopting it makes
+		// every message this node sends from here on fence-proof
+		// against the declared-dead sender's stale incarnation.
+		nd.stats.EpochBumps.Add(1)
+	}
 
 	nd.mu.Lock()
 	if nd.adoptedFrom < 0 && nd.successorOf(dead) == nd.cfg.ID {

@@ -17,6 +17,13 @@ import (
 // goroutine when a fail-stop crash is injected. The runner recovers it.
 var ErrCrashed = errors.New("hlrc: node crashed (injected fail-stop)")
 
+// ErrFenced is the panic value used to unwind a node's application
+// goroutine when a peer rejects one of its messages as stale-epoch
+// (the node was declared dead — rightly or wrongly — and the cluster
+// has moved on). The runner recovers it and re-admits the node through
+// the rejoin protocol.
+var ErrFenced = errors.New("hlrc: fenced (stale membership epoch; node was declared dead)")
+
 // Config describes one node of the home-based SDSM.
 type Config struct {
 	ID       int
@@ -157,12 +164,25 @@ type Node struct {
 	// and to place crash points.
 	opIndex int32
 	// lastSyncResume is the completion time of the node's most recent
-	// synchronization operation (application goroutine only). It is the
-	// arrival cutoff for deterministic release-flush composition: every
-	// handler-staged record that arrived by then is causally fenced (a
-	// barrier release implies all peers' earlier diff updates are out),
-	// so filtering by it is both deterministic and eventually complete.
+	// synchronization operation (application goroutine only).
 	lastSyncResume simtime.Time
+	// lastSyncStamp is the manager-side stamp (reply SentAt) of the
+	// grant or barrier release that opened the node's current interval
+	// (application goroutine only). It is the arrival cutoff for
+	// deterministic release-flush composition: every handler-staged
+	// record that arrived by then causally precedes the manager event,
+	// so filtering by it is deterministic and eventually complete. The
+	// locally observed resume time (lastSyncResume) is NOT a sound
+	// cutoff: it also carries fault-injected retransmission charges that
+	// exist only on this node's clock, pushing it above what causality
+	// bounds (ROADMAP item 4).
+	lastSyncStamp simtime.Time
+	// barrierRound[b] counts the barrier-b releases this node has
+	// consumed (application goroutine only; read under mu by the arrival
+	// fence's gate callback). A peer parked on round r of barrier b is
+	// gated by this node while barrierRound[b] <= r: the release that
+	// wakes it still needs this node's own check-in.
+	barrierRound map[int32]int64
 	// crashedAt records the op at which the injected crash fired (-1
 	// until then).
 	crashedAt int32
@@ -176,6 +196,13 @@ type Node struct {
 	// CrashPoint refines where the fail-stop fires relative to the sync
 	// op (fault.CrashPoint; the zero value keeps the quiescent default).
 	CrashPoint fault.CrashPoint
+	// PartitionFor, when positive, turns the injected failure at CrashOp
+	// into a network partition instead of a fail-stop: the node is cut
+	// off from every peer for this long (virtual time), declared dead by
+	// the survivors when its lease expires inside the window, and keeps
+	// running — so its post-heal traffic is exercised against the epoch
+	// fence and the runner re-admits it through the rejoin protocol.
+	PartitionFor simtime.Duration
 	// TwinsFromOp, during recovery replay, re-enables twin creation for
 	// ops >= the value so the crashed open interval's diffs can be
 	// recomputed and flushed at detach (-1: never, the default).
@@ -246,6 +273,7 @@ func NewNode(cfg Config, nw *transport.Network, clock *simtime.Clock, hooks LogH
 		notices:       NewNoticeStore(cfg.N),
 		grantVT:       make(map[int32]vclock.VC),
 		lastBarrierVT: vclock.New(cfg.N),
+		barrierRound:  make(map[int32]int64),
 		ver:           make([]vclock.VC, cfg.NumPages),
 		undo:          make(map[memory.PageID][]undoEntry),
 		CrashOp:       -1,
@@ -388,6 +416,25 @@ func (nd *Node) serve(stop <-chan struct{}, done chan<- struct{}) {
 // artificially serialize remote misses behind it).
 func (nd *Node) handle(m transport.Message) {
 	at := nd.ep.ArrivalOf(m) + simtime.Time(nd.cfg.Model.MsgHandling)
+	if nd.cfg.LeaseDuration > 0 && m.From != nd.cfg.ID && m.Kind != KindObit && m.Kind != KindFenced {
+		// Membership fence: a message stamped with an epoch older than
+		// the sender's own death epoch was sent by an incarnation the
+		// cluster has already declared dead — typically a partitioned
+		// node whose pre-heal state is arriving late. Acting on it
+		// (serving a home update, accepting a lock release) would be
+		// split-brain; instead the request is NACKed with a typed
+		// diagnostic so the sender's wait-site can escalate to rejoin.
+		// Obituaries are exempt (they carry the epoch bump itself) and
+		// so are fence NACKs.
+		if de := nd.ep.DeathEpoch(m.From); de > 0 && m.Epoch < de {
+			nd.stats.FencedMsgs.Add(1)
+			if m.WantsReply() {
+				f := &Fenced{Node: int32(m.From), MsgEpoch: m.Epoch, DeathEpoch: de, Epoch: nd.ep.EpochView()}
+				nd.ep.ReplyAt(at, m, KindFenced, f.WireSize(), f)
+			}
+			return
+		}
+	}
 	if nd.cfg.LeaseDuration > 0 && m.From >= 0 && m.From < len(nd.lastHeard) {
 		// Piggybacked lease renewal: hearing anything from a peer renews
 		// its lease — no dedicated heartbeat traffic.

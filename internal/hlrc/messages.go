@@ -37,6 +37,9 @@ const (
 	// pre-existing kind keeps its wire value.
 	KindObit         // manager → all: node declared dead after lease expiry
 	KindRedirectHome // reply: "not my page (anymore) — ask Home instead"
+	// Epoch-fencing kind (partition-safe membership; see DESIGN.md §2.13).
+	// Appended so every pre-existing kind keeps its wire value.
+	KindFenced // reply: "your epoch predates your death declaration"
 )
 
 // Register display names for the per-kind wire counters and the trace
@@ -62,6 +65,7 @@ func init() {
 		KindRecBarrierReply: "rec-barrier-reply",
 		KindObit:            "obituary",
 		KindRedirectHome:    "redirect-home",
+		KindFenced:          "fenced",
 	} {
 		obsv.RegisterKindName(uint8(kind), name)
 	}
@@ -82,7 +86,7 @@ func WirePayloads() []any {
 		&RecPageReq{}, &RecPageReply{},
 		&RecDiffsReq{}, &RecDiffsReply{},
 		&RecSyncReq{}, &RecGrantReply{}, &RecBarrierReply{},
-		&Obituary{}, &RedirectHome{},
+		&Obituary{}, &RedirectHome{}, &Fenced{},
 	}
 }
 
@@ -315,13 +319,17 @@ func (m *RecBarrierReply) WireSize() int {
 // Obituary announces that Node was declared dead at virtual time At (its
 // lease expired). The lock manager originates it; every survivor uses it
 // to start redirecting traffic for the victim's homes to the successor.
+// Epoch is the membership epoch the declaration bumped the cluster to
+// (zero on pre-epoch obituaries); survivors adopt it, after which every
+// message the buried incarnation still has in flight is fenceably stale.
 type Obituary struct {
-	Node int32
-	At   simtime.Time
+	Node  int32
+	At    simtime.Time
+	Epoch int64
 }
 
 // WireSize is the accounted message size.
-func (Obituary) WireSize() int { return 12 }
+func (Obituary) WireSize() int { return 20 }
 
 // RedirectHome answers a request for a page this node is not (or no
 // longer) responsible for: ask Home instead. Senders re-resolve and retry;
@@ -334,6 +342,22 @@ type RedirectHome struct {
 
 // WireSize is the accounted message size.
 func (RedirectHome) WireSize() int { return 12 }
+
+// Fenced is the typed fencing diagnostic answering a request whose
+// sender's epoch predates the sender's own death declaration: the node
+// was declared dead (rightly or wrongly) and must not act as home, lock
+// holder or barrier participant with pre-declaration state. The fenced
+// node aborts its current incarnation and re-admits itself through the
+// rejoin path (see internal/core), which bumps it past DeathEpoch.
+type Fenced struct {
+	Node       int32 // the fenced (stale) node
+	MsgEpoch   int64 // the stale epoch the offending message carried
+	DeathEpoch int64 // the epoch of the sender's death declaration
+	Epoch      int64 // the responder's current epoch view
+}
+
+// WireSize is the accounted message size.
+func (Fenced) WireSize() int { return 28 }
 
 // AdoptedDiff is one diff received directly by an adopter for a page in
 // its custody, with the ordering key it is applied under. Custody rebuilds

@@ -150,6 +150,9 @@ func (nd *Node) FlushReplayDiffs() {
 		sz := du.WireSize()
 		nd.stats.DiffBytesSent.Add(int64(sz))
 		resp := nd.ep.CallAsync(to, KindDiffUpdate, sz, du).WaitDetached(nd.clock)
+		if resp.Kind == KindFenced {
+			panic(ErrFenced)
+		}
 		if resp.Kind == KindRedirectHome {
 			nd.stats.RedirectedCalls.Add(1)
 			to = int(resp.Payload.(*RedirectHome).Home)

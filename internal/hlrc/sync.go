@@ -28,10 +28,14 @@ func (nd *Node) AcquireLock(lock int) {
 	// The sync-wait mark lets peers' arrival fences skip this node while
 	// it blocks for the grant (see transport.Endpoint.FenceArrivalsBefore);
 	// no DiffUpdate is sent between here and the wake-up, so skipping is
-	// safe for flush composition.
-	nd.ep.BeginSyncWait()
+	// safe for flush composition. The tag names the lock so a fence can
+	// bound this node's wake by the published holder's clock.
+	nd.ep.BeginSyncWait(nd.clock.Now(), transport.LockTag(int64(l)))
 	resp := nd.ep.Call(nd.lockManagerFor(l), KindLockReq, req.WireSize(), req)
 	nd.ep.EndSyncWait()
+	if resp.Kind == KindFenced {
+		panic(ErrFenced)
+	}
 	g := resp.Payload.(*LockGrant)
 
 	nd.mu.Lock()
@@ -52,9 +56,20 @@ func (nd *Node) AcquireLock(lock int) {
 	nd.grantVT[l] = g.VT.Clone()
 	nd.opIndex++
 	nd.mu.Unlock()
+	// Holder registry: visible from here until just before the release
+	// leaves (FinishReleaseLive), so a fence reading it can bound a
+	// parked waiter's wake by this node's clock.
+	nd.ep.PublishLockHeld(int64(l))
 	nd.stats.LockAcquires.Add(1)
 	end := nd.clock.Now()
 	nd.lastSyncResume = end
+	// The grant's manager-side stamp is the causal cut separating the
+	// previous interval from this one: every peer message that should
+	// land in the previous flush composition was sent before the manager
+	// let this node proceed. resp.SentAt is stable across retransmission
+	// (cached grants replay at their original stamps), unlike the local
+	// resume time, which carries RTO charges.
+	nd.lastSyncStamp = resp.SentAt
 	nd.trc.Span(obsv.EvLockAcquire, t0, end, int64(l), int64(op))
 	nd.trc.Observe(obsv.HistLockStall, int64(end-t0))
 }
@@ -70,6 +85,12 @@ func (nd *Node) ReleaseLock(lock int) {
 		return
 	}
 	crashing := nd.crashingAt(op)
+	if crashing && nd.PartitionFor > 0 {
+		// Connectivity loss, not fail-stop: the node stays up and keeps
+		// executing this op; only its links are cut (see partitionOnset).
+		nd.partitionOnset(op)
+		crashing = false
+	}
 	if crashing {
 		nd.StopService()
 		if nd.CrashPoint != fault.PointSyncExit {
@@ -105,7 +126,14 @@ func (nd *Node) FinishReleaseLive(op int32, l int32) {
 	rel := &LockRelease{Lock: l, VT: nd.vt.Clone(), Notices: nd.notices.Delta(gvt)}
 	nd.opIndex++
 	nd.mu.Unlock()
+	// Strictly before the release leaves: the fence's holder-bound skip
+	// relies on "registry entry visible ⇒ release still in this node's
+	// future" (see transport.Endpoint.ClearLockHeld).
+	nd.ep.ClearLockHeld(int64(l))
 	nd.ep.Send(nd.lockManagerFor(l), KindLockRelease, rel.WireSize(), rel)
+	// lastSyncStamp is NOT advanced here: the release is one-way, so
+	// there is no manager-side stamp to adopt; arrivals after it are
+	// fenced by the next acquire/barrier's grant stamp instead.
 	nd.lastSyncResume = nd.clock.Now()
 }
 
@@ -129,6 +157,11 @@ func (nd *Node) Barrier(barrier int) {
 		return
 	}
 	crashing := nd.crashingAt(op)
+	if crashing && nd.PartitionFor > 0 {
+		// Connectivity loss, not fail-stop (see ReleaseLock).
+		nd.partitionOnset(op)
+		crashing = false
+	}
 	if crashing {
 		nd.StopService()
 		if nd.CrashPoint != fault.PointSyncExit {
@@ -153,18 +186,26 @@ func (nd *Node) Barrier(barrier int) {
 func (nd *Node) FinishBarrierLive(op int32, b int32) {
 	nd.mu.Lock()
 	ci := &BarrierCheckin{Barrier: b, VT: nd.vt.Clone(), Notices: nd.notices.Delta(nd.lastBarrierVT)}
+	round := nd.barrierRound[b]
 	nd.mu.Unlock()
 	// Sync-wait mark: peers' arrival fences skip a node parked at the
 	// barrier (anything it sends after the release is past their cutoffs).
-	nd.ep.BeginSyncWait()
+	// The tag names the barrier round so a fencing peer that still owes
+	// its own check-in to this round recognizes the park as gated by
+	// itself and never spins on it (the wake is behind the fencer).
+	nd.ep.BeginSyncWait(nd.clock.Now(), transport.BarrierTag(int64(b), round))
 	resp := nd.ep.Call(nd.cfg.BarrierManagerNode, KindBarrierCheckin, ci.WireSize(), ci)
 	nd.ep.EndSyncWait()
+	if resp.Kind == KindFenced {
+		panic(ErrFenced)
+	}
 	rel := resp.Payload.(*BarrierRelease)
 	nd.mu.Lock()
 	nd.hooks.OnAcquireNotices(op, rel.Notices)
 	nd.applyNoticesLocked(rel.Notices)
 	nd.vt.Merge(rel.VT)
 	nd.lastBarrierVT = rel.VT.Clone()
+	nd.barrierRound[b] = round + 1
 	nd.opIndex++
 	nd.mu.Unlock()
 	nd.stats.Barriers.Add(1)
@@ -172,6 +213,9 @@ func (nd *Node) FinishBarrierLive(op int32, b int32) {
 		nd.PostBarrier(op)
 	}
 	nd.lastSyncResume = nd.clock.Now()
+	// See AcquireLock: the manager-side release stamp is the sound cutoff
+	// for the next interval's arrival fence.
+	nd.lastSyncStamp = resp.SentAt
 }
 
 // failStop records the crash op and unwinds the application goroutine.
@@ -199,6 +243,57 @@ func (nd *Node) failStop(op int32) {
 		}
 	}
 	panic(ErrCrashed)
+}
+
+// partitionOnset is the connectivity-loss variant of failStop: instead of
+// unwinding, the node is cut off from every peer for PartitionFor of
+// virtual time while the cluster — whose lease detectors cannot tell a
+// partitioned node from a dead one — declares it dead, bumps the
+// membership epoch, and fails over its homes and locks. The victim keeps
+// running (service loop up, state intact): its in-window sends burn
+// retransmission timeouts against the cut, and the first post-heal
+// request is fenced by the receiver's epoch gate, unwinding the
+// application goroutine with ErrFenced so the runner can re-admit it
+// through the rejoin protocol. Obituaries travel via SendDetector —
+// modeling the survivors' own lease-expiry detectors, which the
+// partition cannot silence — and carry the bumped epoch.
+func (nd *Node) partitionOnset(op int32) {
+	tc := nd.clock.Now()
+	nd.mu.Lock()
+	nd.crashedAt = op
+	nd.mu.Unlock()
+	nd.CrashOp = -1 // fire once; later ops run normally until fenced
+	nd.ep.MarkCrashed(tc)
+	e := nd.ep.DeclareDead(nd.cfg.ID)
+	ob := &Obituary{Node: int32(nd.cfg.ID), At: tc, Epoch: e}
+	for i := 0; i < nd.cfg.N; i++ {
+		if i != nd.cfg.ID {
+			nd.ep.SendDetector(i, KindObit, ob.WireSize(), ob)
+		}
+	}
+	nd.ep.InstallPartition(fault.PartitionWindow{
+		Start:    tc,
+		Duration: nd.PartitionFor,
+		Groups:   [][]int{{nd.cfg.ID}}, // everyone else: implicit far side
+	})
+}
+
+// gatesPeerPark is the arrival fence's gatedByMe callback: it reports
+// whether a peer's sync park waits on a resource this node itself gates —
+// a lock this node currently holds, or a barrier round this node has not
+// yet checked into. Such a park's wake is causally behind the fencing
+// node's own next release/check-in, so the fence must skip it (spinning
+// would deadlock) and soundly can: nothing the peer sends after that wake
+// can arrive at or before a cutoff stamped strictly earlier.
+func (nd *Node) gatesPeerPark(peer int, tag int64) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if b, round, ok := transport.TagBarrier(tag); ok {
+		return nd.barrierRound[int32(b)] <= round
+	}
+	l, _ := transport.TagLock(tag)
+	_, held := nd.grantVT[int32(l)]
+	return held
 }
 
 // assertCrashPoint validates the non-quiescent crash-point preconditions
@@ -299,12 +394,18 @@ func (nd *Node) closeAndPropagate(op int32) {
 	// composed from handler-staged records that arrived by the previous
 	// synchronization point. Fence those arrivals first — a real-time-only
 	// wait — so the composition cannot depend on goroutine scheduling.
-	// Skipped while the service loop is down (the fail-stop crash path
-	// closes the interval after StopService: the inbox is frozen) and
-	// during recovery replay.
-	cutoff := nd.lastSyncResume
+	// The cutoff is the manager-side stamp of the grant/release that
+	// opened this interval (lastSyncStamp): the true causal cut — any
+	// handler-staged record belonging to this flush was sent before the
+	// manager let this node proceed. The locally observed resume time is
+	// NOT sound here: it carries retransmission-timeout charges, so under
+	// faults it drifts past peers' send stamps and the fence would wait
+	// for arrivals that belong to the *next* interval. Skipped while the
+	// service loop is down (the fail-stop crash path closes the interval
+	// after StopService: the inbox is frozen) and during recovery replay.
+	cutoff := nd.lastSyncStamp
 	if nd.hooks.DeterministicFlush() && nd.stopSvc != nil && nd.delegate == nil {
-		nd.ep.FenceArrivalsBefore(cutoff)
+		nd.ep.FenceArrivalsBefore(cutoff, nd.gatesPeerPark)
 	}
 	nd.mu.Lock()
 	dirty := nd.pt.DirtyPages()
@@ -454,6 +555,12 @@ func (nd *Node) closeAndPropagate(op int32) {
 				f.to = nd.effectiveNode(f.to)
 				f.pd = nd.ep.CallAsync(f.to, KindDiffUpdate, f.du.WireSize(), f.du)
 				continue
+			}
+			if resp.Kind == KindFenced {
+				// The receiver's cluster has declared this sender dead:
+				// this incarnation's diffs must not land anywhere. Unwind
+				// to the runner, which re-admits the node via rejoin.
+				panic(ErrFenced)
 			}
 			if resp.Kind == KindRedirectHome {
 				// The receiver no longer serves these pages: follow the

@@ -34,6 +34,12 @@ type Counters struct {
 	RedirectedCalls  atomic.Int64 // requests re-resolved against an adopter (or back home)
 	LeaseWaitsServed atomic.Int64 // operations stalled until a dead peer's lease expired
 
+	// Membership-epoch counters (partition-safe fencing and rejoin).
+	EpochBumps   atomic.Int64 // epoch adoptions that advanced this node's view
+	FencedMsgs   atomic.Int64 // stale-epoch messages this node fenced
+	RejoinPhases atomic.Int64 // catch-up phases run while re-admitting this node
+	RejoinServed atomic.Int64 // operations this node completed after rejoining
+
 	// Home-less (TreadMarks-style) ablation engine counters.
 	FetchRounds   atomic.Int64 // multi-writer diff fetch rounds
 	DiffsFetched  atomic.Int64 // diffs fetched during those rounds
@@ -64,6 +70,11 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		LockRevocations:  c.LockRevocations.Load(),
 		RedirectedCalls:  c.RedirectedCalls.Load(),
 		LeaseWaitsServed: c.LeaseWaitsServed.Load(),
+
+		EpochBumps:   c.EpochBumps.Load(),
+		FencedMsgs:   c.FencedMsgs.Load(),
+		RejoinPhases: c.RejoinPhases.Load(),
+		RejoinServed: c.RejoinServed.Load(),
 
 		FetchRounds:   c.FetchRounds.Load(),
 		DiffsFetched:  c.DiffsFetched.Load(),
@@ -96,6 +107,11 @@ type CountersSnapshot struct {
 	RedirectedCalls  int64 `json:"redirected_calls,omitempty"`
 	LeaseWaitsServed int64 `json:"lease_waits_served,omitempty"`
 
+	EpochBumps   int64 `json:"epoch_bumps,omitempty"`
+	FencedMsgs   int64 `json:"fenced_msgs,omitempty"`
+	RejoinPhases int64 `json:"rejoin_phases,omitempty"`
+	RejoinServed int64 `json:"rejoin_served,omitempty"`
+
 	FetchRounds   int64 `json:"fetch_rounds,omitempty"`
 	DiffsFetched  int64 `json:"diffs_fetched,omitempty"`
 	BytesRetained int64 `json:"bytes_retained,omitempty"`
@@ -125,6 +141,10 @@ func (s CountersSnapshot) Each(fn func(name string, v int64)) {
 	fn("lock_revocations", s.LockRevocations)
 	fn("redirected_calls", s.RedirectedCalls)
 	fn("lease_waits_served", s.LeaseWaitsServed)
+	fn("epoch_bumps", s.EpochBumps)
+	fn("fenced_msgs", s.FencedMsgs)
+	fn("rejoin_phases", s.RejoinPhases)
+	fn("rejoin_served", s.RejoinServed)
 	fn("fetch_rounds", s.FetchRounds)
 	fn("diffs_fetched", s.DiffsFetched)
 	fn("bytes_retained", s.BytesRetained)
@@ -151,6 +171,10 @@ func (s *CountersSnapshot) Add(o CountersSnapshot) {
 	s.LockRevocations += o.LockRevocations
 	s.RedirectedCalls += o.RedirectedCalls
 	s.LeaseWaitsServed += o.LeaseWaitsServed
+	s.EpochBumps += o.EpochBumps
+	s.FencedMsgs += o.FencedMsgs
+	s.RejoinPhases += o.RejoinPhases
+	s.RejoinServed += o.RejoinServed
 	s.FetchRounds += o.FetchRounds
 	s.DiffsFetched += o.DiffsFetched
 	s.BytesRetained += o.BytesRetained

@@ -406,6 +406,47 @@ func (str *stream) tearTail(r uint64) int {
 	return destroyed
 }
 
+// TruncateFromOp discards every log record belonging to synchronization
+// op >= op, returning the number of records dropped. The rejoin protocol
+// calls it when re-admitting a node that was wrongly declared dead while
+// partitioned: the stale incarnation kept logging ops the cluster never
+// acknowledged (their diffs were cut or fenced on the wire), and those
+// records must not survive into the replayed incarnation — the re-executed
+// ops run against the healed cluster's state and may produce different
+// diffs under the same (writer, seq) keys, which would corrupt the
+// offline image assembly. Per-node op indices are monotone, so the
+// discarded records form a suffix of each stream; LSN-vector sums stay
+// contiguous for records appended afterwards because every dropped
+// record's sum was larger than every kept one's. Like a real WAL
+// truncation, the on-disk image and the byte accounting rewind with the
+// records (the auditor cross-checks dissected bytes against the store's
+// charges); the flush and write counts stay — those operations happened.
+func (s *Store) TruncateFromOp(op int32) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for i := range s.streams {
+		str := &s.streams[i]
+		keep := len(str.log)
+		cut := int64(0)
+		for keep > 0 && str.log[keep-1].Op >= op {
+			keep--
+			cut += int64(str.log[keep].WireSize())
+		}
+		dropped += len(str.log) - keep
+		if keep < len(str.log) {
+			str.log = str.log[:keep:keep]
+			str.disk = str.disk[:int64(len(str.disk))-cut]
+			str.bytes -= cut
+			s.logBytes -= cut
+			if str.lastFlush > keep {
+				str.lastFlush = keep
+			}
+		}
+	}
+	return dropped
+}
+
 // mergedLocked returns all streams' records merged into the global
 // append order (ascending LSN-vector sum). On a single-stream store
 // this is simply the log.

@@ -90,7 +90,7 @@ func TestFenceEmptyInbox(t *testing.T) {
 		t.Helper()
 		done := make(chan struct{})
 		go func() {
-			a.FenceArrivalsBefore(cutoff)
+			a.FenceArrivalsBefore(cutoff, nil)
 			close(done)
 		}()
 		select {
@@ -111,12 +111,39 @@ func TestFenceEmptyInbox(t *testing.T) {
 	c.Clock().Advance(simtime.Duration(cutoff) * 2)
 	fence(cutoff)
 
-	// A future cutoff with one peer lagging but parked in a sync wait:
-	// the fence must skip it rather than spin forever.
+	// A future cutoff with one peer lagging but parked in a sync wait
+	// whose request stamp is past the cutoff: the fence must skip it
+	// rather than spin forever.
 	far := b.Clock().Now() * 4
 	c.Clock().AdvanceTo(far * 2)
-	b.BeginSyncWait()
+	b.BeginSyncWait(far, LockTag(7))
 	fence(far)
+	b.EndSyncWait()
+
+	// The same lagging peer parked with an *early* stamp on a lock whose
+	// published holder's clock is already past the cutoff: the
+	// holder-bound skip must release the fence.
+	c.PublishLockHeld(7)
+	b.BeginSyncWait(0, LockTag(7))
+	fence(far)
+	b.EndSyncWait()
+	c.ClearLockHeld(7)
+
+	// And parked early on a resource gated by the fencing node itself.
+	b.BeginSyncWait(0, BarrierTag(3, 0))
+	done := make(chan struct{})
+	go func() {
+		a.FenceArrivalsBefore(far, func(peer int, tag int64) bool {
+			bar, round, ok := TagBarrier(tag)
+			return ok && peer == b.ID() && bar == 3 && round == 0
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("fence hung on a peer parked on a resource gated by the fencer")
+	}
 	b.EndSyncWait()
 
 	// The counters a drained empty inbox leaves behind: nothing

@@ -39,14 +39,16 @@ const (
 const (
 	frameMagic = 0x5D53 // "S]" — stamps every frame body
 	// Version 2 extended the fixed header with the piggybacked trace
-	// context (trace id, parent span id, origin tag).
-	frameVersion = 2
+	// context (trace id, parent span id, origin tag). Version 3 appended
+	// the sender's membership-epoch view, so epoch fencing works
+	// identically over real sockets.
+	frameVersion = 3
 
 	// prefixLen is the length-prefix + CRC preamble: u32 body length,
 	// u32 IEEE CRC over the body.
 	prefixLen = 8
 	// headerLen is the fixed body header.
-	headerLen = 2 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 1
+	headerLen = 2 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 1 + 8
 )
 
 // DefaultMaxFrame bounds a frame's body length. It must exceed the
@@ -73,7 +75,9 @@ type Frame struct {
 	TraceID  uint64
 	SpanID   uint64
 	TraceTag uint8
-	Payload  any
+	// Epoch is the sender's membership-epoch view (transport fencing).
+	Epoch   int64
+	Payload any
 }
 
 // payloadBox wraps the message payload so gob encodes the interface
@@ -110,6 +114,7 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	binary.LittleEndian.PutUint64(h[58:], f.TraceID)
 	binary.LittleEndian.PutUint64(h[66:], f.SpanID)
 	h[74] = f.TraceTag
+	binary.LittleEndian.PutUint64(h[75:], uint64(f.Epoch))
 	dst = append(dst, h[:]...)
 	if f.Payload != nil {
 		var pb bytes.Buffer
@@ -158,6 +163,7 @@ func DecodeBody(body []byte) (*Frame, error) {
 	f.TraceID = binary.LittleEndian.Uint64(body[58:])
 	f.SpanID = binary.LittleEndian.Uint64(body[66:])
 	f.TraceTag = body[74]
+	f.Epoch = int64(binary.LittleEndian.Uint64(body[75:]))
 	rest := body[headerLen:]
 	if flags&flagHasPayload == 0 {
 		if len(rest) != 0 {

@@ -183,6 +183,7 @@ func (fab *Fabric) Deliver(m transport.Message) {
 		SentAt: int64(m.SentAt), Size: int32(m.Size),
 		ExtraDelay: int64(extra), DropReply: dropReply,
 		TraceID: m.Trace.TraceID, SpanID: m.Trace.SpanID, TraceTag: m.Trace.Tag,
+		Epoch:   m.Epoch,
 		Payload: m.Payload,
 	}
 	if ch := m.ReplyBinding(); ch != nil {
@@ -446,7 +447,7 @@ func (fab *Fabric) injectMsg(f *Frame) {
 		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
 		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
 		Trace:   obsv.TraceCtx{TraceID: f.TraceID, SpanID: f.SpanID, Tag: f.TraceTag},
-		Payload: f.Payload, Seq: f.Seq, ReqID: f.ReqID,
+		Payload: f.Payload, Seq: f.Seq, ReqID: f.ReqID, Epoch: f.Epoch,
 	}
 	m.SetWireExtras(simtime.Duration(f.ExtraDelay), f.DropReply)
 	if f.Pending != 0 {
@@ -474,6 +475,7 @@ func (fab *Fabric) forwardReply(requester int32, pending uint64, ch chan transpo
 			ExtraDelay: int64(extra),
 			Pending:    pending,
 			TraceID:    r.Trace.TraceID, SpanID: r.Trace.SpanID, TraceTag: r.Trace.Tag,
+			Epoch:   r.Epoch,
 			Payload: r.Payload,
 		}
 		fab.link(r.From, int(requester)).send(rf)
@@ -497,7 +499,7 @@ func (fab *Fabric) resolve(f *Frame) {
 		From: int(f.From), To: int(f.To), Kind: transport.Kind(f.Kind),
 		SentAt: simtime.Time(f.SentAt), Size: int(f.Size),
 		Trace:   obsv.TraceCtx{TraceID: f.TraceID, SpanID: f.SpanID, Tag: f.TraceTag},
-		Payload: f.Payload,
+		Payload: f.Payload, Epoch: f.Epoch,
 	}
 	m.SetWireExtras(simtime.Duration(f.ExtraDelay), false)
 	select {

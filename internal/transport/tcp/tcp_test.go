@@ -115,7 +115,7 @@ func TestFabricFence(t *testing.T) {
 	for i := 0; i < burst; i++ {
 		a.Send(1, transport.Kind(3), 64, &testPayload{A: int32(i)})
 	}
-	b.FenceArrivalsBefore(1)
+	b.FenceArrivalsBefore(1, nil)
 	if got := handled.Load(); got != burst {
 		t.Fatalf("fence passed with %d of %d messages handled", got, burst)
 	}

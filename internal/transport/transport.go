@@ -31,6 +31,7 @@ package transport
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -69,6 +70,13 @@ type Message struct {
 	// a request they have already served.
 	ReqID int64
 
+	// Epoch is the sender's membership-epoch view when the message left.
+	// Handlers fence a message whose epoch predates the sender's own
+	// death declaration (see Network.DeathEpoch): a node buried while
+	// merely partitioned keeps stamping its pre-burial epoch, so its
+	// post-heal traffic is recognizably stale no matter how it is routed.
+	Epoch int64
+
 	extraDelay simtime.Duration // fault-injected extra wire latency
 	dropReply  bool             // fault: the reply to this copy is lost
 	reply      chan Message     // non-nil on requests that expect a reply
@@ -94,12 +102,14 @@ type Network struct {
 
 	// Arrival-fence state (see Endpoint.FenceArrivalsBefore): the nodes'
 	// virtual clocks as registered by NewEndpoint, per-inbox delivery and
-	// handling counters, and a per-node flag marking an application
-	// goroutine blocked inside a synchronization reply wait.
+	// handling counters, and a per-node record of an application
+	// goroutine blocked inside a synchronization reply wait (nil when
+	// not parked; the record carries the park's virtual send stamp and
+	// an opaque protocol tag naming the awaited resource).
 	clocks    []atomic.Pointer[simtime.Clock]
 	delivered []atomic.Int64 // messages enqueued into each inbox
 	handled   []atomic.Int64 // inbox messages the service loop finished
-	syncWait  []atomic.Bool
+	syncWait  []atomic.Pointer[SyncPark]
 
 	// Liveness registry (online recovery): crashed[i] holds the victim's
 	// fail-stop virtual time + 1 while node i is down, 0 while it is up.
@@ -114,10 +124,84 @@ type Network struct {
 	// its successor for the rest of the run; see internal/hlrc).
 	failedAt []atomic.Int64
 
+	// Membership epochs (partition-safe fencing): epoch is the cluster
+	// membership epoch, bumped by every death declaration and every
+	// rejoin. The network doubles as the membership manager that stamps
+	// it — the simulator shortcut for an external membership service.
+	// deathEpoch[i] is the post-bump epoch of node i's most recent death
+	// declaration (0 = never declared dead); it survives rejoin so that
+	// the buried incarnation's in-flight traffic stays fenceable.
+	// view[i] is node i's last-adopted epoch, stamped on its outgoing
+	// messages; a buried node's view is deliberately NOT advanced by its
+	// own declaration, so everything it sends afterwards is stale.
+	epoch      atomic.Int64
+	deathEpoch []atomic.Int64
+	view       []atomic.Int64
+
+	// partitions is the live schedule of partition windows: the static
+	// windows of the fault plan plus any installed at runtime (a churn
+	// scenario computes its window from the victim's onset clock).
+	partitions atomic.Pointer[[]fault.PartitionWindow]
+
+	// lockHolders is the network-wide registry of current lock holders
+	// (lock id → int32 node), maintained by PublishLockHeld and
+	// ClearLockHeld. An entry is published only after the holder's grant
+	// completed and cleared strictly before its release message leaves,
+	// so while an entry is visible the holder's release is still in that
+	// node's future — the causal bound FenceArrivalsBefore's
+	// independent-lock skip rests on.
+	lockHolders sync.Map
+
 	// fabric is the wire backend moving message copies between nodes
 	// (see fabric.go). The default in-process fabric delivers directly
 	// into the inbox channels.
 	fabric Fabric
+}
+
+// SyncPark describes one node's application goroutine parked in a
+// synchronization reply wait: At is the virtual send stamp of the
+// request that parked it, Tag the resource awaited (see LockTag and
+// BarrierTag). Peers' arrival fences use both to decide whether the
+// parked node's post-wake sends can land below their cutoffs.
+type SyncPark struct {
+	At  simtime.Time
+	Tag int64
+}
+
+// Sync-wait tags name the resource a parked node awaits. The transport
+// owns the encoding so FenceArrivalsBefore can recognize lock waits and
+// resolve their holders without a protocol callback.
+const (
+	barrierTagBit   = int64(1) << 62
+	barrierTagShift = 40
+)
+
+// LockTag tags a park awaiting the grant of a lock.
+func LockTag(lock int64) int64 { return lock }
+
+// BarrierTag tags a park awaiting a barrier release: barrier names the
+// barrier object, round how many releases of it the parker has already
+// seen (so successive rounds of one barrier are distinct resources).
+func BarrierTag(barrier, round int64) int64 {
+	return barrierTagBit | barrier<<barrierTagShift | round
+}
+
+// TagLock reports whether tag names a lock wait and, if so, which lock.
+func TagLock(tag int64) (lock int64, ok bool) {
+	if tag&barrierTagBit != 0 {
+		return 0, false
+	}
+	return tag, true
+}
+
+// TagBarrier reports whether tag names a barrier wait and, if so, the
+// barrier and round.
+func TagBarrier(tag int64) (barrier, round int64, ok bool) {
+	if tag&barrierTagBit == 0 {
+		return 0, 0, false
+	}
+	tag &^= barrierTagBit
+	return tag >> barrierTagShift, tag & (1<<barrierTagShift - 1), true
 }
 
 // DefaultInboxCap is the per-node inbox buffer. It is sized far above any
@@ -133,15 +217,21 @@ func NewNetwork(n int, model simtime.CostModel) *Network {
 	}
 	nw := &Network{
 		n: n, model: model,
-		inboxes:   make([]chan Message, n),
-		linkSeq:   make([]atomic.Int64, n*n),
-		reqSeq:    make([]atomic.Int64, n*n),
-		clocks:    make([]atomic.Pointer[simtime.Clock], n),
-		delivered: make([]atomic.Int64, n),
-		handled:   make([]atomic.Int64, n),
-		syncWait:  make([]atomic.Bool, n),
-		crashed:   make([]atomic.Int64, n),
-		failedAt:  make([]atomic.Int64, n),
+		inboxes:    make([]chan Message, n),
+		linkSeq:    make([]atomic.Int64, n*n),
+		reqSeq:     make([]atomic.Int64, n*n),
+		clocks:     make([]atomic.Pointer[simtime.Clock], n),
+		delivered:  make([]atomic.Int64, n),
+		handled:    make([]atomic.Int64, n),
+		syncWait:   make([]atomic.Pointer[SyncPark], n),
+		crashed:    make([]atomic.Int64, n),
+		failedAt:   make([]atomic.Int64, n),
+		deathEpoch: make([]atomic.Int64, n),
+		view:       make([]atomic.Int64, n),
+	}
+	nw.epoch.Store(1)
+	for i := range nw.view {
+		nw.view[i].Store(1)
 	}
 	for i := range nw.inboxes {
 		nw.inboxes[i] = make(chan Message, DefaultInboxCap)
@@ -153,11 +243,55 @@ func NewNetwork(n int, model simtime.CostModel) *Network {
 // SetFaultPlan installs the fault-injection plan. Call it once, before
 // any traffic flows; it panics on an invalid plan.
 func (nw *Network) SetFaultPlan(p fault.Plan) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateNodes(nw.n); err != nil {
 		panic(err)
 	}
 	nw.faults = p
+	if p.Partitions.Enabled() {
+		ws := append([]fault.PartitionWindow(nil), p.Partitions.Windows...)
+		nw.partitions.Store(&ws)
+	}
 }
+
+// InstallPartition adds a partition window at runtime. Churn scenarios
+// use it: the window's start is the victim's onset clock, which is only
+// known once the victim reaches its trigger op. The window is still a
+// pure function of virtual time, so cut decisions stay deterministic.
+func (nw *Network) InstallPartition(w fault.PartitionWindow) {
+	for {
+		old := nw.partitions.Load()
+		var ws []fault.PartitionWindow
+		if old != nil {
+			ws = append(ws, *old...)
+		}
+		ws = append(ws, w)
+		if nw.partitions.CompareAndSwap(old, &ws) {
+			return
+		}
+	}
+}
+
+// cutAt reports whether the link from→to is severed by a partition
+// window at the given virtual instant.
+func (nw *Network) cutAt(from, to int, at simtime.Time) bool {
+	ws := nw.partitions.Load()
+	if ws == nil {
+		return false
+	}
+	if from == to {
+		return false
+	}
+	for _, w := range *ws {
+		if w.Cuts(from, to, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// partitionsActive reports whether any partition window exists (static
+// or installed); the send paths consult the window schedule only then.
+func (nw *Network) partitionsActive() bool { return nw.partitions.Load() != nil }
 
 // FaultPlan returns the installed fault plan (zero when none).
 func (nw *Network) FaultPlan() fault.Plan { return nw.faults }
@@ -229,6 +363,48 @@ func (nw *Network) EverCrashed(id int) (simtime.Time, bool) {
 		return 0, false
 	}
 	return simtime.Time(v - 1), true
+}
+
+// Epoch returns the current cluster membership epoch (starts at 1).
+func (nw *Network) Epoch() int64 { return nw.epoch.Load() }
+
+// DeclareDead bumps the membership epoch and records the new epoch as
+// node id's death epoch. Every message the declared-dead incarnation
+// sends afterwards carries a view below the returned epoch and is
+// fenceable by handlers. The victim's own view is left untouched on
+// purpose: a partitioned-but-alive node must keep stamping its stale
+// view so survivors can recognize its post-heal traffic.
+func (nw *Network) DeclareDead(id int) int64 {
+	e := nw.epoch.Add(1)
+	nw.deathEpoch[id].Store(e)
+	return e
+}
+
+// Rejoin bumps the membership epoch and admits node id at the new one:
+// its view jumps past its death epoch, so everything its recovered
+// incarnation sends is fresh, while deathEpoch keeps fencing whatever
+// the buried incarnation still has in flight. Returns the new epoch.
+func (nw *Network) Rejoin(id int) int64 {
+	e := nw.epoch.Add(1)
+	nw.view[id].Store(e)
+	return e
+}
+
+// DeathEpoch returns the epoch at which node id was most recently
+// declared dead, or 0 if it never was. It is not cleared by rejoin.
+func (nw *Network) DeathEpoch(id int) int64 { return nw.deathEpoch[id].Load() }
+
+// NodeEpoch returns node id's current epoch view.
+func (nw *Network) NodeEpoch(id int) int64 { return nw.view[id].Load() }
+
+// adoptView raises node id's epoch view to at least e (monotone).
+func (nw *Network) adoptView(id int, e int64) {
+	for {
+		v := nw.view[id].Load()
+		if v >= e || nw.view[id].CompareAndSwap(v, e) {
+			return
+		}
+	}
 }
 
 // nextSeq issues the next wire sequence number for the link from→to.
@@ -328,13 +504,29 @@ func (e *Endpoint) WireDup(m Message) bool {
 func (e *Endpoint) MarkHandled() { e.nw.handled[e.id].Add(1) }
 
 // BeginSyncWait marks this node's application goroutine as blocked in a
-// synchronization reply wait (lock grant, barrier release). Peers' arrival
-// fences skip such a node: anything it sends after waking is causally
-// ordered behind the reply that wakes it, hence far past their cutoffs.
-func (e *Endpoint) BeginSyncWait() { e.nw.syncWait[e.id].Store(true) }
+// synchronization reply wait (lock grant, barrier release). at is the
+// virtual send stamp of the parking request, tag an opaque protocol
+// identifier of the awaited resource; peers' arrival fences use both
+// (see FenceArrivalsBefore) to decide whether this node's post-wake
+// sends can land below their cutoffs.
+func (e *Endpoint) BeginSyncWait(at simtime.Time, tag int64) {
+	e.nw.syncWait[e.id].Store(&SyncPark{At: at, Tag: tag})
+}
 
 // EndSyncWait clears the BeginSyncWait mark.
-func (e *Endpoint) EndSyncWait() { e.nw.syncWait[e.id].Store(false) }
+func (e *Endpoint) EndSyncWait() { e.nw.syncWait[e.id].Store(nil) }
+
+// PublishLockHeld records this node as the current holder of a lock in
+// the network-wide holder registry. The protocol layer calls it after a
+// grant completes; the entry lets peers' arrival fences bound the wake
+// of a node parked on the lock by this holder's clock.
+func (e *Endpoint) PublishLockHeld(lock int64) { e.nw.lockHolders.Store(lock, int32(e.id)) }
+
+// ClearLockHeld removes this node's holder-registry entry for a lock.
+// It MUST be called strictly before the release message is sent: the
+// fence's soundness needs "entry visible ⇒ release still in the
+// holder's future".
+func (e *Endpoint) ClearLockHeld(lock int64) { e.nw.lockHolders.Delete(lock) }
 
 // FenceArrivalsBefore blocks (in real time only — no virtual cost) until
 // every message whose virtual arrival at this node is <= cutoff has been
@@ -343,37 +535,70 @@ func (e *Endpoint) EndSyncWait() { e.nw.syncWait[e.id].Store(false) }
 // release flush composes its record set from arrivals up to a cutoff, and
 // without the fence the set would depend on goroutine scheduling.
 //
-// Two phases. First, for every peer, spin until its clock is close enough
-// to the cutoff that any *future* send must arrive after it (clocks are
-// monotone and a message needs at least the wire latency), or until the
-// peer is parked in a synchronization reply wait (see BeginSyncWait).
-// Sends happen in program order before the sender's clock advances past
-// them, so once a peer's clock is observed past cutoff minus the minimum
-// transit, all its <=cutoff messages are already in the inbox. Second,
-// spin until the inbox is drained (handled catches up with delivered).
+// The cutoff must be causally meaningful: callers pass the manager-side
+// stamp of the grant/release that opened the interval being closed (see
+// internal/hlrc), NOT a locally observed resume time. The local resume
+// time includes fault-injected retransmission charges that exist only on
+// this node's clock; a cutoff inflated by them is above anything
+// causality bounds and historically let parked peers wake below it
+// (ROADMAP item 4). The manager stamp is the event every in-set arrival
+// causally precedes, and it is stable across retransmissions because
+// managers replay cached grants/releases at the original stamp.
 //
-// Termination: among nodes spinning here concurrently, the one with the
-// smallest clock cannot be waiting on any peer (a spinning peer's clock
-// is at least its own cutoff, and the predicate requires that peer to be
-// more than the wire latency *below* this node's cutoff, which does not
-// exceed this node's own clock) — so it completes, and inductively all
-// do. Blocked non-spinning peers either carry the sync-wait mark or are
-// woken by service loops, which never fence.
+// Two phases. First, for every peer, spin until one of:
 //
-// Known hole (pre-existing, see ROADMAP): the sync-wait skip assumes a
-// parked peer's post-wake sends are stamped past this node's cutoff.
-// Fault-injected retransmission timeouts break that: they inflate the
-// fencing node's own resume time (the cutoff) without inflating the
-// reply that wakes the parked peer, so the peer can wake at a much
-// earlier virtual time and send messages whose arrivals land below the
-// cutoff — after the fence has already exited. Under a fault plan the
-// flush composition can therefore still depend on real scheduling
-// (TestTraceDeterministicUnderFaults flakes under load). A sound fix
-// needs a causally meaningful cutoff (the manager-side grant/release
-// stamp rather than the locally observed resume time); waiting on
-// parked peers instead of skipping them deadlocks when the peer's
-// release depends on the fencing node's own check-in.
-func (e *Endpoint) FenceArrivalsBefore(cutoff simtime.Time) {
+//   - the peer's clock is close enough to the cutoff that any *future*
+//     send must arrive after it (clocks are monotone and a message needs
+//     at least the wire latency). Sends happen in program order before
+//     the sender's clock advances past them, so once the clock is
+//     observed past cutoff-minTransit, all its <=cutoff sends are
+//     already in the inbox;
+//   - the peer is parked in a synchronization reply wait whose request
+//     stamp At is itself within 2*minTransit of the cutoff: every wake
+//     path (a fresh grant, a cached-grant replay answering a
+//     retransmission, a revocation re-grant) is stamped at or after the
+//     request's arrival at the manager (>= At + transit), so the wake is
+//     >= At + 2*transit and the peer's post-wake sends arrive past the
+//     cutoff;
+//   - the peer is parked on a resource gated by this node (a lock this
+//     node holds, a barrier round this node has not yet checked into,
+//     per the gatedByMe callback): the wake is then stamped from an
+//     arrival of this node's own *future* release/check-in, which
+//     leaves at or after this node's current clock >= cutoff;
+//   - the peer is parked on an independent lock whose current holder H
+//     (per the PublishLockHeld registry) has a clock past
+//     cutoff - 3*minTransit. H's release leaves at or after H's clock
+//     (holders clear their registry entry before the release message is
+//     composed, and the holder check is re-read after the clock read, so
+//     "entry visible" proves the release is still in H's future); the
+//     manager's handoff grant is stamped at or after that release's
+//     arrival, the parked peer's wake one more transit later, and its
+//     post-wake sends land a third transit after that — past the cutoff.
+//     A holder that crashes after the clock read only raises the bound:
+//     the revocation re-grant is stamped from its lease expiry, which is
+//     later still;
+//   - the peer is marked crashed: a buried node's future traffic is
+//     fenced by the epoch layer before it can enter any flush set.
+//
+// A peer parked on an independent lock that satisfies none of these may
+// genuinely wake below the cutoff (its grant can already be in flight
+// with an early stamp), so this node spins. The spin terminates in real
+// time: barrier wake chains never block on a fencing node (a fence runs
+// before its own check-in, so every peer parked on a round this node
+// still owes a check-in to is skipped as gated; a round this node has
+// already checked into either released — the wake is in flight — or
+// waits on a third node that is itself live), and a hypothetical ring of
+// fencing nodes each spinning on a peer parked on the next fencer's lock
+// cannot close: fencer i spins on a holder-bound peer only while the
+// holder's clock <= cutoff_i - 3*transit, and a fencing holder's clock
+// is at least its own cutoff + transit, so cutoff_{i+1} + 4*transit <=
+// cutoff_i strictly decreases around the ring — impossible. Every spin
+// therefore sits above a peer making real progress, which eventually
+// wakes, re-parks with a later stamp, or passes the clock predicate.
+//
+// Second, spin until the inbox is drained (handled catches up with
+// delivered).
+func (e *Endpoint) FenceArrivalsBefore(cutoff simtime.Time, gatedByMe func(peer int, tag int64) bool) {
 	nw := e.nw
 	minTransit := simtime.Time(nw.model.NetLatency)
 	for i := 0; i < nw.n; i++ {
@@ -381,8 +606,21 @@ func (e *Endpoint) FenceArrivalsBefore(cutoff simtime.Time) {
 			continue
 		}
 		for {
-			if nw.syncWait[i].Load() {
+			if _, down := nw.CrashedAt(i); down {
 				break
+			}
+			if p := nw.syncWait[i].Load(); p != nil {
+				if p.At+2*minTransit > cutoff {
+					break
+				}
+				if gatedByMe != nil && gatedByMe(i, p.Tag) {
+					break
+				}
+				if e.holderBoundsPark(p, cutoff, minTransit) {
+					break
+				}
+				runtime.Gosched()
+				continue
 			}
 			c := nw.clocks[i].Load()
 			if c == nil || c.Now()+minTransit > cutoff {
@@ -396,6 +634,36 @@ func (e *Endpoint) FenceArrivalsBefore(cutoff simtime.Time) {
 	}
 }
 
+// holderBoundsPark reports whether a peer's lock park is provably woken
+// past the cutoff because the lock's current holder's clock is already
+// close enough to it (see FenceArrivalsBefore). The holder registry is
+// re-read after the clock read: only an entry that stayed visible across
+// the read proves the holder's release had not left yet.
+func (e *Endpoint) holderBoundsPark(p *SyncPark, cutoff, minTransit simtime.Time) bool {
+	l, isLock := TagLock(p.Tag)
+	if !isLock {
+		return false
+	}
+	nw := e.nw
+	h, ok := nw.lockHolders.Load(l)
+	if !ok {
+		return false
+	}
+	hid := int(h.(int32))
+	if hid == e.id || hid < 0 || hid >= nw.n {
+		return false
+	}
+	hc := nw.clocks[hid].Load()
+	if hc == nil {
+		return false
+	}
+	now := hc.Now()
+	if h2, ok2 := nw.lockHolders.Load(l); !ok2 || h2 != h {
+		return false
+	}
+	return now+3*minTransit > cutoff
+}
+
 // Send delivers a one-way message. Under a fault plan, lost copies are
 // retransmitted in the background (sender-based ARQ): the surviving copy
 // arrives with the accumulated retransmission timeouts as extra delay,
@@ -407,9 +675,13 @@ func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
 		From: e.id, To: to, Kind: kind,
 		SentAt: e.clock.Now(), Size: size, Payload: payload,
 		Trace: e.trc.Trace(),
+		Epoch: nw.view[e.id].Load(),
 	}
 	f := nw.faults
-	if to == e.id || !f.Enabled() {
+	// Runtime-installed partition windows live outside the static plan,
+	// so a zero plan must still route through the fate checks once any
+	// window exists (the zero plan's drop/dup/delay rolls all miss).
+	if to == e.id || (!f.Enabled() && !nw.partitionsActive()) {
 		m.Seq = nw.nextSeq(e.id, to)
 		nw.deliver(m)
 		return
@@ -417,7 +689,12 @@ func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
 	var extra simtime.Duration
 	for attempt := 1; ; attempt++ {
 		seq := nw.nextSeq(e.id, to)
-		if f.DropCopy(e.id, to, seq) {
+		// A copy departing inside a partition window is lost exactly like
+		// a drop fault: the background ARQ keeps retransmitting, each
+		// retry departing one RTO later in virtual time, until the window
+		// heals and a copy gets through.
+		cut := nw.cutAt(e.id, to, m.SentAt+simtime.Time(extra))
+		if cut || f.DropCopy(e.id, to, seq) {
 			nw.countWire(kind, size)
 			if attempt >= f.Attempts() {
 				panic(fmt.Sprintf(
@@ -435,6 +712,24 @@ func (e *Endpoint) Send(to int, kind Kind, size int, payload any) {
 		}
 		return
 	}
+}
+
+// SendDetector delivers a one-way message outside the fault schedule:
+// no drop, duplicate, delay or partition cut applies. It models an
+// out-of-band failure-detector channel — the simulator shortcut for
+// every survivor running an independent lease-expiry detector — so
+// death declarations propagate even while the declared node is
+// partitioned from the cluster.
+func (e *Endpoint) SendDetector(to int, kind Kind, size int, payload any) {
+	nw := e.nw
+	m := Message{
+		From: e.id, To: to, Kind: kind,
+		SentAt: e.clock.Now(), Size: size, Payload: payload,
+		Trace: e.trc.Trace(),
+		Epoch: nw.view[e.id].Load(),
+	}
+	m.Seq = nw.nextSeq(e.id, to)
+	nw.deliver(m)
 }
 
 // Pending is an outstanding request; the reply arrives on a dedicated
@@ -510,15 +805,23 @@ func (e *Endpoint) attemptSend(p *Pending) {
 		From: e.id, To: p.to, Kind: p.kind,
 		SentAt: p.sentAt, Size: p.reqSize, Payload: p.payload,
 		Trace: p.trace, ReqID: p.reqID, reply: p.ch,
+		Epoch: nw.view[e.id].Load(),
 	}
 	m.Seq = nw.nextSeq(e.id, p.to)
 	f := nw.faults
-	if p.local || !f.Enabled() {
+	// See Send: installed partition windows cut links even under a zero
+	// static plan.
+	if p.local || (!f.Enabled() && !nw.partitionsActive()) {
 		p.live = true
 		nw.deliver(m)
 		return
 	}
-	if f.DropCopy(e.id, p.to, m.Seq) {
+	// A partition cut is evaluated at the attempt's departure time only:
+	// a request that got through before the window opened also gets its
+	// reply (in-flight traffic drains; the partition severs new
+	// injections, not the fabric). The caller's retransmission loop
+	// re-attempts with later departure stamps until the window heals.
+	if nw.cutAt(e.id, p.to, p.sentAt) || f.DropCopy(e.id, p.to, m.Seq) {
 		nw.countWire(m.Kind, m.Size)
 		p.live = false
 		return
@@ -648,6 +951,33 @@ func (e *Endpoint) MarkRejoined() { e.nw.MarkRejoined(e.id) }
 // fail-stopped, and if so when it first did.
 func (e *Endpoint) EverCrashed(id int) (simtime.Time, bool) { return e.nw.EverCrashed(id) }
 
+// EpochView returns this node's current membership-epoch view.
+func (e *Endpoint) EpochView() int64 { return e.nw.view[e.id].Load() }
+
+// AdoptEpoch raises this node's epoch view to at least ep (monotone).
+// Handlers call it when a membership message (obituary, rejoin notice)
+// carries a newer epoch; returns true if the view actually advanced.
+func (e *Endpoint) AdoptEpoch(ep int64) bool {
+	if e.nw.view[e.id].Load() >= ep {
+		return false
+	}
+	e.nw.adoptView(e.id, ep)
+	return true
+}
+
+// DeathEpoch returns the epoch at which a peer (or this node itself)
+// was most recently declared dead, or 0 if it never was.
+func (e *Endpoint) DeathEpoch(id int) int64 { return e.nw.DeathEpoch(id) }
+
+// DeclareDead declares a node dead through the membership manager and
+// returns the bumped epoch (see Network.DeclareDead).
+func (e *Endpoint) DeclareDead(id int) int64 { return e.nw.DeclareDead(id) }
+
+// InstallPartition installs a partition window on the shared network
+// (see Network.InstallPartition). The protocol layer's partition-onset
+// path uses it to cut the victim off at the injected fault time.
+func (e *Endpoint) InstallPartition(w fault.PartitionWindow) { e.nw.InstallPartition(w) }
+
 // Call is CallAsync followed by Wait.
 func (e *Endpoint) Call(to int, kind Kind, size int, payload any) Message {
 	return e.CallAsync(to, kind, size, payload).Wait(e.clock)
@@ -707,6 +1037,7 @@ func (e *Endpoint) ReplyAt(at simtime.Time, m Message, kind Kind, size int, payl
 		From: e.id, To: m.From, Kind: kind,
 		SentAt: at, Size: size, Payload: payload,
 		Trace: m.Trace,
+		Epoch: e.nw.view[e.id].Load(),
 	}
 	if m.From != e.id && e.nw.faults.Enabled() {
 		if m.dropReply {
